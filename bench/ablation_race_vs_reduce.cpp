@@ -1,0 +1,97 @@
+// Experiments E5 / A4 — the practical side of Theorem 1 on real threads:
+// compares the three parallel execution strategies for one bidding
+// selection as the active count k varies.
+//
+//   reduce  : per-lane sub-races + deterministic tree combine
+//   race    : CRCW-style atomic (bid,index) cell (paper Section III)
+//   serial  : single-threaded scan (reference)
+//
+// Reports wall time per selection and the race's write statistics
+// (winning installs ~ H_k ~ ln k: the shared cell sees O(log k) successful
+// writes regardless of k — the paper's claim in CAS clothing).
+//
+// Usage: ablation_race_vs_reduce [--n=65536] [--reps=30] [--lanes=0]
+//        [--seed=3] [--csv]
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/logarithmic_bidding.hpp"
+#include "rng/seed.hpp"
+#include "stats/online.hpp"
+
+namespace {
+
+std::vector<double> sparse_fitness(std::size_t n, std::size_t k) {
+  std::vector<double> f(n, 0.0);
+  for (std::size_t j = 0; j < k; ++j) f[j * n / k] = 1.0 + (j % 7);
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lrb::CliArgs args(argc, argv);
+  const std::size_t n = args.get_u64("n", 65536);
+  const std::uint64_t reps = args.get_u64("reps", 30);
+  const std::size_t lanes = args.get_u64("lanes", 0);
+  const std::uint64_t seed = args.get_u64("seed", 3);
+  const bool csv = args.get_bool("csv", false);
+
+  lrb::parallel::ThreadPool pool(lanes);
+  lrb::bench::banner("E5 / A4",
+                     "thread-level race vs reduce vs serial, one selection",
+                     reps);
+  std::printf("n = %zu items, %zu lanes\n\n", n, pool.lanes());
+
+  lrb::Table table({"k", "serial us", "reduce us", "race us",
+                    "race installs (mean)", "ln(k)+0.58"});
+  for (std::size_t k = 16; k <= n; k *= 16) {
+    const auto fitness = sparse_fitness(n, k);
+    lrb::rng::SeedSequence seeds(seed + k);
+
+    lrb::stats::OnlineMoments t_serial, t_reduce, t_race, installs;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      const auto rep_seeds = seeds.subsequence(rep);
+      {
+        lrb::rng::Xoshiro256StarStar gen(rep_seeds.child(0));
+        lrb::WallTimer timer;
+        volatile std::size_t sink = lrb::core::select_bidding(fitness, gen);
+        (void)sink;
+        t_serial.add(timer.elapsed_seconds() * 1e6);
+      }
+      {
+        lrb::WallTimer timer;
+        volatile std::size_t sink =
+            lrb::core::select_bidding_parallel(pool, fitness, rep_seeds);
+        (void)sink;
+        t_reduce.add(timer.elapsed_seconds() * 1e6);
+      }
+      {
+        lrb::core::RaceStats stats;
+        lrb::WallTimer timer;
+        volatile std::size_t sink =
+            lrb::core::select_bidding_race(pool, fitness, rep_seeds, &stats);
+        (void)sink;
+        t_race.add(timer.elapsed_seconds() * 1e6);
+        installs.add(static_cast<double>(stats.winning_writes));
+      }
+    }
+    table.add_row({std::to_string(k), lrb::format_fixed(t_serial.mean(), 1),
+                   lrb::format_fixed(t_reduce.mean(), 1),
+                   lrb::format_fixed(t_race.mean(), 1),
+                   lrb::format_fixed(installs.mean(), 1),
+                   lrb::format_fixed(std::log(static_cast<double>(k)) + 0.58, 1)});
+  }
+  csv ? table.print_csv(std::cout) : table.print(std::cout);
+
+  std::printf(
+      "\nreading: successful installs on the shared cell track H_k ~ ln k "
+      "(Theorem 1's O(log k) in CAS form) while all strategies scan O(n/p) "
+      "candidates; the race avoids the reduce's per-lane buffers (O(1) "
+      "shared state, as in the paper).\n");
+  return 0;
+}

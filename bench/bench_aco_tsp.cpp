@@ -1,0 +1,73 @@
+// Application study A5 — end-to-end effect of the selection rule on
+// ant-colony TSP (the paper's motivating workload).
+//
+// Same instance, same seeds, same AS parameters; only the roulette rule
+// changes.  The exact rules (bidding, cdf) explore fitness-proportionately;
+// the biased independent roulette over-commits to high-desirability edges
+// (it behaves like a semi-greedy rule), which shows up in tour quality
+// spread across seeds.
+//
+// Usage: bench_aco_tsp [--cities=80] [--ants=24] [--iters=60] [--seeds=5]
+//        [--csv]
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "aco/ant_system.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "stats/online.hpp"
+
+int main(int argc, char** argv) {
+  const lrb::CliArgs args(argc, argv);
+  const std::size_t cities = args.get_u64("cities", 80);
+  const std::size_t ants = args.get_u64("ants", 24);
+  const std::size_t iters = args.get_u64("iters", 60);
+  const std::uint64_t num_seeds = args.get_u64("seeds", 5);
+  const bool csv = args.get_bool("csv", false);
+
+  lrb::bench::banner("A5", "ACO-TSP tour quality by selection rule", 0);
+  std::printf("%zu cities, %zu ants, %zu iterations, %llu seeds per rule\n\n",
+              cities, ants, iters,
+              static_cast<unsigned long long>(num_seeds));
+
+  const auto instance = lrb::aco::random_euclidean_instance(cities, 12345);
+  const double nn_len = instance.tour_length(instance.nearest_neighbor_tour(0));
+  std::printf("nearest-neighbour baseline: %.2f\n\n", nn_len);
+
+  lrb::Table table({"selection rule", "best", "mean best", "sd", "vs NN %",
+                    "selections/s"});
+  table.set_align(0, lrb::Align::kLeft);
+  for (const auto rule :
+       {lrb::aco::SelectionRule::kBidding, lrb::aco::SelectionRule::kCdf,
+        lrb::aco::SelectionRule::kIndependent,
+        lrb::aco::SelectionRule::kGreedy}) {
+    lrb::aco::AntSystemParams params;
+    params.num_ants = ants;
+    params.iterations = iters;
+    params.rule = rule;
+    lrb::stats::OnlineMoments best;
+    std::uint64_t selections = 0;
+    lrb::WallTimer timer;
+    for (std::uint64_t s = 0; s < num_seeds; ++s) {
+      lrb::aco::AntSystem solver(instance, params);
+      const auto result = solver.run(1000 + s);
+      best.add(result.best_length);
+      selections += result.selections;
+    }
+    const double elapsed = timer.elapsed_seconds();
+    table.add_row(
+        {std::string(lrb::aco::to_string(rule)), lrb::format_fixed(best.min(), 2),
+         lrb::format_fixed(best.mean(), 2), lrb::format_fixed(best.stddev(), 2),
+         lrb::format_fixed(100.0 * best.mean() / nn_len, 1),
+         lrb::format_rate(static_cast<double>(selections) / elapsed)});
+  }
+  csv ? table.print_csv(std::cout) : table.print(std::cout);
+
+  std::printf("\nreading: exact rules (bidding, cdf) match each other in "
+              "quality, as they must — identical selection distribution; "
+              "the biased independent rule degenerates toward greedy "
+              "behaviour, which usually costs tour quality vs the exact "
+              "rules on multimodal instances.\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Ablation A7 — dynamic-fitness workloads: the regime the paper's intro
+// motivates (ACO tour construction zeroes one weight per step).
+//
+// Workload: alternating update/draw ops over n items.  Sweep the
+// updates-per-draw ratio and compare:
+//
+//   bidding  : O(k) draw, O(1) update (fitness array is the state)
+//   fenwick  : O(log n) draw, O(log n) update
+//   binary   : O(log n) draw, O(n) rebuild on update
+//   alias    : O(1) draw, O(n) rebuild on update
+//
+// Also runs the pure ACO construction pattern (deactivate winner each draw)
+// end to end.
+//
+// Usage: bench_dynamic_updates [--n=4096] [--ops=20000] [--seed=8] [--csv]
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/alias_table.hpp"
+#include "core/active_set.hpp"
+#include "core/cdf_selector.hpp"
+#include "core/fenwick_selector.hpp"
+#include "core/logarithmic_bidding.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+std::vector<double> base_fitness(std::size_t n) {
+  std::vector<double> f(n);
+  for (std::size_t i = 0; i < n; ++i) f[i] = 1.0 + static_cast<double>(i % 13);
+  return f;
+}
+
+/// Runs `ops` operations where every (ratio+1)-th op is a draw and the rest
+/// are point updates; returns microseconds total.
+template <typename DrawFn, typename UpdateFn>
+double run_mixed(std::size_t ops, std::size_t ratio, DrawFn&& draw,
+                 UpdateFn&& update) {
+  lrb::WallTimer timer;
+  for (std::size_t op = 0; op < ops; ++op) {
+    if (op % (ratio + 1) == ratio) {
+      volatile std::size_t sink = draw();
+      (void)sink;
+    } else {
+      update(op);
+    }
+  }
+  return timer.elapsed_seconds() * 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lrb::CliArgs args(argc, argv);
+  const std::size_t n = args.get_u64("n", 4096);
+  const std::size_t ops = args.get_u64("ops", 20000);
+  const std::uint64_t seed = args.get_u64("seed", 8);
+  const bool csv = args.get_bool("csv", false);
+
+  lrb::bench::banner("A7", "update/draw workloads (the ACO regime)", ops);
+  std::printf("n = %zu items, %zu ops per cell\n\n", n, ops);
+
+  lrb::Table table({"updates per draw", "bidding us", "fenwick us",
+                    "binary_cdf us", "alias us"});
+  for (std::size_t ratio : {0u, 1u, 4u, 16u, 64u}) {
+    auto fitness = base_fitness(n);
+    lrb::rng::Xoshiro256StarStar gen(seed);
+    auto mutate = [&](std::size_t op) {
+      fitness[(op * 2654435761u) % n] =
+          1.0 + static_cast<double>((op * 40503u) % 13);
+    };
+
+    // bidding: updates touch the array only.
+    const double t_bid = run_mixed(
+        ops, ratio, [&] { return lrb::core::select_bidding(fitness, gen); },
+        mutate);
+
+    // fenwick: incremental updates.
+    fitness = base_fitness(n);
+    lrb::core::FenwickSelector fenwick(fitness);
+    const double t_fen = run_mixed(
+        ops, ratio, [&] { return fenwick.select(gen); },
+        [&](std::size_t op) {
+          const std::size_t i = (op * 2654435761u) % n;
+          const double v = 1.0 + static_cast<double>((op * 40503u) % 13);
+          fitness[i] = v;
+          fenwick.update(i, v);
+        });
+
+    // binary cdf: full rebuild per draw if dirty.
+    fitness = base_fitness(n);
+    lrb::core::CdfSelector cdf(fitness);
+    bool dirty = false;
+    const double t_cdf = run_mixed(
+        ops, ratio,
+        [&] {
+          if (dirty) {
+            cdf.rebuild(fitness);
+            dirty = false;
+          }
+          return cdf.select(gen);
+        },
+        [&](std::size_t op) {
+          mutate(op);
+          dirty = true;
+        });
+
+    // alias: full rebuild per draw if dirty.
+    fitness = base_fitness(n);
+    lrb::core::AliasTable alias(fitness);
+    bool alias_dirty = false;
+    const double t_alias = run_mixed(
+        ops, ratio,
+        [&] {
+          if (alias_dirty) {
+            alias.rebuild(fitness);
+            alias_dirty = false;
+          }
+          return alias.select(gen);
+        },
+        [&](std::size_t op) {
+          mutate(op);
+          alias_dirty = true;
+        });
+
+    table.add_row({std::to_string(ratio), lrb::format_fixed(t_bid, 0),
+                   lrb::format_fixed(t_fen, 0), lrb::format_fixed(t_cdf, 0),
+                   lrb::format_fixed(t_alias, 0)});
+  }
+  csv ? table.print_csv(std::cout) : table.print(std::cout);
+
+  // End-to-end ACO construction pattern: n draws, deactivating each winner.
+  std::printf("\nACO construction pattern (draw + deactivate winner, full "
+              "sweep of n = %zu):\n",
+              n);
+  {
+    auto fitness = base_fitness(n);
+    lrb::rng::Xoshiro256StarStar gen(seed + 1);
+    lrb::WallTimer timer;
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t w = lrb::core::select_bidding(fitness, gen);
+      fitness[w] = 0.0;
+    }
+    std::printf("  bidding : %s\n",
+                lrb::format_duration(timer.elapsed_seconds()).c_str());
+  }
+  {
+    lrb::core::FenwickSelector fenwick(base_fitness(n));
+    lrb::rng::Xoshiro256StarStar gen(seed + 1);
+    lrb::WallTimer timer;
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t w = fenwick.select(gen);
+      fenwick.deactivate(w);
+    }
+    std::printf("  fenwick : %s\n",
+                lrb::format_duration(timer.elapsed_seconds()).c_str());
+  }
+  {
+    // O(k) bidding over an explicit active set: the serial analog of the
+    // paper's "only active processors participate".
+    lrb::core::ActiveSetBidder active(base_fitness(n));
+    lrb::rng::Xoshiro256StarStar gen(seed + 1);
+    lrb::WallTimer timer;
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t w = active.select(gen);
+      active.deactivate(w);
+    }
+    std::printf("  active-set bidding : %s (O(k_t) per draw)\n",
+                lrb::format_duration(timer.elapsed_seconds()).c_str());
+  }
+
+  std::printf("\nreading: with updates in the mix, the O(n)-rebuild "
+              "structures lose their draw-time advantage; fenwick wins the "
+              "dense dynamic regime and bidding wins once k shrinks or "
+              "updates dominate — the paper's sparse-fitness argument in "
+              "cost-model form.\n");
+  return 0;
+}

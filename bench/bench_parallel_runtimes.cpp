@@ -1,0 +1,101 @@
+// Ablation A8 — the same bidding selection across every execution runtime
+// the library ships, as a function of lane/thread count:
+//
+//   serial            : one-thread scan (reference)
+//   pool-reduce       : ThreadPool sub-races + tree combine
+//   pool-race         : ThreadPool atomic CRCW-style race
+//   omp-reduce        : OpenMP critical-combine kernel
+//   omp-race          : OpenMP atomic race kernel
+//   deterministic     : counter-based (thread-count invariant), pool
+//
+// All six produce the exact roulette distribution; this bench isolates the
+// runtime overheads (pool wakeup, OMP region entry, Philox evaluation).
+//
+// Usage: bench_parallel_runtimes [--n=262144] [--reps=20] [--csv]
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/deterministic.hpp"
+#include "core/logarithmic_bidding.hpp"
+#include "core/openmp.hpp"
+#include "rng/seed.hpp"
+#include "stats/online.hpp"
+
+namespace {
+
+template <typename Fn>
+double mean_us(std::uint64_t reps, Fn&& fn) {
+  lrb::stats::OnlineMoments m;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    lrb::WallTimer timer;
+    volatile std::size_t sink = fn(rep);
+    (void)sink;
+    m.add(timer.elapsed_seconds() * 1e6);
+  }
+  return m.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lrb::CliArgs args(argc, argv);
+  const std::size_t n = args.get_u64("n", 262144);
+  const std::uint64_t reps = args.get_u64("reps", 20);
+  const bool csv = args.get_bool("csv", false);
+
+  lrb::bench::banner("A8", "execution runtimes for one bidding selection", reps);
+  std::printf("n = %zu dense items; OpenMP %savailable (%zu threads); "
+              "hardware lanes: %zu\n\n",
+              n, lrb::core::openmp_available() ? "" : "NOT ",
+              lrb::core::openmp_threads(), lrb::parallel::hardware_lanes());
+
+  std::vector<double> fitness(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fitness[i] = 1.0 + static_cast<double>(i % 17);
+  }
+  lrb::rng::SeedSequence seeds(99);
+
+  lrb::Table table({"lanes", "serial us", "pool-reduce us", "pool-race us",
+                    "omp-reduce us", "omp-race us", "deterministic us"});
+  for (std::size_t lanes : {1u, 2u, 4u}) {
+    lrb::parallel::ThreadPool pool(lanes);
+    lrb::core::DeterministicBidder bidder(4242);
+
+    const double t_serial = mean_us(reps, [&](std::uint64_t rep) {
+      lrb::rng::Xoshiro256StarStar gen(seeds.child(rep));
+      return lrb::core::select_bidding(fitness, gen);
+    });
+    const double t_reduce = mean_us(reps, [&](std::uint64_t rep) {
+      return lrb::core::select_bidding_parallel(pool, fitness,
+                                                seeds.subsequence(rep));
+    });
+    const double t_race = mean_us(reps, [&](std::uint64_t rep) {
+      return lrb::core::select_bidding_race(pool, fitness,
+                                            seeds.subsequence(rep));
+    });
+    const double t_omp = mean_us(reps, [&](std::uint64_t rep) {
+      return lrb::core::select_bidding_omp(fitness, seeds.child(rep));
+    });
+    const double t_omp_race = mean_us(reps, [&](std::uint64_t rep) {
+      return lrb::core::select_bidding_race_omp(fitness, seeds.child(rep));
+    });
+    const double t_det = mean_us(reps, [&](std::uint64_t) {
+      return bidder.select(pool, fitness);
+    });
+
+    table.add_row({std::to_string(lanes), lrb::format_fixed(t_serial, 1),
+                   lrb::format_fixed(t_reduce, 1), lrb::format_fixed(t_race, 1),
+                   lrb::format_fixed(t_omp, 1), lrb::format_fixed(t_omp_race, 1),
+                   lrb::format_fixed(t_det, 1)});
+  }
+  csv ? table.print_csv(std::cout) : table.print(std::cout);
+
+  std::printf("\nnote: OMP rows use OMP's own thread count (set "
+              "OMP_NUM_THREADS), independent of the lanes column.  The "
+              "deterministic row pays ~2x for counter-based Philox bids in "
+              "exchange for thread-count-invariant replay.\n");
+  return 0;
+}

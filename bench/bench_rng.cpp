@@ -1,0 +1,62 @@
+// Ablation A3 — engine throughput: raw 64-bit generation, canonical
+// uniforms, and full bid generation per engine (the paper used the Mersenne
+// Twister; xoshiro256** is the library default).
+#include <benchmark/benchmark.h>
+
+#include "rng/engines.hpp"
+
+namespace {
+
+template <typename Engine>
+void BM_RawU64(benchmark::State& state) {
+  Engine gen(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename Engine>
+void BM_CanonicalDouble(benchmark::State& state) {
+  Engine gen(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrb::rng::u01_closed_open(gen));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename Engine>
+void BM_LogBid(benchmark::State& state) {
+  Engine gen(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrb::rng::log_bid(gen, 3.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PhiloxStateless(benchmark::State& state) {
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrb::rng::philox_u64_at(42, counter++, 7));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_RawU64<lrb::rng::Xoshiro256StarStar>)->Name("RawU64/xoshiro256**");
+BENCHMARK(BM_RawU64<lrb::rng::Mt19937_64>)->Name("RawU64/mt19937_64");
+BENCHMARK(BM_RawU64<lrb::rng::SplitMix64>)->Name("RawU64/splitmix64");
+BENCHMARK(BM_RawU64<lrb::rng::PhiloxRng>)->Name("RawU64/philox4x32-10");
+BENCHMARK(BM_PhiloxStateless)->Name("RawU64/philox-stateless");
+
+BENCHMARK(BM_CanonicalDouble<lrb::rng::Xoshiro256StarStar>)
+    ->Name("U01/xoshiro256**");
+BENCHMARK(BM_CanonicalDouble<lrb::rng::Mt19937_64>)->Name("U01/mt19937_64");
+
+BENCHMARK(BM_LogBid<lrb::rng::Xoshiro256StarStar>)->Name("LogBid/xoshiro256**");
+BENCHMARK(BM_LogBid<lrb::rng::Mt19937_64>)->Name("LogBid/mt19937_64");
+BENCHMARK(BM_LogBid<lrb::rng::SplitMix64>)->Name("LogBid/splitmix64");
+BENCHMARK(BM_LogBid<lrb::rng::PhiloxRng>)->Name("LogBid/philox4x32-10");
+
+}  // namespace
+
+BENCHMARK_MAIN();

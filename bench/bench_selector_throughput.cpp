@@ -1,0 +1,137 @@
+// Ablation A1 — single-draw throughput of every selector vs n, for dense
+// and sparse (10% non-zero) fitness.  google-benchmark suite.
+//
+// The trade-off this quantifies: prebuilt structures (alias, binary CDF)
+// amortize to O(1)/O(log n) per draw but pay O(n) on every fitness change;
+// bidding pays O(n) per draw with zero build cost, and O(k) when sparse.
+//
+// Usage: bench_selector_throughput [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/alias_table.hpp"
+#include "core/baselines.hpp"
+#include "core/cdf_selector.hpp"
+#include "core/logarithmic_bidding.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+std::vector<double> make_fitness(std::size_t n, bool sparse) {
+  std::vector<double> f(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sparse && i % 10 != 0) {
+      f[i] = 0.0;
+    } else {
+      f[i] = 1.0 + static_cast<double>(i % 13);
+    }
+  }
+  return f;
+}
+
+void BM_Bidding(benchmark::State& state) {
+  const auto fitness = make_fitness(state.range(0), state.range(1) != 0);
+  lrb::rng::Xoshiro256StarStar gen(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrb::core::select_bidding(fitness, gen));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LinearCdf(benchmark::State& state) {
+  const auto fitness = make_fitness(state.range(0), state.range(1) != 0);
+  lrb::rng::Xoshiro256StarStar gen(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrb::core::select_linear_cdf(fitness, gen));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BinaryCdfDrawOnly(benchmark::State& state) {
+  const auto fitness = make_fitness(state.range(0), state.range(1) != 0);
+  const lrb::core::CdfSelector sel(fitness);
+  lrb::rng::Xoshiro256StarStar gen(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.select(gen));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_AliasDrawOnly(benchmark::State& state) {
+  const auto fitness = make_fitness(state.range(0), state.range(1) != 0);
+  const lrb::core::AliasTable table(fitness);
+  lrb::rng::Xoshiro256StarStar gen(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.select(gen));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_StochasticAcceptance(benchmark::State& state) {
+  const auto fitness = make_fitness(state.range(0), state.range(1) != 0);
+  lrb::rng::Xoshiro256StarStar gen(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lrb::core::select_stochastic_acceptance(fitness, gen, 13.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Independent(benchmark::State& state) {
+  const auto fitness = make_fitness(state.range(0), state.range(1) != 0);
+  lrb::rng::Xoshiro256StarStar gen(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrb::core::select_independent(fitness, gen));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The "fitness changes every draw" workload (ACO tour construction):
+// prebuilt structures must rebuild, bidding just draws.
+void BM_AliasRebuildPerDraw(benchmark::State& state) {
+  auto fitness = make_fitness(state.range(0), state.range(1) != 0);
+  lrb::core::AliasTable table(fitness);
+  lrb::rng::Xoshiro256StarStar gen(7);
+  std::size_t tick = 1;
+  for (auto _ : state) {
+    fitness[tick % fitness.size()] += 0.001;  // any mutation invalidates
+    table.rebuild(fitness);
+    benchmark::DoNotOptimize(table.select(gen));
+    ++tick;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BiddingMutatingFitness(benchmark::State& state) {
+  auto fitness = make_fitness(state.range(0), state.range(1) != 0);
+  lrb::rng::Xoshiro256StarStar gen(8);
+  std::size_t tick = 1;
+  for (auto _ : state) {
+    fitness[tick % fitness.size()] += 0.001;
+    benchmark::DoNotOptimize(lrb::core::select_bidding(fitness, gen));
+    ++tick;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void DenseSparseArgs(benchmark::internal::Benchmark* b) {
+  for (int sparse : {0, 1}) {
+    for (int n : {100, 1000, 10000, 100000}) {
+      b->Args({n, sparse});
+    }
+  }
+}
+
+BENCHMARK(BM_Bidding)->Apply(DenseSparseArgs);
+BENCHMARK(BM_LinearCdf)->Apply(DenseSparseArgs);
+BENCHMARK(BM_BinaryCdfDrawOnly)->Apply(DenseSparseArgs);
+BENCHMARK(BM_AliasDrawOnly)->Apply(DenseSparseArgs);
+BENCHMARK(BM_StochasticAcceptance)->Args({1000, 0})->Args({10000, 0});
+BENCHMARK(BM_Independent)->Args({1000, 0})->Args({10000, 0});
+BENCHMARK(BM_AliasRebuildPerDraw)->Args({1000, 0})->Args({10000, 0});
+BENCHMARK(BM_BiddingMutatingFitness)->Args({1000, 0})->Args({10000, 0});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Shared plumbing for the table-reproduction binaries.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+
+namespace lrb::bench {
+
+/// Standard experiment banner: what is being reproduced and at what scale.
+inline void banner(const char* experiment_id, const char* description,
+                   std::uint64_t iterations) {
+  std::printf("=== %s: %s ===\n", experiment_id, description);
+  std::printf("paper: Nakano, \"The Logarithmic Random Bidding for the "
+              "Parallel Roulette Wheel Selection with Precise "
+              "Probabilities\" (IPPS 2024, arXiv:2402.18110)\n");
+  if (iterations > 0) {
+    std::printf("iterations: %llu (paper used 1e9; scale with --iters or "
+                "LRB_ITERS)\n",
+                static_cast<unsigned long long>(iterations));
+  }
+  std::printf("\n");
+}
+
+/// Common --iters handling: default per-bench, env override LRB_ITERS.
+inline std::uint64_t iterations(const CliArgs& args, std::uint64_t def) {
+  return args.get_u64("iters", def, "LRB_ITERS");
+}
+
+}  // namespace lrb::bench

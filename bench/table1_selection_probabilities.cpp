@@ -1,0 +1,98 @@
+// Experiment E1 — reproduces the paper's TABLE I:
+//   "The selection probabilities of the roulette wheel selection algorithms
+//    in 1e9 iterations with f_i = i (0 <= i <= 9)."
+//
+// Also prints the Section I counter-example (E4): n=2, f={2,1}, where the
+// independent roulette selects index 0 with probability 3/4 instead of 2/3.
+//
+// Usage: table1_selection_probabilities [--iters=2e6] [--seed=20240228]
+//        [--engine=mt19937|xoshiro|splitmix64|philox] [--csv]
+//
+// The paper used the Mersenne Twister; that is the default engine here.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/baselines.hpp"
+#include "core/fitness.hpp"
+#include "core/logarithmic_bidding.hpp"
+#include "rng/engines.hpp"
+#include "stats/gof.hpp"
+#include "stats/histogram.hpp"
+
+namespace {
+
+struct Columns {
+  lrb::stats::SelectionHistogram independent;
+  lrb::stats::SelectionHistogram logarithmic;
+};
+
+Columns run(const std::vector<double>& fitness, std::uint64_t iters,
+            lrb::rng::EngineKind engine, std::uint64_t seed) {
+  Columns cols{lrb::stats::SelectionHistogram(fitness.size()),
+               lrb::stats::SelectionHistogram(fitness.size())};
+  lrb::rng::dispatch_engine(engine, seed, [&](auto gen_ind) {
+    for (std::uint64_t t = 0; t < iters; ++t) {
+      cols.independent.record(lrb::core::select_independent(fitness, gen_ind));
+    }
+  });
+  lrb::rng::dispatch_engine(engine, seed + 1, [&](auto gen_log) {
+    for (std::uint64_t t = 0; t < iters; ++t) {
+      cols.logarithmic.record(lrb::core::select_bidding(fitness, gen_log));
+    }
+  });
+  return cols;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lrb::CliArgs args(argc, argv);
+  const std::uint64_t iters = lrb::bench::iterations(args, 2'000'000);
+  const std::uint64_t seed = args.get_u64("seed", 20240228);
+  const auto engine =
+      lrb::rng::parse_engine_kind(args.get_string("engine", "mt19937"));
+  const bool csv = args.get_bool("csv", false);
+
+  lrb::bench::banner("E1 / Table I",
+                     "selection probabilities with f_i = i, 0 <= i <= 9",
+                     iters);
+
+  std::vector<double> fitness(10);
+  for (std::size_t i = 0; i < 10; ++i) fitness[i] = static_cast<double>(i);
+  const auto exact = lrb::core::exact_probabilities(fitness);
+  const auto cols = run(fitness, iters, engine, seed);
+
+  lrb::Table table({"i", "f_i", "F_i", "independent", "logarithmic"});
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    table.add_row({std::to_string(i), std::to_string(i),
+                   lrb::format_fixed(exact[i], 6),
+                   lrb::format_fixed(cols.independent.frequency(i), 6),
+                   lrb::format_fixed(cols.logarithmic.frequency(i), 6)});
+  }
+  csv ? table.print_csv(std::cout) : table.print(std::cout);
+
+  // Acceptance: the logarithmic column must be chi-square-consistent with
+  // F_i; the independent column must *fail* the same test (it is biased).
+  const auto gof_log = lrb::stats::chi_square_gof(cols.logarithmic, exact);
+  const auto gof_ind = lrb::stats::chi_square_gof(cols.independent, exact);
+  std::printf("\nlogarithmic vs F_i: chi2=%.2f p=%.4f -> %s\n",
+              gof_log.statistic, gof_log.p_value,
+              gof_log.consistent_with_model(1e-4) ? "CONSISTENT (paper confirmed)"
+                                                  : "INCONSISTENT");
+  std::printf("independent vs F_i: p=%.3g -> %s\n", gof_ind.p_value,
+              gof_ind.p_value < 1e-4 ? "REJECTED (bias confirmed, as in paper)"
+                                     : "unexpectedly consistent");
+
+  // E4: the Section I counter-example.
+  std::printf("\n--- E4: Section I counter-example, n=2, f={2,1} ---\n");
+  const std::vector<double> f21 = {2.0, 1.0};
+  const auto small = run(f21, iters, engine, seed + 100);
+  std::printf("exact F_0 = 2/3 = 0.666667\n");
+  std::printf("logarithmic Pr[0] = %.6f (expect ~0.666667)\n",
+              small.logarithmic.frequency(0));
+  std::printf("independent Pr[0] = %.6f (paper derives exactly 3/4)\n",
+              small.independent.frequency(0));
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Experiment E3 — empirical validation of THEOREM 1 (the paper's only
+// "figure-like" quantitative claim beyond the two tables):
+//
+//   The CRCW race identifies the winning bid in O(log k) expected rounds
+//   with O(1) shared memory, where k = number of non-zero fitness values.
+//
+// We sweep k over powers of two at fixed n on the cycle-accurate PRAM
+// simulator and report mean/p95/max rounds per selection against the
+// paper's 2*ceil(log2 k) envelope, for three fitness shapes.  A second
+// sweep holds k fixed and grows n to show rounds do NOT depend on n.
+//
+// Usage: theorem1_race_rounds [--n=4096] [--trials=300] [--seed=9] [--csv]
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "pram/programs.hpp"
+#include "rng/xoshiro256.hpp"
+#include "stats/online.hpp"
+
+namespace {
+
+std::vector<double> make_fitness(std::size_t n, std::size_t k,
+                                 const std::string& shape) {
+  std::vector<double> f(n, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t pos = j * n / k;
+    if (shape == "uniform") {
+      f[pos] = 1.0;
+    } else if (shape == "linear") {
+      f[pos] = static_cast<double>(j + 1);
+    } else {  // "skewed": geometric spread
+      f[pos] = std::pow(2.0, static_cast<double>(j % 30));
+    }
+  }
+  return f;
+}
+
+struct Row {
+  std::size_t k;
+  double mean, p95, max;
+  double envelope;
+};
+
+Row sweep_point(std::size_t n, std::size_t k, const std::string& shape,
+                std::uint64_t trials, std::uint64_t seed) {
+  const auto fitness = make_fitness(n, k, shape);
+  std::vector<double> rounds;
+  rounds.reserve(trials);
+  lrb::stats::OnlineMoments m;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const auto r =
+        lrb::pram::crcw_bidding_selection(fitness, seed + 2 * t, seed + 2 * t + 1);
+    m.add(static_cast<double>(r.rounds));
+    rounds.push_back(static_cast<double>(r.rounds));
+  }
+  std::sort(rounds.begin(), rounds.end());
+  Row row;
+  row.k = k;
+  row.mean = m.mean();
+  row.p95 = rounds[static_cast<std::size_t>(0.95 * (rounds.size() - 1))];
+  row.max = m.max();
+  row.envelope =
+      k <= 1 ? 1.0 : 2.0 * std::ceil(std::log2(static_cast<double>(k)));
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lrb::CliArgs args(argc, argv);
+  const std::size_t n = args.get_u64("n", 4096);
+  const std::uint64_t trials = args.get_u64("trials", 300);
+  const std::uint64_t seed = args.get_u64("seed", 9);
+  const bool csv = args.get_bool("csv", false);
+
+  lrb::bench::banner("E3 / Theorem 1",
+                     "CRCW race rounds vs k (expected O(log k), O(1) memory)",
+                     trials);
+
+  for (const std::string shape : {"uniform", "linear", "skewed"}) {
+    std::printf("fitness shape: %s (n = %zu, %llu trials per k)\n",
+                shape.c_str(), n, static_cast<unsigned long long>(trials));
+    lrb::Table table(
+        {"k", "mean rounds", "p95", "max", "2*ceil(log2 k)", "mean/log2(k)"});
+    for (std::size_t k = 1; k <= n; k *= 4) {
+      const Row row = sweep_point(n, k, shape, trials, seed + k);
+      table.add_row(
+          {std::to_string(row.k), lrb::format_fixed(row.mean, 2),
+           lrb::format_fixed(row.p95, 0), lrb::format_fixed(row.max, 0),
+           lrb::format_fixed(row.envelope, 0),
+           row.k > 1 ? lrb::format_fixed(
+                           row.mean / std::log2(static_cast<double>(row.k)), 3)
+                     : std::string("-")});
+    }
+    csv ? table.print_csv(std::cout) : table.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf("--- rounds vs n at fixed k = 64 (must stay flat) ---\n");
+  lrb::Table flat({"n", "k", "mean rounds", "p95"});
+  for (std::size_t nn = 64; nn <= 65536; nn *= 8) {
+    const Row row = sweep_point(nn, 64, "uniform", trials, seed + nn);
+    flat.add_row({std::to_string(nn), "64", lrb::format_fixed(row.mean, 2),
+                  lrb::format_fixed(row.p95, 0)});
+  }
+  csv ? flat.print_csv(std::cout) : flat.print(std::cout);
+
+  std::printf("\nreading: mean rounds grows ~log2(k)/2-ish per the random-"
+              "arbiter halving argument and sits far inside the paper's "
+              "2*ceil(log2 k) sufficiency envelope; independent of n.\n");
+  return 0;
+}

@@ -1,0 +1,215 @@
+#include "aco/ant_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/baselines.hpp"
+#include "core/logarithmic_bidding.hpp"
+#include "rng/seed.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::aco {
+
+std::string_view to_string(SelectionRule rule) noexcept {
+  switch (rule) {
+    case SelectionRule::kBidding: return "bidding";
+    case SelectionRule::kCdf: return "cdf";
+    case SelectionRule::kIndependent: return "independent";
+    case SelectionRule::kGreedy: return "greedy";
+  }
+  return "unknown";
+}
+
+SelectionRule parse_selection_rule(std::string_view name) {
+  if (name == "bidding") return SelectionRule::kBidding;
+  if (name == "cdf" || name == "prefix_sum" || name == "roulette")
+    return SelectionRule::kCdf;
+  if (name == "independent") return SelectionRule::kIndependent;
+  if (name == "greedy") return SelectionRule::kGreedy;
+  throw InvalidArgumentError("unknown selection rule '" + std::string(name) +
+                             "' (expected bidding|cdf|independent|greedy)");
+}
+
+AntSystem::AntSystem(const TspInstance& instance, AntSystemParams params)
+    : instance_(instance), params_(params) {
+  LRB_REQUIRE(params_.num_ants > 0, InvalidArgumentError,
+              "AntSystem: num_ants must be positive");
+  LRB_REQUIRE(params_.rho > 0.0 && params_.rho <= 1.0, InvalidArgumentError,
+              "AntSystem: rho must be in (0, 1]");
+  LRB_REQUIRE(params_.alpha >= 0.0 && params_.beta >= 0.0, InvalidArgumentError,
+              "AntSystem: alpha and beta must be non-negative");
+  const std::size_t n = instance_.size();
+
+  // Pheromone initialized from the nearest-neighbour tour scale, the
+  // standard AS/MMAS recipe: tau_0 = num_ants / L_nn.
+  const double l_nn = instance_.tour_length(instance_.nearest_neighbor_tour(0));
+  const double tau0 = static_cast<double>(params_.num_ants) / l_nn;
+  pheromone_.assign(n * n, tau0);
+
+  heuristic_.assign(n * n, 0.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      // Guard zero distances (coincident cities): clamp to a small epsilon.
+      const double d = std::max(instance_.distance(a, b), 1e-9);
+      heuristic_[a * n + b] = std::pow(1.0 / d, params_.beta);
+    }
+  }
+}
+
+namespace {
+
+/// One construction-step selection over the desirability row.  `fitness`
+/// has zeros at visited cities; returns the chosen city.
+template <typename G>
+std::size_t select_next_city(SelectionRule rule,
+                             std::span<const double> fitness, G& gen) {
+  switch (rule) {
+    case SelectionRule::kBidding:
+      return core::select_bidding(fitness, gen);
+    case SelectionRule::kCdf:
+      return core::select_linear_cdf(fitness, gen);
+    case SelectionRule::kIndependent:
+      return core::select_independent(fitness, gen);
+    case SelectionRule::kGreedy: {
+      std::size_t best = 0;
+      double best_f = -1.0;
+      for (std::size_t i = 0; i < fitness.size(); ++i) {
+        if (fitness[i] > best_f) {
+          best_f = fitness[i];
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  throw InvalidArgumentError("select_next_city: unknown rule");
+}
+
+}  // namespace
+
+std::vector<std::size_t> AntSystem::construct_tour(std::size_t start,
+                                                   std::uint64_t seed) {
+  const std::size_t n = instance_.size();
+  LRB_REQUIRE(start < n, InvalidArgumentError,
+              "construct_tour: start out of range");
+  rng::Xoshiro256StarStar gen(seed);
+
+  std::vector<std::size_t> tour;
+  tour.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<double> fitness(n, 0.0);
+
+  std::size_t current = start;
+  tour.push_back(current);
+  visited[current] = true;
+
+  for (std::size_t step = 1; step < n; ++step) {
+    // Desirability of every unvisited city; visited cities keep fitness 0 —
+    // this is precisely the "many zero fitness values" regime the paper
+    // highlights for O(log k) bidding.
+    double total = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (visited[c]) {
+        fitness[c] = 0.0;
+        continue;
+      }
+      const double tau = pheromone_[current * n + c];
+      const double f =
+          (params_.alpha == 1.0 ? tau : std::pow(tau, params_.alpha)) *
+          heuristic_[current * n + c];
+      fitness[c] = f;
+      total += f;
+    }
+    std::size_t next;
+    if (total <= 0.0) {
+      // Pheromone underflow corner: fall back to the nearest unvisited city.
+      next = n;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < n; ++c) {
+        if (!visited[c] && instance_.distance(current, c) < best) {
+          best = instance_.distance(current, c);
+          next = c;
+        }
+      }
+    } else {
+      next = select_next_city(params_.rule, fitness, gen);
+    }
+    LRB_ASSERT(next < n && !visited[next], "selection must pick an unvisited city");
+    tour.push_back(next);
+    visited[next] = true;
+    current = next;
+  }
+  return tour;
+}
+
+void AntSystem::evaporate() {
+  for (double& tau : pheromone_) tau *= (1.0 - params_.rho);
+}
+
+void AntSystem::deposit(std::span<const std::size_t> tour, double amount) {
+  const std::size_t n = instance_.size();
+  for (std::size_t i = 0; i < tour.size(); ++i) {
+    const std::size_t a = tour[i];
+    const std::size_t b = tour[(i + 1) % tour.size()];
+    pheromone_[a * n + b] += amount;
+    pheromone_[b * n + a] += amount;
+  }
+}
+
+void AntSystem::clamp_pheromone(double tau_min, double tau_max) {
+  for (double& tau : pheromone_) tau = std::clamp(tau, tau_min, tau_max);
+}
+
+AntSystemResult AntSystem::run(std::uint64_t seed) {
+  const std::size_t n = instance_.size();
+  rng::SeedSequence seeds(seed);
+
+  AntSystemResult result;
+  result.best_length = std::numeric_limits<double>::infinity();
+  result.history.reserve(params_.iterations);
+
+  for (std::size_t iter = 0; iter < params_.iterations; ++iter) {
+    const rng::SeedSequence iter_seeds = seeds.subsequence(iter);
+    std::vector<std::size_t> iter_best_tour;
+    double iter_best = std::numeric_limits<double>::infinity();
+
+    std::vector<std::vector<std::size_t>> tours;
+    tours.reserve(params_.num_ants);
+    for (std::size_t ant = 0; ant < params_.num_ants; ++ant) {
+      const std::size_t start = ant % n;
+      auto tour = construct_tour(start, iter_seeds.child(ant));
+      result.selections += n - 1;
+      const double len = instance_.tour_length(tour);
+      if (len < iter_best) {
+        iter_best = len;
+        iter_best_tour = tour;
+      }
+      tours.push_back(std::move(tour));
+    }
+
+    evaporate();
+    if (params_.variant == AcoVariant::kAntSystem) {
+      for (const auto& tour : tours) {
+        deposit(tour, params_.q / instance_.tour_length(tour));
+      }
+    } else {
+      // MMAS: only the iteration best deposits; clamp to [tau_min, tau_max].
+      deposit(iter_best_tour, 1.0 / iter_best);
+      const double tau_max = 1.0 / (params_.rho * iter_best);
+      const double tau_min = tau_max / params_.mmas_ratio;
+      clamp_pheromone(tau_min, tau_max);
+    }
+
+    if (iter_best < result.best_length) {
+      result.best_length = iter_best;
+      result.best_tour = iter_best_tour;
+    }
+    result.history.push_back(iter_best);
+  }
+  return result;
+}
+
+}  // namespace lrb::aco

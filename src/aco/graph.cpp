@@ -1,0 +1,100 @@
+#include "aco/graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::aco {
+
+Graph::Graph(std::size_t num_vertices) : adj_(num_vertices) {
+  LRB_REQUIRE(num_vertices > 0, InvalidArgumentError,
+              "Graph needs at least one vertex");
+}
+
+void Graph::add_edge(std::size_t a, std::size_t b) {
+  LRB_REQUIRE(a < adj_.size() && b < adj_.size(), InvalidArgumentError,
+              "Graph::add_edge: vertex out of range");
+  LRB_REQUIRE(a != b, InvalidArgumentError, "Graph::add_edge: self-loop");
+  if (has_edge(a, b)) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++num_edges_;
+}
+
+bool Graph::has_edge(std::size_t a, std::size_t b) const {
+  LRB_REQUIRE(a < adj_.size() && b < adj_.size(), InvalidArgumentError,
+              "Graph::has_edge: vertex out of range");
+  const auto& na = adj_[a].size() <= adj_[b].size() ? adj_[a] : adj_[b];
+  const std::size_t other = adj_[a].size() <= adj_[b].size() ? b : a;
+  return std::find(na.begin(), na.end(), other) != na.end();
+}
+
+std::span<const std::size_t> Graph::neighbors(std::size_t v) const {
+  LRB_REQUIRE(v < adj_.size(), InvalidArgumentError,
+              "Graph::neighbors: vertex out of range");
+  return adj_[v];
+}
+
+std::size_t Graph::degree(std::size_t v) const { return neighbors(v).size(); }
+
+std::size_t Graph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& nbrs : adj_) d = std::max(d, nbrs.size());
+  return d;
+}
+
+bool Graph::is_proper_coloring(std::span<const int> colors) const {
+  if (colors.size() != adj_.size()) return false;
+  for (std::size_t v = 0; v < adj_.size(); ++v) {
+    if (colors[v] < 0) return false;
+    for (std::size_t u : adj_[v]) {
+      if (colors[u] == colors[v]) return false;
+    }
+  }
+  return true;
+}
+
+Graph random_gnp(std::size_t n, double p, std::uint64_t seed) {
+  LRB_REQUIRE(p >= 0.0 && p <= 1.0, InvalidArgumentError,
+              "random_gnp: p must be in [0,1]");
+  Graph g(n);
+  rng::Xoshiro256StarStar gen(seed);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (rng::u01_closed_open(gen) < p) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  LRB_REQUIRE(n >= 3, InvalidArgumentError, "cycle_graph: n >= 3 required");
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+Graph complete_multipartite(std::size_t groups, std::size_t group_size) {
+  LRB_REQUIRE(groups >= 2 && group_size >= 1, InvalidArgumentError,
+              "complete_multipartite: need >= 2 groups of >= 1 vertex");
+  const std::size_t n = groups * group_size;
+  Graph g(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (a / group_size != b / group_size) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+}  // namespace lrb::aco

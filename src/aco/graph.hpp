@@ -1,0 +1,48 @@
+// Undirected graphs for the vertex-coloring application (paper ref [4]).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lrb::aco {
+
+class Graph {
+ public:
+  explicit Graph(std::size_t num_vertices);
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return adj_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Adds an undirected edge (a != b); duplicate edges are ignored.
+  void add_edge(std::size_t a, std::size_t b);
+
+  [[nodiscard]] bool has_edge(std::size_t a, std::size_t b) const;
+  [[nodiscard]] std::span<const std::size_t> neighbors(std::size_t v) const;
+  [[nodiscard]] std::size_t degree(std::size_t v) const;
+  [[nodiscard]] std::size_t max_degree() const;
+
+  /// True iff `colors` (size n, values >= 0) assigns different colors to
+  /// every edge's endpoints.
+  [[nodiscard]] bool is_proper_coloring(std::span<const int> colors) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Erdos–Renyi G(n, p).
+[[nodiscard]] Graph random_gnp(std::size_t n, double p, std::uint64_t seed);
+
+/// Complete graph K_n (chromatic number n).
+[[nodiscard]] Graph complete_graph(std::size_t n);
+
+/// Cycle C_n (chromatic number 2 for even n, 3 for odd n >= 3).
+[[nodiscard]] Graph cycle_graph(std::size_t n);
+
+/// k-partite "crown"-ish graph with known chromatic number k: n vertices in
+/// k groups, edges between every pair in different groups.
+[[nodiscard]] Graph complete_multipartite(std::size_t groups,
+                                          std::size_t group_size);
+
+}  // namespace lrb::aco

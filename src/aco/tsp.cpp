@@ -1,0 +1,120 @@
+#include "aco/tsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::aco {
+
+TspInstance::TspInstance(std::vector<Point> cities)
+    : cities_(std::move(cities)) {
+  LRB_REQUIRE(cities_.size() >= 2, InvalidArgumentError,
+              "TspInstance needs at least two cities");
+  const std::size_t n = cities_.size();
+  dist_.resize(n * n, 0.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double dx = cities_[a].x - cities_[b].x;
+      const double dy = cities_[a].y - cities_[b].y;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      dist_[a * n + b] = d;
+      dist_[b * n + a] = d;
+    }
+  }
+}
+
+double TspInstance::tour_length(std::span<const std::size_t> tour) const {
+  const std::size_t n = cities_.size();
+  LRB_REQUIRE(tour.size() == n, InvalidArgumentError,
+              "tour_length: tour must visit every city exactly once");
+  std::vector<bool> seen(n, false);
+  for (std::size_t c : tour) {
+    LRB_REQUIRE(c < n, InvalidArgumentError, "tour_length: city out of range");
+    LRB_REQUIRE(!seen[c], InvalidArgumentError, "tour_length: repeated city");
+    seen[c] = true;
+  }
+  double len = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    len += distance(tour[i], tour[(i + 1) % n]);
+  }
+  return len;
+}
+
+std::vector<std::size_t> TspInstance::nearest_neighbor_tour(
+    std::size_t start) const {
+  const std::size_t n = cities_.size();
+  LRB_REQUIRE(start < n, InvalidArgumentError,
+              "nearest_neighbor_tour: start out of range");
+  std::vector<std::size_t> tour;
+  tour.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::size_t current = start;
+  tour.push_back(current);
+  visited[current] = true;
+  for (std::size_t step = 1; step < n; ++step) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t next = n;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!visited[c] && distance(current, c) < best) {
+        best = distance(current, c);
+        next = c;
+      }
+    }
+    tour.push_back(next);
+    visited[next] = true;
+    current = next;
+  }
+  return tour;
+}
+
+TspInstance random_euclidean_instance(std::size_t n, std::uint64_t seed,
+                                      double box) {
+  LRB_REQUIRE(n >= 2, InvalidArgumentError,
+              "random_euclidean_instance: n >= 2 required");
+  LRB_REQUIRE(box > 0.0, InvalidArgumentError,
+              "random_euclidean_instance: box must be positive");
+  rng::Xoshiro256StarStar gen(seed);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    p.x = rng::u01_closed_open(gen) * box;
+    p.y = rng::u01_closed_open(gen) * box;
+  }
+  return TspInstance(std::move(pts));
+}
+
+TspInstance circle_instance(std::size_t n, double radius) {
+  LRB_REQUIRE(n >= 3, InvalidArgumentError, "circle_instance: n >= 3 required");
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  std::vector<Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double theta = kTwoPi * static_cast<double>(i) / static_cast<double>(n);
+    pts[i] = {radius * std::cos(theta), radius * std::sin(theta)};
+  }
+  return TspInstance(std::move(pts));
+}
+
+double circle_optimal_length(std::size_t n, double radius) {
+  constexpr double kPi = 3.1415926535897932384626433832795;
+  return 2.0 * static_cast<double>(n) * radius *
+         std::sin(kPi / static_cast<double>(n));
+}
+
+TspInstance grid_instance(std::size_t width, std::size_t height, double spacing) {
+  LRB_REQUIRE(width * height >= 2, InvalidArgumentError,
+              "grid_instance: need at least two points");
+  std::vector<Point> pts;
+  pts.reserve(width * height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      pts.push_back({static_cast<double>(x) * spacing,
+                     static_cast<double>(y) * spacing});
+    }
+  }
+  return TspInstance(std::move(pts));
+}
+
+}  // namespace lrb::aco

@@ -1,0 +1,70 @@
+// Synthetic Euclidean TSP instances.
+//
+// The paper motivates parallel roulette selection with ant-colony TSP
+// solvers: during tour construction, visited cities get fitness zero, so
+// the number of positive-fitness candidates k shrinks from n-1 to 1 — the
+// regime where the O(log k) bidding race shines.  These instances are the
+// substitution for the (unnamed) benchmark instances of the GPU-ACO papers
+// the paper cites: random uniform points, plus a circle family with known
+// optimal tours for solver sanity checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lrb::aco {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class TspInstance {
+ public:
+  /// Builds the instance and its dense distance matrix (O(n^2) memory).
+  explicit TspInstance(std::vector<Point> cities);
+
+  [[nodiscard]] std::size_t size() const noexcept { return cities_.size(); }
+  [[nodiscard]] const std::vector<Point>& cities() const noexcept {
+    return cities_;
+  }
+
+  /// Euclidean distance between cities a and b (precomputed).
+  [[nodiscard]] double distance(std::size_t a, std::size_t b) const {
+    return dist_[a * cities_.size() + b];
+  }
+
+  /// Length of a closed tour visiting `tour` in order and returning to
+  /// tour[0].  Throws InvalidArgumentError unless `tour` is a permutation
+  /// of 0..n-1.
+  [[nodiscard]] double tour_length(std::span<const std::size_t> tour) const;
+
+  /// Nearest-neighbour heuristic tour from `start`; the classic ACO
+  /// pheromone-scale initializer.
+  [[nodiscard]] std::vector<std::size_t> nearest_neighbor_tour(
+      std::size_t start = 0) const;
+
+ private:
+  std::vector<Point> cities_;
+  std::vector<double> dist_;
+};
+
+/// n uniform points in [0, box) x [0, box).
+[[nodiscard]] TspInstance random_euclidean_instance(std::size_t n,
+                                                    std::uint64_t seed,
+                                                    double box = 100.0);
+
+/// n points on a circle of radius r: the optimal tour is the circle order
+/// with known length 2 n r sin(pi/n).  Used as a solver acceptance test.
+[[nodiscard]] TspInstance circle_instance(std::size_t n, double radius = 100.0);
+
+/// Optimal tour length of circle_instance(n, radius).
+[[nodiscard]] double circle_optimal_length(std::size_t n, double radius = 100.0);
+
+/// w x h unit grid (n = w*h); optimal length is n for even grids
+/// (boustrophedon tour).
+[[nodiscard]] TspInstance grid_instance(std::size_t width, std::size_t height,
+                                        double spacing = 1.0);
+
+}  // namespace lrb::aco

@@ -1,0 +1,137 @@
+#include "aco/tsplib.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lrb::aco {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return s;
+}
+
+/// Splits "KEY : value" / "KEY: value" headers; returns false for
+/// section markers like NODE_COORD_SECTION.
+bool split_header(const std::string& line, std::string& key,
+                  std::string& value) {
+  const auto colon = line.find(':');
+  if (colon == std::string::npos) return false;
+  key = upper(trim(line.substr(0, colon)));
+  value = trim(line.substr(colon + 1));
+  return true;
+}
+
+}  // namespace
+
+TspInstance read_tsplib(std::istream& in) {
+  std::size_t dimension = 0;
+  bool euc2d = false;
+  std::string line;
+  // Header.
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    const std::string u = upper(t);
+    if (u == "NODE_COORD_SECTION") break;
+    if (u == "EOF") {
+      throw InvalidArgumentError("read_tsplib: EOF before NODE_COORD_SECTION");
+    }
+    std::string key, value;
+    if (!split_header(t, key, value)) {
+      throw InvalidArgumentError("read_tsplib: unrecognized line '" + t + "'");
+    }
+    if (key == "DIMENSION") {
+      dimension = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "EDGE_WEIGHT_TYPE") {
+      if (upper(value) != "EUC_2D") {
+        throw InvalidArgumentError(
+            "read_tsplib: unsupported EDGE_WEIGHT_TYPE '" + value +
+            "' (only EUC_2D)");
+      }
+      euc2d = true;
+    } else if (key == "TYPE") {
+      if (upper(value) != "TSP") {
+        throw InvalidArgumentError("read_tsplib: unsupported TYPE '" + value +
+                                   "' (only TSP)");
+      }
+    } else if (key == "NAME" || key == "COMMENT") {
+      // informational
+    } else {
+      throw InvalidArgumentError("read_tsplib: unsupported header '" + key + "'");
+    }
+  }
+  LRB_REQUIRE(dimension >= 2, InvalidArgumentError,
+              "read_tsplib: DIMENSION missing or < 2");
+  LRB_REQUIRE(euc2d, InvalidArgumentError,
+              "read_tsplib: EDGE_WEIGHT_TYPE: EUC_2D required");
+
+  std::vector<Point> pts(dimension);
+  std::vector<bool> seen(dimension, false);
+  for (std::size_t i = 0; i < dimension; ++i) {
+    if (!std::getline(in, line)) {
+      throw InvalidArgumentError("read_tsplib: truncated NODE_COORD_SECTION");
+    }
+    std::istringstream row(trim(line));
+    std::size_t id = 0;
+    double x = 0, y = 0;
+    if (!(row >> id >> x >> y)) {
+      throw InvalidArgumentError("read_tsplib: malformed coord line '" + line +
+                                 "'");
+    }
+    LRB_REQUIRE(id >= 1 && id <= dimension, InvalidArgumentError,
+                "read_tsplib: node id out of range");
+    LRB_REQUIRE(!seen[id - 1], InvalidArgumentError,
+                "read_tsplib: duplicate node id");
+    seen[id - 1] = true;
+    pts[id - 1] = Point{x, y};
+  }
+  return TspInstance(std::move(pts));
+}
+
+TspInstance read_tsplib_file(const std::string& path) {
+  std::ifstream in(path);
+  LRB_REQUIRE(in.good(), InvalidArgumentError,
+              "read_tsplib_file: cannot open '" + path + "'");
+  return read_tsplib(in);
+}
+
+void write_tsplib(std::ostream& out, const TspInstance& instance,
+                  const std::string& name, const std::string& comment) {
+  out << "NAME : " << name << '\n';
+  out << "COMMENT : " << comment << '\n';
+  out << "TYPE : TSP\n";
+  out << "DIMENSION : " << instance.size() << '\n';
+  out << "EDGE_WEIGHT_TYPE : EUC_2D\n";
+  out << "NODE_COORD_SECTION\n";
+  out.precision(12);
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    out << (i + 1) << ' ' << instance.cities()[i].x << ' '
+        << instance.cities()[i].y << '\n';
+  }
+  out << "EOF\n";
+}
+
+void write_tsplib_file(const std::string& path, const TspInstance& instance,
+                       const std::string& name, const std::string& comment) {
+  std::ofstream out(path);
+  LRB_REQUIRE(out.good(), InvalidArgumentError,
+              "write_tsplib_file: cannot open '" + path + "'");
+  write_tsplib(out, instance, name, comment);
+}
+
+}  // namespace lrb::aco

@@ -1,0 +1,51 @@
+#include "aco/two_opt.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace lrb::aco {
+
+std::uint64_t two_opt_pass(const TspInstance& instance,
+                           std::vector<std::size_t>& tour) {
+  const std::size_t n = tour.size();
+  std::uint64_t accepted = 0;
+  // Consider reversing tour[i..j]; the closed-tour delta only involves the
+  // four edge endpoints.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (i == 0 && j == n - 1) continue;  // full reversal: same tour
+      const std::size_t a = tour[(i + n - 1) % n];
+      const std::size_t b = tour[i];
+      const std::size_t c = tour[j];
+      const std::size_t d = tour[(j + 1) % n];
+      const double removed = instance.distance(a, b) + instance.distance(c, d);
+      const double added = instance.distance(a, c) + instance.distance(b, d);
+      if (added < removed - 1e-12) {
+        std::reverse(tour.begin() + static_cast<std::ptrdiff_t>(i),
+                     tour.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+        ++accepted;
+      }
+    }
+  }
+  return accepted;
+}
+
+TwoOptResult two_opt(const TspInstance& instance, std::vector<std::size_t> tour,
+                     std::uint64_t max_passes) {
+  // Validates the permutation up front (throws on malformed tours).
+  (void)instance.tour_length(tour);
+  TwoOptResult result;
+  while (true) {
+    const std::uint64_t accepted = two_opt_pass(instance, tour);
+    ++result.passes;
+    result.improvements += accepted;
+    if (accepted == 0) break;
+    if (max_passes != 0 && result.passes >= max_passes) break;
+  }
+  result.length = instance.tour_length(tour);
+  result.tour = std::move(tour);
+  return result;
+}
+
+}  // namespace lrb::aco

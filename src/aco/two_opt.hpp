@@ -1,0 +1,33 @@
+// 2-opt local search for TSP tours.
+//
+// The GPU-ACO systems the paper cites pair ant construction with local
+// search; lrb ships the standard first-improvement 2-opt so the ACO
+// examples/benches can report locally-optimized tour quality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aco/tsp.hpp"
+
+namespace lrb::aco {
+
+struct TwoOptResult {
+  std::vector<std::size_t> tour;
+  double length = 0.0;
+  std::uint64_t improvements = 0;  ///< accepted exchanges
+  std::uint64_t passes = 0;        ///< full sweeps until local optimum
+};
+
+/// Improves `tour` to 2-opt local optimality (first-improvement sweeps).
+/// `max_passes` bounds the work; 0 means run to convergence.
+[[nodiscard]] TwoOptResult two_opt(const TspInstance& instance,
+                                   std::vector<std::size_t> tour,
+                                   std::uint64_t max_passes = 0);
+
+/// Single 2-opt pass (exposed for tests): returns the number of accepted
+/// exchanges.
+std::uint64_t two_opt_pass(const TspInstance& instance,
+                           std::vector<std::size_t>& tour);
+
+}  // namespace lrb::aco

@@ -1,0 +1,149 @@
+#include "aco/vertex_coloring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/baselines.hpp"
+#include "core/logarithmic_bidding.hpp"
+#include "rng/seed.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::aco {
+
+std::vector<int> greedy_color_in_order(const Graph& graph,
+                                       const std::vector<std::size_t>& order) {
+  const std::size_t n = graph.num_vertices();
+  LRB_REQUIRE(order.size() == n, InvalidArgumentError,
+              "greedy_color_in_order: order must cover every vertex");
+  std::vector<int> colors(n, -1);
+  std::vector<char> used;  // scratch: colors used by neighbors
+  for (std::size_t v : order) {
+    LRB_REQUIRE(v < n && colors[v] == -1, InvalidArgumentError,
+                "greedy_color_in_order: order is not a permutation");
+    used.assign(graph.degree(v) + 1, 0);
+    for (std::size_t u : graph.neighbors(v)) {
+      const int c = colors[u];
+      if (c >= 0 && static_cast<std::size_t>(c) < used.size()) used[c] = 1;
+    }
+    int c = 0;
+    while (used[c]) ++c;  // always terminates: used has degree+1 slots
+    colors[v] = c;
+  }
+  return colors;
+}
+
+namespace {
+
+template <typename G>
+std::size_t pick(SelectionRule rule, std::span<const double> fitness, G& gen) {
+  switch (rule) {
+    case SelectionRule::kBidding:
+      return lrb::core::select_bidding(fitness, gen);
+    case SelectionRule::kCdf:
+      return lrb::core::select_linear_cdf(fitness, gen);
+    case SelectionRule::kIndependent:
+      return lrb::core::select_independent(fitness, gen);
+    case SelectionRule::kGreedy: {
+      std::size_t best = 0;
+      double best_f = -1.0;
+      for (std::size_t i = 0; i < fitness.size(); ++i) {
+        if (fitness[i] > best_f) {
+          best_f = fitness[i];
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  throw InvalidArgumentError("pick: unknown rule");
+}
+
+}  // namespace
+
+ColoringResult color_graph(const Graph& graph, const ColoringParams& params,
+                           std::uint64_t seed) {
+  const std::size_t n = graph.num_vertices();
+  rng::SeedSequence seeds(seed);
+
+  ColoringResult result;
+  result.num_colors = static_cast<int>(n) + 1;  // sentinel: any coloring beats it
+  result.history.reserve(params.iterations);
+
+  std::vector<double> fitness(n);
+  std::vector<int> saturation(n);
+  std::vector<std::vector<char>> neighbor_colors(n);
+
+  for (std::size_t iter = 0; iter < params.iterations; ++iter) {
+    const rng::SeedSequence iter_seeds = seeds.subsequence(iter);
+    for (std::size_t ant = 0; ant < params.num_ants; ++ant) {
+      rng::Xoshiro256StarStar gen(iter_seeds.child(ant));
+
+      // Build an order by roulette over saturation/degree fitness.
+      std::vector<std::size_t> order;
+      order.reserve(n);
+      std::vector<int> colors(n, -1);
+      std::fill(saturation.begin(), saturation.end(), 0);
+      for (std::size_t v = 0; v < n; ++v) {
+        neighbor_colors[v].assign(graph.degree(v) + 2, 0);
+      }
+
+      for (std::size_t step = 0; step < n; ++step) {
+        double total = 0.0;
+        for (std::size_t v = 0; v < n; ++v) {
+          if (colors[v] >= 0) {
+            fitness[v] = 0.0;  // already colored: out of the race
+            continue;
+          }
+          const double sat = static_cast<double>(saturation[v]) + 1.0;
+          fitness[v] =
+              std::pow(sat, params.saturation_bias) +
+              params.degree_weight * static_cast<double>(graph.degree(v)) /
+                  static_cast<double>(n);
+          total += fitness[v];
+        }
+        std::size_t v;
+        if (total <= 0.0) {
+          // All remaining fitness underflowed (cannot happen with the +1
+          // saturation floor, but stay defensive): first uncolored vertex.
+          v = 0;
+          while (colors[v] >= 0) ++v;
+        } else {
+          v = pick(params.rule, fitness, gen);
+          ++result.selections;
+        }
+        LRB_ASSERT(colors[v] == -1, "selection must pick an uncolored vertex");
+
+        // Greedy-assign the smallest feasible color.
+        auto& used = neighbor_colors[v];
+        int c = 0;
+        while (static_cast<std::size_t>(c) < used.size() && used[c]) ++c;
+        colors[v] = c;
+        order.push_back(v);
+
+        // Update neighbor saturation.
+        for (std::size_t u : graph.neighbors(v)) {
+          if (colors[u] >= 0) continue;
+          auto& uc = neighbor_colors[u];
+          if (static_cast<std::size_t>(c) < uc.size() && !uc[c]) {
+            uc[c] = 1;
+            ++saturation[u];
+          }
+        }
+      }
+
+      LRB_ASSERT(graph.is_proper_coloring(colors),
+                 "constructed coloring must be proper");
+      const int num_colors =
+          1 + *std::max_element(colors.begin(), colors.end());
+      if (num_colors < result.num_colors) {
+        result.num_colors = num_colors;
+        result.colors = colors;
+      }
+    }
+    result.history.push_back(result.num_colors);
+  }
+  return result;
+}
+
+}  // namespace lrb::aco

@@ -1,0 +1,112 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace lrb {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` form: consume the next token if it is not an option.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      options_[arg] = "";  // bare flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::optional<std::string> CliArgs::lookup(const std::string& name,
+                                           const std::string& env) const {
+  if (auto it = options_.find(name); it != options_.end()) return it->second;
+  if (!env.empty()) {
+    if (const char* v = std::getenv(env.c_str()); v != nullptr) {
+      return std::string(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string CliArgs::get_string(const std::string& name, const std::string& def,
+                                const std::string& env) const {
+  return lookup(name, env).value_or(def);
+}
+
+std::uint64_t CliArgs::parse_u64(const std::string& text) {
+  LRB_REQUIRE(!text.empty(), InvalidArgumentError, "empty integer option");
+  std::string clean;
+  clean.reserve(text.size());
+  for (char c : text) {
+    if (c != '_' && c != ',') clean += c;
+  }
+  // Scientific shorthand: "1e9", "2.5e6".
+  if (clean.find('e') != std::string::npos ||
+      clean.find('E') != std::string::npos ||
+      clean.find('.') != std::string::npos) {
+    char* end = nullptr;
+    const double v = std::strtod(clean.c_str(), &end);
+    LRB_REQUIRE(end != nullptr && *end == '\0' && v >= 0 &&
+                    v <= 1.8446744073709552e19 && std::floor(v) == v,
+                InvalidArgumentError,
+                "cannot parse '" + text + "' as a non-negative integer");
+    return static_cast<std::uint64_t>(v);
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(clean.c_str(), &end, 10);
+  LRB_REQUIRE(end != nullptr && *end == '\0', InvalidArgumentError,
+              "cannot parse '" + text + "' as a non-negative integer");
+  return v;
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& name, std::uint64_t def,
+                               const std::string& env) const {
+  const auto v = lookup(name, env);
+  return v ? parse_u64(*v) : def;
+}
+
+double CliArgs::get_double(const std::string& name, double def,
+                           const std::string& env) const {
+  const auto v = lookup(name, env);
+  if (!v) return def;
+  char* end = nullptr;
+  const double d = std::strtod(v->c_str(), &end);
+  LRB_REQUIRE(end != nullptr && *end == '\0', InvalidArgumentError,
+              "cannot parse '" + *v + "' as a double");
+  return d;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def,
+                       const std::string& env) const {
+  const auto v = lookup(name, env);
+  if (!v) return def;
+  if (v->empty()) return true;  // bare flag
+  std::string low = *v;
+  std::transform(low.begin(), low.end(), low.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (low == "1" || low == "true" || low == "yes" || low == "on") return true;
+  if (low == "0" || low == "false" || low == "no" || low == "off") return false;
+  throw InvalidArgumentError("cannot parse '" + *v + "' as a boolean");
+}
+
+}  // namespace lrb

@@ -1,0 +1,16 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lrb::detail {
+
+void assert_fail(const char* expr, std::source_location loc,
+                 const std::string& message) {
+  std::fprintf(stderr, "lrb internal assertion failed: %s\n  at %s:%u (%s)\n  %s\n",
+               expr, loc.file_name(), loc.line(), loc.function_name(),
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace lrb::detail

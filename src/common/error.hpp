@@ -1,0 +1,66 @@
+// Error handling primitives shared by every lrb module.
+//
+// The library throws typed exceptions for user errors (bad fitness vectors,
+// malformed parameters) and uses LRB_ASSERT for internal invariants that
+// indicate a library bug rather than a user mistake.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace lrb {
+
+/// Base class of every exception thrown by lrb.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A fitness vector violated a precondition (negative entry, NaN, empty,
+/// or all-zero where a positive total is required).
+class InvalidFitnessError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A parameter was outside its documented domain.
+class InvalidArgumentError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The PRAM simulator detected an access that the configured machine model
+/// forbids (e.g. a read/write conflict under EREW rules).
+class PramModelViolation : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+/// Aborts with a readable message.  Out-of-line so the assert macro stays
+/// cheap at call sites.
+[[noreturn]] void assert_fail(const char* expr, std::source_location loc,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace lrb
+
+/// Internal-invariant check.  Enabled in all build types: the algorithms in
+/// this library are cheap relative to their surrounding Monte-Carlo loops and
+/// silent corruption of a sampler is far worse than a predictable abort.
+#define LRB_ASSERT(expr, message)                                     \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::lrb::detail::assert_fail(#expr, std::source_location::current(), \
+                                 (message));                          \
+    }                                                                 \
+  } while (false)
+
+/// Precondition check that throws a typed exception (user-facing).
+#define LRB_REQUIRE(expr, exception_type, message) \
+  do {                                             \
+    if (!(expr)) [[unlikely]] {                    \
+      throw exception_type(message);               \
+    }                                              \
+  } while (false)

@@ -1,0 +1,171 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace lrb {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  LRB_REQUIRE(!headers_.empty(), InvalidArgumentError,
+              "Table requires at least one column");
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  LRB_REQUIRE(column < aligns_.size(), InvalidArgumentError,
+              "Table::set_align: column out of range");
+  aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LRB_REQUIRE(cells.size() == headers_.size(), InvalidArgumentError,
+              "Table::add_row: wrong number of cells");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_values(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_fixed(v, precision));
+  add_row(std::move(cells));
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+void print_aligned(std::ostream& os, const std::string& cell, std::size_t width,
+                   Align align) {
+  const std::size_t pad = width > cell.size() ? width - cell.size() : 0;
+  if (align == Align::kRight) {
+    os << std::string(pad, ' ') << cell;
+  } else {
+    os << cell << std::string(pad, ' ');
+  }
+}
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  const auto widths = column_widths(headers_, rows_);
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ';
+    print_aligned(os, headers_[c], widths[c], aligns_[c]);
+    os << " |";
+  }
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ';
+      print_aligned(os, row[c], widths[c], aligns_[c]);
+      os << " |";
+    }
+    os << '\n';
+  }
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  }
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  const auto widths = column_widths(headers_, rows_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ';
+    print_aligned(os, headers_[c], widths[c], aligns_[c]);
+    os << " |";
+  }
+  os << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 1, '-')
+       << (aligns_[c] == Align::kRight ? ":" : "-") << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ';
+      print_aligned(os, row[c], widths[c], aligns_[c]);
+      os << " |";
+    }
+    os << '\n';
+  }
+}
+
+std::string format_fixed(double value, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, value);
+  return buf.data();
+}
+
+std::string format_sci(double value, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*e", precision, value);
+  return buf.data();
+}
+
+std::string format_count(unsigned long long value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lrb

@@ -1,0 +1,63 @@
+// Console table and CSV rendering used by the bench harness to print
+// paper-style tables (Table I / Table II of the paper) and experiment sweeps.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lrb {
+
+/// Column alignment for console rendering.
+enum class Align { kLeft, kRight };
+
+/// A simple row/column table.  Cells are preformatted strings; the renderer
+/// handles width computation, alignment, separators and CSV escaping.
+///
+/// Usage:
+///   Table t({"i", "f_i", "F_i", "independent", "logarithmic"});
+///   t.add_row({"0", "0", "0.000000", "0.000000", "0.000000"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Sets the alignment of one column (default: right).
+  void set_align(std::size_t column, Align align);
+
+  /// Appends a row.  Throws InvalidArgumentError if the arity differs from
+  /// the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for building numeric rows.
+  void add_row_values(const std::vector<double>& values, int precision = 6);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const { return headers_.size(); }
+
+  /// Renders an aligned, boxed console table.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180 CSV (quotes cells containing commas/quotes/newlines).
+  void print_csv(std::ostream& os) const;
+
+  /// Renders a GitHub-flavored markdown table.
+  void print_markdown(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (drop-in for building table cells).
+[[nodiscard]] std::string format_fixed(double value, int precision = 6);
+
+/// Formats a double in scientific notation.
+[[nodiscard]] std::string format_sci(double value, int precision = 3);
+
+/// Formats an integer with thousands separators ("1,000,000,000").
+[[nodiscard]] std::string format_count(unsigned long long value);
+
+}  // namespace lrb

@@ -1,0 +1,36 @@
+#include "common/timer.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace lrb {
+
+std::string format_duration(double seconds) {
+  std::array<char, 64> buf{};
+  if (seconds >= 1.0) {
+    std::snprintf(buf.data(), buf.size(), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf.data(), buf.size(), "%.3f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf.data(), buf.size(), "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.0f ns", seconds * 1e9);
+  }
+  return buf.data();
+}
+
+std::string format_rate(double ops_per_second) {
+  std::array<char, 64> buf{};
+  if (ops_per_second >= 1e9) {
+    std::snprintf(buf.data(), buf.size(), "%.2f G ops/s", ops_per_second / 1e9);
+  } else if (ops_per_second >= 1e6) {
+    std::snprintf(buf.data(), buf.size(), "%.2f M ops/s", ops_per_second / 1e6);
+  } else if (ops_per_second >= 1e3) {
+    std::snprintf(buf.data(), buf.size(), "%.2f k ops/s", ops_per_second / 1e3);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.2f ops/s", ops_per_second);
+  }
+  return buf.data();
+}
+
+}  // namespace lrb

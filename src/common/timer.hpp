@@ -1,0 +1,39 @@
+// Wall-clock timing helpers for benches and examples.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace lrb {
+
+/// Monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::uint64_t elapsed_nanoseconds() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Formats a duration like "1.23 s" / "4.56 ms" / "789 ns".
+[[nodiscard]] std::string format_duration(double seconds);
+
+/// Formats a rate like "12.3 M ops/s".
+[[nodiscard]] std::string format_rate(double ops_per_second);
+
+}  // namespace lrb

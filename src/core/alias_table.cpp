@@ -1,0 +1,66 @@
+#include "core/alias_table.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace lrb::core {
+
+AliasTable::AliasTable(std::span<const double> fitness) { rebuild(fitness); }
+
+void AliasTable::rebuild(std::span<const double> fitness) {
+  const double total = checked_fitness_total(fitness);
+  const std::size_t n = fitness.size();
+  LRB_REQUIRE(n <= 0xffffffffu, InvalidArgumentError,
+              "AliasTable supports at most 2^32 entries");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities: mean 1.  Vose's two-stack partition into
+  // under-full (< 1) and over-full (>= 1) columns.
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = fitness[i] * static_cast<double>(n) / total;
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      large.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    // s's column keeps probability scaled[s]; the rest routes to l.
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= (1.0 - scaled[s]);
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Remaining columns are exactly full (modulo rounding): accept always.
+  // Exception: a zero-fitness column can in principle survive here only via
+  // pathological rounding; route it to a positive index instead of making it
+  // selectable.
+  std::uint32_t fallback = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (fitness[i] > 0.0) fallback = static_cast<std::uint32_t>(i);
+  }
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) {
+    if (fitness[s] > 0.0) {
+      prob_[s] = 1.0;
+    } else {
+      prob_[s] = 0.0;
+      alias_[s] = fallback;
+    }
+  }
+}
+
+}  // namespace lrb::core

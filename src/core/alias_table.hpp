@@ -1,0 +1,51 @@
+// Walker/Vose alias method: O(n) build, O(1) exact draws.
+//
+// The strongest sequential baseline for *static* fitness with many draws;
+// the throughput benches (A1) use it as the performance ceiling against
+// which bidding's flexibility (no build step, zero-cost fitness updates)
+// is traded off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/uniform.hpp"
+
+namespace lrb::core {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(std::span<const double> fitness);
+
+  /// Rebuilds from new fitness; O(n), single allocation reused.
+  void rebuild(std::span<const double> fitness);
+
+  [[nodiscard]] bool empty() const noexcept { return prob_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+  /// One exact draw: pick a uniform column, then flip the column's biased
+  /// coin between the column index and its alias.
+  template <rng::Engine64 G>
+  [[nodiscard]] std::size_t select(G&& gen) const {
+    const std::size_t column = static_cast<std::size_t>(
+        rng::uniform_below(gen, prob_.size()));
+    return rng::u01_closed_open(gen) < prob_[column] ? column : alias_[column];
+  }
+
+  /// Exposed for structural tests: the per-column acceptance probability and
+  /// alias target.
+  [[nodiscard]] std::span<const double> probabilities() const noexcept {
+    return prob_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> aliases() const noexcept {
+    return alias_;
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace lrb::core

@@ -1,0 +1,191 @@
+// Baseline roulette-wheel algorithms the paper compares against or builds on.
+//
+//  * select_linear_cdf          — textbook inverse-CDF by linear scan, O(n);
+//  * select_prefix_sum_parallel — the paper's Section I EREW baseline:
+//                                 parallel prefix sums + parallel locate;
+//  * select_independent         — the *biased* independent roulette of
+//                                 Cecilia et al. (kept to reproduce its bias);
+//  * select_gumbel_max          — argmax(log f_i + Gumbel_i), the log-domain
+//                                 twin of bidding (exact);
+//  * select_stochastic_acceptance — Lipowski & Lipowska rejection sampling,
+//                                 O(1) expected per draw given max fitness.
+//
+// Precomputed-structure selectors (binary-search CDF, alias table) live in
+// cdf_selector.hpp / alias_table.hpp.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/math.hpp"
+#include "parallel/prefix_sum.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/uniform.hpp"
+
+namespace lrb::core {
+
+/// Inverse-CDF selection by linear scan: draw R uniform in [0, total) and
+/// return the first i with prefix_sum(i) > R.  Exact; O(n) per draw; O(1)
+/// extra memory.
+template <rng::Engine64 G>
+[[nodiscard]] std::size_t select_linear_cdf(std::span<const double> fitness,
+                                            G&& gen) {
+  const double total = checked_fitness_total(fitness);
+  const double r = rng::u01_closed_open(gen) * total;
+  double acc = 0.0;
+  std::size_t last_positive = 0;
+  bool seen_positive = false;
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    if (fitness[i] <= 0.0) continue;
+    acc += fitness[i];
+    last_positive = i;
+    seen_positive = true;
+    if (r < acc) return i;
+  }
+  // Floating-point slack: r can exceed the accumulated total by a few ulps.
+  LRB_ASSERT(seen_positive, "positive total implies a positive entry");
+  return last_positive;
+}
+
+/// The paper's prefix-sum-based parallel selection (Section I):
+///   1. compute all prefix sums p_i in parallel,
+///   2. processor 0 draws R = rand() * p_{n-1},
+///   3. the processor with p_{i-1} <= R < p_i is selected.
+/// Exact.  O(log n) PRAM time; here a two-pass scan + parallel locate.
+/// `scratch` (resized to n) avoids per-draw allocation in hot loops.
+template <rng::Engine64 G>
+[[nodiscard]] std::size_t select_prefix_sum_parallel(
+    parallel::ThreadPool& pool, std::span<const double> fitness, G&& gen,
+    std::vector<double>& scratch) {
+  (void)checked_fitness_total(fitness);
+  scratch.resize(fitness.size());
+  parallel::inclusive_scan(pool, fitness, scratch);
+  const double total = scratch.back();
+  const double r = rng::u01_closed_open(gen) * total;
+
+  // Parallel locate: each lane checks its chunk for p_{i-1} <= R < p_i.
+  // (A serial binary search would be O(log n) too, but the point of this
+  // baseline is to mirror the paper's "each processor checks its cell".)
+  std::atomic<std::size_t> selected{fitness.size()};
+  pool.parallel_for(fitness.size(), [&](parallel::Range range, std::size_t) {
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const double lo = i == 0 ? 0.0 : scratch[i - 1];
+      if (lo <= r && r < scratch[i]) {
+        // Zero-fitness cells have lo == hi, so they can never satisfy this.
+        std::size_t expected = fitness.size();
+        selected.compare_exchange_strong(expected, i,
+                                         std::memory_order_acq_rel);
+        break;
+      }
+    }
+  });
+  std::size_t out = selected.load(std::memory_order_acquire);
+  if (out == fitness.size()) {
+    // r landed on total (fp slack): take the last positive-fitness index.
+    for (std::size_t i = fitness.size(); i-- > 0;) {
+      if (fitness[i] > 0.0) return i;
+    }
+    LRB_ASSERT(false, "positive total implies a positive entry");
+  }
+  return out;
+}
+
+/// Convenience overload that allocates its own scratch.
+template <rng::Engine64 G>
+[[nodiscard]] std::size_t select_prefix_sum_parallel(
+    parallel::ThreadPool& pool, std::span<const double> fitness, G&& gen) {
+  std::vector<double> scratch;
+  return select_prefix_sum_parallel(pool, fitness, gen, scratch);
+}
+
+/// The independent roulette of Cecilia et al. [6]: r_i = f_i * u_i, max wins.
+/// Intentionally *not* fitness-proportionate — the paper's Section I shows
+/// Pr[select 0 | f={2,1}] = 3/4 instead of 2/3.  Provided so benches and
+/// tests can reproduce the bias columns of Tables I and II.
+template <rng::Engine64 G>
+[[nodiscard]] std::size_t select_independent(std::span<const double> fitness,
+                                             G&& gen) {
+  (void)checked_fitness_total(fitness);
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t best_index = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    if (fitness[i] <= 0.0) continue;
+    const double r = rng::independent_draw(gen, fitness[i]);
+    if (!found || r > best) {
+      best = r;
+      best_index = i;
+      found = true;
+    }
+  }
+  return best_index;
+}
+
+/// Gumbel-max selection: argmax(log f_i + G_i) with G_i ~ Gumbel(0,1).
+/// Mathematically identical winner distribution to logarithmic bidding
+/// (both realize the exponential race); kept as a cross-check and for the
+/// key-formulation ablation (A2).
+template <rng::Engine64 G>
+[[nodiscard]] std::size_t select_gumbel_max(std::span<const double> fitness,
+                                            G&& gen) {
+  (void)checked_fitness_total(fitness);
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t best_index = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    if (fitness[i] <= 0.0) continue;
+    const double key = std::log(fitness[i]) + rng::gumbel(gen);
+    if (!found || key > best) {
+      best = key;
+      best_index = i;
+      found = true;
+    }
+  }
+  return best_index;
+}
+
+/// Efraimidis–Spirakis key formulation: argmax u_i^(1/f_i).  Same winner
+/// distribution in exact arithmetic; numerically fragile for tiny fitness
+/// (keys underflow to 0) — that fragility is ablation A2's subject.
+template <rng::Engine64 G>
+[[nodiscard]] std::size_t select_es_key(std::span<const double> fitness,
+                                        G&& gen) {
+  (void)checked_fitness_total(fitness);
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t best_index = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    if (fitness[i] <= 0.0) continue;
+    const double key = rng::es_key(gen, fitness[i]);
+    if (!found || key > best) {
+      best = key;
+      best_index = i;
+      found = true;
+    }
+  }
+  return best_index;
+}
+
+/// Stochastic acceptance (Lipowski & Lipowska 2012): repeatedly pick a
+/// uniform index, accept with probability f_i / f_max.  Exact; expected
+/// draws ~ f_max * n / sum(f).  `max_fitness` <= 0 means "compute it".
+template <rng::Engine64 G>
+[[nodiscard]] std::size_t select_stochastic_acceptance(
+    std::span<const double> fitness, G&& gen, double max_fitness = 0.0) {
+  (void)checked_fitness_total(fitness);
+  if (max_fitness <= 0.0) {
+    for (double f : fitness) max_fitness = std::max(max_fitness, f);
+  }
+  while (true) {
+    const std::size_t i = static_cast<std::size_t>(
+        rng::uniform_below(gen, fitness.size()));
+    if (fitness[i] <= 0.0) continue;
+    if (rng::u01_closed_open(gen) * max_fitness < fitness[i]) return i;
+  }
+}
+
+}  // namespace lrb::core

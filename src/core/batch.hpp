@@ -1,0 +1,79 @@
+// Batched selection: m independent draws (with replacement) from one
+// fitness vector, with the strategy chosen by batch size.
+//
+//   m small : repeated serial bidding — no build cost, O(m k) total
+//   m large : one alias-table build + m O(1) draws — O(n + m)
+//
+// batch_select() picks the strategy from the measured crossover
+// (m >= kAliasCrossover * n / max(k,1)); both produce exact roulette
+// marginals and the choice only affects speed.  A deterministic
+// counter-based variant serves replay workloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/math.hpp"
+#include "core/alias_table.hpp"
+#include "core/logarithmic_bidding.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/philox.hpp"
+#include "rng/uniform.hpp"
+
+namespace lrb::core {
+
+/// Strategy for a batch of draws.
+enum class BatchStrategy {
+  kAuto,     ///< pick by crossover heuristic
+  kBidding,  ///< m passes of serial bidding
+  kAlias,    ///< build alias table once, then m O(1) draws
+};
+
+/// Measured crossover factor: alias build (~2n) amortizes once the batch
+/// does more than ~1/4 that much bidding work.
+inline constexpr double kAliasCrossover = 0.25;
+
+/// Draws `m` indices with replacement; out.size() == m.
+template <rng::Engine64 G>
+std::vector<std::size_t> batch_select(std::span<const double> fitness,
+                                      std::size_t m, G&& gen,
+                                      BatchStrategy strategy = BatchStrategy::kAuto) {
+  (void)checked_fitness_total(fitness);
+  std::vector<std::size_t> out;
+  out.reserve(m);
+  if (m == 0) return out;
+
+  if (strategy == BatchStrategy::kAuto) {
+    const std::size_t k = count_nonzero(fitness);
+    const double bidding_work = static_cast<double>(m) * static_cast<double>(k);
+    const double alias_work =
+        static_cast<double>(fitness.size()) / kAliasCrossover;
+    strategy = bidding_work < alias_work ? BatchStrategy::kBidding
+                                         : BatchStrategy::kAlias;
+  }
+
+  if (strategy == BatchStrategy::kBidding) {
+    for (std::size_t t = 0; t < m; ++t) {
+      out.push_back(select_bidding(fitness, gen));
+    }
+  } else {
+    const AliasTable table(fitness);
+    for (std::size_t t = 0; t < m; ++t) {
+      out.push_back(table.select(gen));
+    }
+  }
+  return out;
+}
+
+/// Deterministic batched draws: result depends only on (seed, fitness, m),
+/// not on thread count; the pool overload returns the identical batch.
+/// Draw t uses the counter-based bid stream (seed, t, item).
+[[nodiscard]] std::vector<std::size_t> batch_select_deterministic(
+    std::span<const double> fitness, std::size_t m, std::uint64_t seed);
+
+[[nodiscard]] std::vector<std::size_t> batch_select_deterministic(
+    parallel::ThreadPool& pool, std::span<const double> fitness, std::size_t m,
+    std::uint64_t seed);
+
+}  // namespace lrb::core

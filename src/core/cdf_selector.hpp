@@ -1,0 +1,71 @@
+// Precomputed-CDF selector: O(n) build, O(log n) exact draws by binary
+// search on the inclusive prefix sums.  The right tool when many draws are
+// made against *unchanging* fitness; the bidding algorithms win when fitness
+// changes between draws (ACO) or when n is distributed across processors.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/math.hpp"
+#include "rng/uniform.hpp"
+
+namespace lrb::core {
+
+class CdfSelector {
+ public:
+  CdfSelector() = default;
+
+  explicit CdfSelector(std::span<const double> fitness) { rebuild(fitness); }
+
+  /// Rebuilds the prefix-sum table; O(n).
+  void rebuild(std::span<const double> fitness) {
+    total_ = checked_fitness_total(fitness);
+    prefix_.resize(fitness.size());
+    KahanSum acc;
+    for (std::size_t i = 0; i < fitness.size(); ++i) {
+      acc.add(fitness[i]);
+      prefix_[i] = acc.value();
+      if (fitness[i] > 0.0) last_positive_ = i;
+    }
+    // Guard against compensation pushing the last prefix below later draws.
+    prefix_.back() = std::max(prefix_.back(), total_);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return prefix_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return prefix_.size(); }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// One exact draw; O(log n).
+  template <rng::Engine64 G>
+  [[nodiscard]] std::size_t select(G&& gen) const {
+    LRB_REQUIRE(!prefix_.empty(), InvalidArgumentError,
+                "CdfSelector::select on an empty selector");
+    const double r = rng::u01_closed_open(gen) * total_;
+    return locate(r);
+  }
+
+  /// Index of the first prefix strictly greater than r (the paper's
+  /// p_{i-1} <= R < p_i condition).  Zero-fitness indices have
+  /// p_{i-1} == p_i and can never be returned: upper_bound skips them
+  /// because their prefix equals their predecessor's.
+  [[nodiscard]] std::size_t locate(double r) const {
+    auto it = std::upper_bound(prefix_.begin(), prefix_.end(), r);
+    // r >= total only via fp slack; return the last selectable index rather
+    // than a trailing zero-fitness one.
+    if (it == prefix_.end()) return last_positive_;
+    return static_cast<std::size_t>(it - prefix_.begin());
+  }
+
+  [[nodiscard]] std::span<const double> prefix_sums() const noexcept {
+    return prefix_;
+  }
+
+ private:
+  std::vector<double> prefix_;
+  double total_ = 0.0;
+  std::size_t last_positive_ = 0;
+};
+
+}  // namespace lrb::core

@@ -1,0 +1,129 @@
+// Dynamic exact roulette selection on a Fenwick (binary indexed) tree:
+// O(log n) fitness updates and O(log n) draws.
+//
+// Completes the selector design space the benches study:
+//
+//   | selector       | build | draw       | single update |
+//   |----------------|-------|------------|---------------|
+//   | bidding        | —     | O(k)       | O(1) (free)   |
+//   | binary CDF     | O(n)  | O(log n)   | O(n) rebuild  |
+//   | alias          | O(n)  | O(1)       | O(n) rebuild  |
+//   | Fenwick (this) | O(n)  | O(log n)   | O(log n)      |
+//
+// ACO tour construction flips one weight to zero per step: Fenwick pays
+// 2 log n per step; bidding pays k.  The crossover is measured in
+// bench/bench_dynamic_updates.cpp.
+//
+// The draw walks the implicit tree top-down (Fenwick "search"), selecting
+// index i with probability f_i / total — exact, like the CDF methods.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "rng/uniform.hpp"
+
+namespace lrb::core {
+
+class FenwickSelector {
+ public:
+  FenwickSelector() = default;
+
+  explicit FenwickSelector(std::span<const double> fitness) { rebuild(fitness); }
+
+  /// O(n) (re)build.
+  void rebuild(std::span<const double> fitness) {
+    (void)checked_fitness_total(fitness);
+    n_ = fitness.size();
+    cap_ = next_pow2(n_);
+    fitness_.assign(fitness.begin(), fitness.end());
+    tree_.assign(cap_ + 1, 0.0);
+    // O(n) Fenwick construction: place values, then push partial sums up.
+    for (std::size_t i = 0; i < n_; ++i) tree_[i + 1] = fitness[i];
+    for (std::size_t i = 1; i <= cap_; ++i) {
+      const std::size_t parent = i + (i & (~i + 1));
+      if (parent <= cap_) tree_[parent] += tree_[i];
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// Current fitness of index i; O(1).
+  [[nodiscard]] double fitness(std::size_t i) const {
+    LRB_REQUIRE(i < n_, InvalidArgumentError,
+                "FenwickSelector::fitness: index out of range");
+    return fitness_[i];
+  }
+
+  /// Current total; O(log n).
+  [[nodiscard]] double total() const noexcept { return prefix_sum(n_); }
+
+  /// Sets f_i to `value` (>= 0, finite); O(log n).
+  void update(std::size_t i, double value) {
+    LRB_REQUIRE(i < n_, InvalidArgumentError,
+                "FenwickSelector::update: index out of range");
+    LRB_REQUIRE(std::isfinite(value) && value >= 0.0, InvalidFitnessError,
+                "FenwickSelector::update: fitness must be finite and >= 0");
+    const double delta = value - fitness_[i];
+    fitness_[i] = value;
+    for (std::size_t j = i + 1; j <= cap_; j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Convenience: set f_i to zero (the ACO "city visited" operation).
+  void deactivate(std::size_t i) { update(i, 0.0); }
+
+  /// Inclusive prefix sum f_0 + ... + f_{count-1}; O(log n).
+  [[nodiscard]] double prefix_sum(std::size_t count) const {
+    double s = 0.0;
+    for (std::size_t j = std::min(count, n_); j > 0; j -= j & (~j + 1)) {
+      s += tree_[j];
+    }
+    return s;
+  }
+
+  /// One exact draw; O(log n).  Throws InvalidFitnessError if the current
+  /// total is zero (everything deactivated).
+  template <rng::Engine64 G>
+  [[nodiscard]] std::size_t select(G&& gen) const {
+    const double t = total();
+    LRB_REQUIRE(t > 0.0, InvalidFitnessError,
+                "FenwickSelector::select: all fitness values are zero");
+    return locate(rng::u01_closed_open(gen) * t);
+  }
+
+  /// Smallest index i with prefix_sum(i+1) > r — the p_{i-1} <= r < p_i
+  /// rule.  Top-down walk over the implicit tree; zero-fitness indices are
+  /// never returned for r in [0, total).
+  [[nodiscard]] std::size_t locate(double r) const {
+    std::size_t pos = 0;
+    for (std::size_t step = cap_; step > 0; step >>= 1) {
+      const std::size_t next = pos + step;
+      if (next <= cap_ && tree_[next] <= r) {
+        // The whole subtree under `next` lies at or below r: skip it.
+        r -= tree_[next];
+        pos = next;
+      }
+    }
+    // pos = number of leading indices whose cumulative prefix is <= r.  For
+    // r in [0, total) this lands on a positive-fitness index (plateaus of
+    // zeros are skipped by the <= comparisons).  r >= total can only occur
+    // through fp slack; clamp and walk down to the last positive index.
+    std::size_t i = pos < n_ ? pos : n_ - 1;
+    while (i > 0 && fitness_[i] <= 0.0) --i;
+    return i;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t cap_ = 0;           // power-of-two capacity
+  std::vector<double> fitness_;   // mirror for O(1) reads & delta updates
+  std::vector<double> tree_;      // 1-indexed Fenwick array
+};
+
+}  // namespace lrb::core

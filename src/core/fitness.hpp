@@ -1,0 +1,37 @@
+// Fitness-vector helpers shared by every selector.
+//
+// Terminology follows the paper: `fitness` is a vector of non-negative reals
+// f_0..f_{n-1}; the target selection probability of index i is
+// F_i = f_i / sum_j f_j.  `k` denotes the number of strictly positive
+// entries (Theorem 1's parameter).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/math.hpp"
+
+namespace lrb::core {
+
+/// Exact target probabilities F_i.  Throws InvalidFitnessError unless the
+/// vector is non-empty, finite, non-negative with positive total.
+[[nodiscard]] inline std::vector<double> exact_probabilities(
+    std::span<const double> fitness) {
+  const double total = checked_fitness_total(fitness);
+  std::vector<double> out(fitness.size());
+  for (std::size_t i = 0; i < fitness.size(); ++i) out[i] = fitness[i] / total;
+  return out;
+}
+
+/// Indices of strictly positive fitness (the "active" processors).
+[[nodiscard]] inline std::vector<std::size_t> nonzero_indices(
+    std::span<const double> fitness) {
+  std::vector<std::size_t> idx;
+  idx.reserve(fitness.size());
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    if (fitness[i] > 0.0) idx.push_back(i);
+  }
+  return idx;
+}
+
+}  // namespace lrb::core

@@ -1,0 +1,164 @@
+// The paper's contribution: roulette wheel selection by logarithmic random
+// bidding.
+//
+//   1. every index i with f_i > 0 draws a bid r_i = log(u_i)/f_i,
+//      u_i ~ Uniform(0,1];
+//   2. the index with the maximum bid is selected.
+//
+// Since -r_i ~ Exponential(f_i) and the minimum of independent exponentials
+// with rates f_i lands on clock i with probability f_i / sum f, the selection
+// is *exactly* fitness-proportionate (paper, Section II) — unlike the
+// "independent roulette" heuristic r_i = f_i * u_i, which is biased toward
+// large fitness (paper, Section I).
+//
+// Three execution strategies share this header:
+//   * select_bidding            — serial scan, O(n), O(1) memory;
+//   * select_bidding_parallel   — tree-reduction over per-lane sub-races
+//                                 (EREW-style, deterministic per lane count);
+//   * select_bidding_race       — the paper's CRCW race on an atomic max
+//                                 cell (Section III), with round statistics.
+// A fourth, counter-based deterministic variant lives in
+// core/deterministic.hpp.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/math.hpp"
+#include "parallel/atomic_max.hpp"
+#include "parallel/barrier.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/seed.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::core {
+
+/// Serial logarithmic bidding.  One pass, no allocation.
+///
+/// Zero-fitness entries never win (their conceptual bid is -inf and is not
+/// even drawn — this also means the RNG consumption equals the number of
+/// positive entries, which the reproducibility tests rely on).
+template <rng::Engine64 G>
+[[nodiscard]] std::size_t select_bidding(std::span<const double> fitness, G&& gen) {
+  (void)checked_fitness_total(fitness);
+  double best_bid = -std::numeric_limits<double>::infinity();
+  std::size_t best_index = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    if (fitness[i] <= 0.0) continue;
+    const double bid = rng::log_bid(gen, fitness[i]);
+    if (!found || bid > best_bid) {
+      best_bid = bid;
+      best_index = i;
+      found = true;
+    }
+  }
+  return best_index;
+}
+
+/// Round statistics reported by the race-based selector; the practical
+/// analog of the paper's Theorem 1 accounting.
+struct RaceStats {
+  /// Barrier-synchronized rounds of the while-loop (>= 1 when any lane bids).
+  std::uint64_t rounds = 0;
+  /// Successful CAS installs across all lanes (each corresponds to one
+  /// "winning write" in the CRCW model).
+  std::uint64_t winning_writes = 0;
+  /// Total CAS attempts (winning + lost arbitration).
+  std::uint64_t cas_attempts = 0;
+};
+
+/// Parallel bidding via per-lane sub-races + deterministic tree combine.
+///
+/// Each lane runs the serial race over its contiguous chunk with its own
+/// decorrelated engine (child seed `lane` of `seeds`), then lane-local
+/// winners reduce in lane order.  Result distribution is exactly F_i for
+/// every lane count; the *specific* winner for a given seed depends on the
+/// lane count (per-lane streams), unlike core/deterministic.hpp.
+[[nodiscard]] inline std::size_t select_bidding_parallel(
+    parallel::ThreadPool& pool, std::span<const double> fitness,
+    const rng::SeedSequence& seeds) {
+  (void)checked_fitness_total(fitness);
+  const std::size_t lanes = pool.lanes();
+  struct LaneBest {
+    double bid = -std::numeric_limits<double>::infinity();
+    std::size_t index = 0;
+    bool found = false;
+  };
+  std::vector<LaneBest> best(lanes);
+  pool.parallel_for(fitness.size(), [&](parallel::Range r, std::size_t lane) {
+    rng::Xoshiro256StarStar gen(seeds.child(lane));
+    LaneBest local;
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      if (fitness[i] <= 0.0) continue;
+      const double bid = rng::log_bid(gen, fitness[i]);
+      if (!local.found || bid > local.bid) {
+        local.bid = bid;
+        local.index = i;
+        local.found = true;
+      }
+    }
+    best[lane] = local;
+  });
+  LaneBest overall;
+  for (const LaneBest& lb : best) {
+    if (!lb.found) continue;
+    // Lanes cover ascending ranges; ties keep the lower index.
+    if (!overall.found || lb.bid > overall.bid) overall = lb;
+  }
+  LRB_ASSERT(overall.found, "positive total fitness implies at least one bid");
+  return overall.index;
+}
+
+/// The paper's Section III algorithm on shared-memory threads: all lanes race
+/// to raise one atomic (bid, index) cell, retrying while their bid exceeds
+/// the published value; a barrier separates the race from reading the winner.
+///
+/// `stats`, when non-null, receives round/write counts for experiment E5.
+[[nodiscard]] inline std::size_t select_bidding_race(
+    parallel::ThreadPool& pool, std::span<const double> fitness,
+    const rng::SeedSequence& seeds, RaceStats* stats = nullptr) {
+  (void)checked_fitness_total(fitness);
+  const std::size_t lanes = pool.lanes();
+  parallel::AtomicArgMaxCell cell;
+  parallel::SpinBarrier barrier(lanes);
+  std::atomic<std::uint64_t> total_rounds{0};
+  std::atomic<std::uint64_t> total_attempts{0};
+  std::atomic<std::uint64_t> total_wins{0};
+
+  pool.run_spmd([&](std::size_t lane, std::size_t nlanes) {
+    rng::Xoshiro256StarStar gen(seeds.child(lane));
+    const parallel::Range r = parallel::partition_range(fitness.size(), nlanes, lane);
+    std::uint64_t rounds = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t wins = 0;
+    // Each lane iterates over its items; per item, the "while s < r_i"
+    // loop of the paper maps to CAS retries on the shared cell.
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      if (fitness[i] <= 0.0) continue;
+      const double bid = rng::log_bid(gen, fitness[i]);
+      // Read-check-write loop, exactly the paper's `while s < r_i do s <- r_i`.
+      const auto outcome = cell.update(bid, static_cast<std::uint32_t>(i));
+      attempts += outcome.attempts;
+      wins += outcome.installed ? 1 : 0;
+      ++rounds;
+    }
+    total_rounds.fetch_add(rounds, std::memory_order_relaxed);
+    total_attempts.fetch_add(attempts, std::memory_order_relaxed);
+    total_wins.fetch_add(wins, std::memory_order_relaxed);
+    // Paper step 2: barrier_synchronization() before reading the winner.
+    barrier.arrive_and_wait();
+  });
+
+  if (stats != nullptr) {
+    stats->rounds = total_rounds.load();
+    stats->cas_attempts = total_attempts.load();
+    stats->winning_writes = total_wins.load();
+  }
+  return cell.load().index;
+}
+
+}  // namespace lrb::core

@@ -1,0 +1,130 @@
+#include "core/openmp.hpp"
+
+#include <limits>
+#include <vector>
+
+#ifdef LRB_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+#include "common/math.hpp"
+#include "parallel/atomic_max.hpp"
+#include "rng/seed.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::core {
+
+bool openmp_available() noexcept {
+#ifdef LRB_HAVE_OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::size_t openmp_threads() noexcept {
+#ifdef LRB_HAVE_OPENMP
+  return static_cast<std::size_t>(omp_get_max_threads());
+#else
+  return 1;
+#endif
+}
+
+namespace {
+
+struct Best {
+  double bid = -std::numeric_limits<double>::infinity();
+  std::size_t index = 0;
+  bool found = false;
+};
+
+Best scan_range(std::span<const double> fitness, rng::Xoshiro256StarStar& gen,
+                std::size_t begin, std::size_t end) {
+  Best best;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (fitness[i] <= 0.0) continue;
+    const double bid = rng::log_bid(gen, fitness[i]);
+    if (!best.found || bid > best.bid) {
+      best.bid = bid;
+      best.index = i;
+      best.found = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t select_bidding_omp(std::span<const double> fitness,
+                               std::uint64_t seed) {
+  (void)checked_fitness_total(fitness);
+  const rng::SeedSequence seeds(seed);
+#ifdef LRB_HAVE_OPENMP
+  const std::size_t n = fitness.size();
+  Best overall;
+#pragma omp parallel
+  {
+    const std::size_t tid = static_cast<std::size_t>(omp_get_thread_num());
+    const std::size_t nthreads = static_cast<std::size_t>(omp_get_num_threads());
+    rng::Xoshiro256StarStar gen(seeds.child(tid));
+    const std::size_t chunk = (n + nthreads - 1) / nthreads;
+    const std::size_t begin = std::min(n, tid * chunk);
+    const std::size_t end = std::min(n, begin + chunk);
+    const Best local = scan_range(fitness, gen, begin, end);
+#pragma omp critical(lrb_bidding_combine)
+    {
+      // Ascending-thread chunks: strict > keeps the smallest index on
+      // (measure-zero) ties regardless of arrival order, because equal
+      // bids only arise from identical (bid, index) replays.
+      if (local.found &&
+          (!overall.found || local.bid > overall.bid ||
+           (local.bid == overall.bid && local.index < overall.index))) {
+        overall = local;
+      }
+    }
+  }
+  LRB_ASSERT(overall.found, "positive total fitness implies a winner");
+  return overall.index;
+#else
+  rng::Xoshiro256StarStar gen(seeds.child(0));
+  const Best best = scan_range(fitness, gen, 0, fitness.size());
+  LRB_ASSERT(best.found, "positive total fitness implies a winner");
+  return best.index;
+#endif
+}
+
+std::size_t select_bidding_race_omp(std::span<const double> fitness,
+                                    std::uint64_t seed) {
+  (void)checked_fitness_total(fitness);
+  const rng::SeedSequence seeds(seed);
+  parallel::AtomicArgMaxCell cell;
+#ifdef LRB_HAVE_OPENMP
+  const std::size_t n = fitness.size();
+#pragma omp parallel
+  {
+    const std::size_t tid = static_cast<std::size_t>(omp_get_thread_num());
+    const std::size_t nthreads = static_cast<std::size_t>(omp_get_num_threads());
+    rng::Xoshiro256StarStar gen(seeds.child(tid));
+    const std::size_t chunk = (n + nthreads - 1) / nthreads;
+    const std::size_t begin = std::min(n, tid * chunk);
+    const std::size_t end = std::min(n, begin + chunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (fitness[i] <= 0.0) continue;
+      const double bid = rng::log_bid(gen, fitness[i]);
+      cell.update(bid, static_cast<std::uint32_t>(i));
+    }
+    // The implicit barrier at the end of the parallel region is the
+    // paper's step 2.
+  }
+#else
+  rng::Xoshiro256StarStar gen(seeds.child(0));
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    if (fitness[i] <= 0.0) continue;
+    cell.update(rng::log_bid(gen, fitness[i]), static_cast<std::uint32_t>(i));
+  }
+#endif
+  return cell.load().index;
+}
+
+}  // namespace lrb::core

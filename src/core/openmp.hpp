@@ -1,0 +1,33 @@
+// OpenMP execution of the bidding selection (ablation A4's second runtime).
+//
+// The thread-pool paths in logarithmic_bidding.hpp own their workers; HPC
+// codes that already live inside OpenMP parallel regions want the selection
+// expressed as an OpenMP kernel instead.  These entry points compile to the
+// serial algorithm when OpenMP is absent, so callers never need an #ifdef.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace lrb::core {
+
+/// True iff this build has real OpenMP behind the *_omp entry points.
+[[nodiscard]] bool openmp_available() noexcept;
+
+/// Number of threads an omp parallel region would use right now (1 when
+/// OpenMP is absent).
+[[nodiscard]] std::size_t openmp_threads() noexcept;
+
+/// One bidding selection over `fitness`, parallelized with OpenMP.
+/// Exactly fitness-proportionate for any thread count; the specific winner
+/// for a given seed depends on the thread count (per-thread bid streams),
+/// like select_bidding_parallel.
+[[nodiscard]] std::size_t select_bidding_omp(std::span<const double> fitness,
+                                             std::uint64_t seed);
+
+/// The CRCW-style race on an atomic cell, expressed as an OpenMP kernel
+/// (compare with select_bidding_race on the thread pool).
+[[nodiscard]] std::size_t select_bidding_race_omp(std::span<const double> fitness,
+                                                  std::uint64_t seed);
+
+}  // namespace lrb::core

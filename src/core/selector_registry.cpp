@@ -1,0 +1,298 @@
+#include "core/selector_registry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "common/error.hpp"
+#include "core/alias_table.hpp"
+#include "core/baselines.hpp"
+#include "core/cdf_selector.hpp"
+#include "core/deterministic.hpp"
+#include "core/fenwick_selector.hpp"
+#include "core/logarithmic_bidding.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::core {
+
+namespace {
+
+constexpr std::array<SelectorInfo, 13> kInfos = {{
+    {SelectorKind::kBidding, "bidding", true, false, false,
+     "logarithmic random bidding (paper), serial scan"},
+    {SelectorKind::kBiddingParallel, "bidding_parallel", true, true, false,
+     "logarithmic bidding, per-lane sub-races + tree combine"},
+    {SelectorKind::kBiddingRace, "bidding_race", true, true, false,
+     "logarithmic bidding, CRCW-style atomic max race (paper Sec. III)"},
+    {SelectorKind::kBiddingDeterministic, "bidding_deterministic", true, true,
+     false, "logarithmic bidding, counter-based (thread-count invariant)"},
+    {SelectorKind::kLinearCdf, "linear_cdf", true, false, false,
+     "inverse CDF, linear scan"},
+    {SelectorKind::kBinaryCdf, "binary_cdf", true, false, true,
+     "inverse CDF, prebuilt prefix sums + binary search"},
+    {SelectorKind::kFenwick, "fenwick", true, false, true,
+     "Fenwick tree: O(log n) draws and O(log n) point updates"},
+    {SelectorKind::kAlias, "alias", true, false, true,
+     "Vose alias table, O(1) draws"},
+    {SelectorKind::kPrefixSumParallel, "prefix_sum", true, true, false,
+     "parallel prefix sums + parallel locate (paper Sec. I baseline)"},
+    {SelectorKind::kIndependent, "independent", false, false, false,
+     "independent roulette r_i = f_i * u_i (biased; Cecilia et al.)"},
+    {SelectorKind::kGumbelMax, "gumbel", true, false, false,
+     "Gumbel-max: argmax(log f_i + Gumbel)"},
+    {SelectorKind::kEsKey, "es_key", true, false, false,
+     "Efraimidis-Spirakis key u^(1/f) (exact in theory, underflows)"},
+    {SelectorKind::kStochasticAcceptance, "stochastic_acceptance", true, false,
+     false, "rejection sampling against f_max (Lipowski & Lipowska)"},
+}};
+
+}  // namespace
+
+const SelectorInfo& selector_info(SelectorKind kind) {
+  for (const auto& info : kInfos) {
+    if (info.kind == kind) return info;
+  }
+  throw InvalidArgumentError("unknown SelectorKind");
+}
+
+std::string_view to_string(SelectorKind kind) { return selector_info(kind).name; }
+
+SelectorKind parse_selector_kind(std::string_view name) {
+  std::string low(name);
+  std::transform(low.begin(), low.end(), low.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  for (const auto& info : kInfos) {
+    if (low == info.name) return info.kind;
+  }
+  std::string known;
+  for (const auto& info : kInfos) {
+    known += info.name;
+    known += ' ';
+  }
+  throw InvalidArgumentError("unknown selector '" + std::string(name) +
+                             "'; known: " + known);
+}
+
+std::vector<SelectorKind> all_selector_kinds() {
+  std::vector<SelectorKind> out;
+  out.reserve(kInfos.size());
+  for (const auto& info : kInfos) out.push_back(info.kind);
+  return out;
+}
+
+namespace {
+
+/// Common state: owned fitness copy + engine.
+class SelectorBase : public Selector {
+ public:
+  SelectorBase(SelectorKind kind, std::span<const double> fitness,
+               std::uint64_t seed)
+      : info_(selector_info(kind)),
+        fitness_(fitness.begin(), fitness.end()),
+        gen_(seed) {}
+
+  void set_fitness(std::span<const double> fitness) override {
+    fitness_.assign(fitness.begin(), fitness.end());
+    on_fitness_changed();
+  }
+
+  [[nodiscard]] const SelectorInfo& info() const override { return info_; }
+  [[nodiscard]] std::size_t size() const override { return fitness_.size(); }
+
+ protected:
+  virtual void on_fitness_changed() {}
+
+  const SelectorInfo& info_;
+  std::vector<double> fitness_;
+  rng::Xoshiro256StarStar gen_;
+};
+
+class BiddingSelector final : public SelectorBase {
+ public:
+  using SelectorBase::SelectorBase;
+  std::size_t select() override { return select_bidding(fitness_, gen_); }
+};
+
+class LinearCdfSelector final : public SelectorBase {
+ public:
+  using SelectorBase::SelectorBase;
+  std::size_t select() override { return select_linear_cdf(fitness_, gen_); }
+};
+
+class IndependentSelector final : public SelectorBase {
+ public:
+  using SelectorBase::SelectorBase;
+  std::size_t select() override { return select_independent(fitness_, gen_); }
+};
+
+class GumbelSelector final : public SelectorBase {
+ public:
+  using SelectorBase::SelectorBase;
+  std::size_t select() override { return select_gumbel_max(fitness_, gen_); }
+};
+
+class EsKeySelector final : public SelectorBase {
+ public:
+  using SelectorBase::SelectorBase;
+  std::size_t select() override { return select_es_key(fitness_, gen_); }
+};
+
+class StochasticAcceptanceSelector final : public SelectorBase {
+ public:
+  StochasticAcceptanceSelector(SelectorKind kind,
+                               std::span<const double> fitness,
+                               std::uint64_t seed)
+      : SelectorBase(kind, fitness, seed) {
+    on_fitness_changed();
+  }
+  std::size_t select() override {
+    return select_stochastic_acceptance(fitness_, gen_, max_fitness_);
+  }
+
+ protected:
+  void on_fitness_changed() override {
+    max_fitness_ = 0.0;
+    for (double f : fitness_) max_fitness_ = std::max(max_fitness_, f);
+  }
+
+ private:
+  double max_fitness_ = 0.0;
+};
+
+class BinaryCdfSelectorImpl final : public SelectorBase {
+ public:
+  BinaryCdfSelectorImpl(SelectorKind kind, std::span<const double> fitness,
+                        std::uint64_t seed)
+      : SelectorBase(kind, fitness, seed), cdf_(fitness_) {}
+  std::size_t select() override { return cdf_.select(gen_); }
+
+ protected:
+  void on_fitness_changed() override { cdf_.rebuild(fitness_); }
+
+ private:
+  CdfSelector cdf_;
+};
+
+class FenwickSelectorImpl final : public SelectorBase {
+ public:
+  FenwickSelectorImpl(SelectorKind kind, std::span<const double> fitness,
+                      std::uint64_t seed)
+      : SelectorBase(kind, fitness, seed), tree_(fitness_) {}
+  std::size_t select() override { return tree_.select(gen_); }
+
+ protected:
+  void on_fitness_changed() override { tree_.rebuild(fitness_); }
+
+ private:
+  FenwickSelector tree_;
+};
+
+class AliasSelectorImpl final : public SelectorBase {
+ public:
+  AliasSelectorImpl(SelectorKind kind, std::span<const double> fitness,
+                    std::uint64_t seed)
+      : SelectorBase(kind, fitness, seed), table_(fitness_) {}
+  std::size_t select() override { return table_.select(gen_); }
+
+ protected:
+  void on_fitness_changed() override { table_.rebuild(fitness_); }
+
+ private:
+  AliasTable table_;
+};
+
+/// Parallel kinds share the pool and a seed sequence that advances per draw
+/// (each draw must use fresh lane streams).
+class PoolSelectorBase : public SelectorBase {
+ public:
+  PoolSelectorBase(SelectorKind kind, std::span<const double> fitness,
+                   std::uint64_t seed, parallel::ThreadPool* pool)
+      : SelectorBase(kind, fitness, seed),
+        pool_(pool != nullptr ? pool : &parallel::ThreadPool::global()),
+        seeds_(seed) {}
+
+ protected:
+  rng::SeedSequence next_draw_seeds() { return seeds_.subsequence(draw_++); }
+
+  parallel::ThreadPool* pool_;
+  rng::SeedSequence seeds_;
+  std::uint64_t draw_ = 0;
+};
+
+class BiddingParallelSelector final : public PoolSelectorBase {
+ public:
+  using PoolSelectorBase::PoolSelectorBase;
+  std::size_t select() override {
+    return select_bidding_parallel(*pool_, fitness_, next_draw_seeds());
+  }
+};
+
+class BiddingRaceSelector final : public PoolSelectorBase {
+ public:
+  using PoolSelectorBase::PoolSelectorBase;
+  std::size_t select() override {
+    return select_bidding_race(*pool_, fitness_, next_draw_seeds());
+  }
+};
+
+class PrefixSumParallelSelector final : public PoolSelectorBase {
+ public:
+  using PoolSelectorBase::PoolSelectorBase;
+  std::size_t select() override {
+    return select_prefix_sum_parallel(*pool_, fitness_, gen_, scratch_);
+  }
+
+ private:
+  std::vector<double> scratch_;
+};
+
+class DeterministicSelector final : public PoolSelectorBase {
+ public:
+  DeterministicSelector(SelectorKind kind, std::span<const double> fitness,
+                        std::uint64_t seed, parallel::ThreadPool* pool)
+      : PoolSelectorBase(kind, fitness, seed, pool), bidder_(seed) {}
+  std::size_t select() override { return bidder_.select(*pool_, fitness_); }
+
+ private:
+  DeterministicBidder bidder_;
+};
+
+}  // namespace
+
+std::unique_ptr<Selector> make_selector(SelectorKind kind,
+                                        std::span<const double> fitness,
+                                        std::uint64_t seed,
+                                        parallel::ThreadPool* pool) {
+  switch (kind) {
+    case SelectorKind::kBidding:
+      return std::make_unique<BiddingSelector>(kind, fitness, seed);
+    case SelectorKind::kLinearCdf:
+      return std::make_unique<LinearCdfSelector>(kind, fitness, seed);
+    case SelectorKind::kIndependent:
+      return std::make_unique<IndependentSelector>(kind, fitness, seed);
+    case SelectorKind::kGumbelMax:
+      return std::make_unique<GumbelSelector>(kind, fitness, seed);
+    case SelectorKind::kEsKey:
+      return std::make_unique<EsKeySelector>(kind, fitness, seed);
+    case SelectorKind::kStochasticAcceptance:
+      return std::make_unique<StochasticAcceptanceSelector>(kind, fitness, seed);
+    case SelectorKind::kBinaryCdf:
+      return std::make_unique<BinaryCdfSelectorImpl>(kind, fitness, seed);
+    case SelectorKind::kFenwick:
+      return std::make_unique<FenwickSelectorImpl>(kind, fitness, seed);
+    case SelectorKind::kAlias:
+      return std::make_unique<AliasSelectorImpl>(kind, fitness, seed);
+    case SelectorKind::kBiddingParallel:
+      return std::make_unique<BiddingParallelSelector>(kind, fitness, seed, pool);
+    case SelectorKind::kBiddingRace:
+      return std::make_unique<BiddingRaceSelector>(kind, fitness, seed, pool);
+    case SelectorKind::kPrefixSumParallel:
+      return std::make_unique<PrefixSumParallelSelector>(kind, fitness, seed, pool);
+    case SelectorKind::kBiddingDeterministic:
+      return std::make_unique<DeterministicSelector>(kind, fitness, seed, pool);
+  }
+  throw InvalidArgumentError("make_selector: unknown SelectorKind");
+}
+
+}  // namespace lrb::core

@@ -1,0 +1,74 @@
+// Type-erased selector interface + name registry.
+//
+// The template free functions in this module are the fast path; benches,
+// examples and the ACO layer also need to pick an algorithm *at runtime*
+// ("--selector=bidding").  Selector wraps any algorithm + engine behind a
+// virtual `select()`, and the registry maps stable names to factories.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace lrb::core {
+
+/// Every algorithm the registry can construct.
+enum class SelectorKind {
+  kBidding,               ///< the paper's contribution, serial
+  kBiddingParallel,       ///< per-lane sub-races + tree combine
+  kBiddingRace,           ///< CRCW-style atomic race (paper Section III)
+  kBiddingDeterministic,  ///< counter-based, thread-count-invariant
+  kLinearCdf,             ///< inverse CDF by linear scan
+  kBinaryCdf,             ///< prebuilt prefix sums + binary search
+  kFenwick,               ///< Fenwick tree: O(log n) draws AND updates
+  kAlias,                 ///< Vose alias table
+  kPrefixSumParallel,     ///< the paper's EREW baseline
+  kIndependent,           ///< biased baseline (Cecilia et al.)
+  kGumbelMax,             ///< log-domain twin of bidding
+  kEsKey,                 ///< u^(1/f) key (numerically fragile twin)
+  kStochasticAcceptance,  ///< Lipowski & Lipowska rejection
+};
+
+/// Static metadata about an algorithm.
+struct SelectorInfo {
+  SelectorKind kind;
+  std::string_view name;        ///< stable CLI name
+  bool exact;                   ///< selects i with probability exactly F_i
+  bool parallel;                ///< uses a thread pool
+  bool prebuilds;               ///< O(n) rebuild on fitness change
+  std::string_view description;
+};
+
+[[nodiscard]] const SelectorInfo& selector_info(SelectorKind kind);
+[[nodiscard]] SelectorKind parse_selector_kind(std::string_view name);
+[[nodiscard]] std::vector<SelectorKind> all_selector_kinds();
+[[nodiscard]] std::string_view to_string(SelectorKind kind);
+
+/// Type-erased roulette wheel selector bound to a fitness vector and an
+/// engine state.  Not thread-safe; create one per thread.
+class Selector {
+ public:
+  virtual ~Selector() = default;
+
+  /// Draws one index with the algorithm's selection distribution.
+  [[nodiscard]] virtual std::size_t select() = 0;
+
+  /// Replaces the fitness vector (rebuilds any precomputed structure).
+  virtual void set_fitness(std::span<const double> fitness) = 0;
+
+  [[nodiscard]] virtual const SelectorInfo& info() const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+};
+
+/// Creates a selector of the given kind over `fitness`, seeded with `seed`.
+/// Parallel kinds use `pool` if provided, else ThreadPool::global().
+[[nodiscard]] std::unique_ptr<Selector> make_selector(
+    SelectorKind kind, std::span<const double> fitness, std::uint64_t seed,
+    parallel::ThreadPool* pool = nullptr);
+
+}  // namespace lrb::core

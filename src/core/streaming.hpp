@@ -1,0 +1,144 @@
+// Streaming roulette selection: exact fitness-proportionate selection over
+// a stream of candidates of unknown length, one pass, O(1) state.
+//
+// The bidding rule makes this trivial where prefix-sum methods need two
+// passes: keep the maximum bid seen so far.  After offering items
+// 0..t, `winner()` is distributed exactly as a roulette spin over those
+// items — at *every* prefix of the stream (anytime property, tested).
+//
+// StreamingSampler generalizes to m winners without replacement (a bounded
+// min-heap of the m best bids): Efraimidis–Spirakis reservoir sampling,
+// expressed in the paper's log-domain keys.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::core {
+
+/// Single-winner streaming selection.
+class StreamingSelector {
+ public:
+  explicit StreamingSelector(std::uint64_t seed) noexcept : gen_(seed) {}
+
+  /// Offers the next item; returns true iff it became the current winner.
+  /// Zero fitness never wins; negative/NaN fitness throws.
+  bool offer(double fitness) {
+    LRB_REQUIRE(std::isfinite(fitness) && fitness >= 0.0, InvalidFitnessError,
+                "StreamingSelector::offer: fitness must be finite and >= 0");
+    const std::uint64_t index = count_++;
+    if (fitness <= 0.0) return false;
+    const double bid = rng::log_bid(gen_, fitness);
+    if (bid > best_bid_) {
+      best_bid_ = bid;
+      winner_ = index;
+      return true;
+    }
+    return false;
+  }
+
+  /// Items offered so far.
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// True once any positive-fitness item has been offered.
+  [[nodiscard]] bool has_winner() const noexcept {
+    return best_bid_ > -std::numeric_limits<double>::infinity();
+  }
+
+  /// Index (offer order, 0-based) of the current winner.  Throws if no
+  /// positive-fitness item has been offered yet.
+  [[nodiscard]] std::uint64_t winner() const {
+    LRB_REQUIRE(has_winner(), InvalidFitnessError,
+                "StreamingSelector::winner: no positive-fitness item offered");
+    return winner_;
+  }
+
+  /// Resets to an empty stream (fresh randomness continues from the engine).
+  void reset() noexcept {
+    count_ = 0;
+    winner_ = 0;
+    best_bid_ = -std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  rng::Xoshiro256StarStar gen_;
+  std::uint64_t count_ = 0;
+  std::uint64_t winner_ = 0;
+  double best_bid_ = -std::numeric_limits<double>::infinity();
+};
+
+/// m-winner streaming sampler (weighted, without replacement).
+class StreamingSampler {
+ public:
+  StreamingSampler(std::size_t m, std::uint64_t seed)
+      : m_(m), gen_(seed) {
+    LRB_REQUIRE(m > 0, InvalidArgumentError,
+                "StreamingSampler requires m >= 1");
+    heap_.reserve(m);
+  }
+
+  /// Offers the next item; returns true iff it entered the reservoir.
+  bool offer(double fitness) {
+    LRB_REQUIRE(std::isfinite(fitness) && fitness >= 0.0, InvalidFitnessError,
+                "StreamingSampler::offer: fitness must be finite and >= 0");
+    const std::uint64_t index = count_++;
+    if (fitness <= 0.0) return false;
+    const Entry e{rng::log_bid(gen_, fitness), index};
+    if (heap_.size() < m_) {
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end(), higher_bid_first);
+      return true;
+    }
+    if (e.bid > heap_.front().bid) {
+      std::pop_heap(heap_.begin(), heap_.end(), higher_bid_first);
+      heap_.back() = e;
+      std::push_heap(heap_.begin(), heap_.end(), higher_bid_first);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t reservoir_size() const noexcept {
+    return heap_.size();
+  }
+
+  /// Current sample in selection order (best bid first).
+  [[nodiscard]] std::vector<std::uint64_t> sample() const {
+    std::vector<Entry> sorted = heap_;
+    std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+      if (a.bid != b.bid) return a.bid > b.bid;
+      return a.index < b.index;
+    });
+    std::vector<std::uint64_t> out;
+    out.reserve(sorted.size());
+    for (const Entry& e : sorted) out.push_back(e.index);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    double bid;
+    std::uint64_t index;
+  };
+
+  // Min-heap on bid: the root is the weakest current member.
+  static bool higher_bid_first(const Entry& a, const Entry& b) noexcept {
+    if (a.bid != b.bid) return a.bid > b.bid;
+    return a.index < b.index;
+  }
+
+  std::size_t m_;
+  rng::Xoshiro256StarStar gen_;
+  std::uint64_t count_ = 0;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace lrb::core

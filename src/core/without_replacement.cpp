@@ -1,0 +1,112 @@
+#include "core/without_replacement.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "rng/philox.hpp"
+#include "rng/uniform.hpp"
+
+namespace lrb::core {
+
+namespace {
+
+struct Entry {
+  double bid;
+  std::size_t index;
+};
+
+/// Ordering for the winners: higher bid first; ties (measure zero) to the
+/// smaller index for determinism.
+bool better(const Entry& a, const Entry& b) {
+  if (a.bid != b.bid) return a.bid > b.bid;
+  return a.index < b.index;
+}
+
+double bid_at(std::uint64_t seed, std::size_t index, double fitness) {
+  const std::uint64_t raw = rng::philox_u64_at(seed, /*counter=*/0, index);
+  const double u = static_cast<double>((raw >> 11) + 1) * 0x1.0p-53;  // (0,1]
+  return rng::log_bid_from_uniform(u, fitness);
+}
+
+/// Keeps the m best entries of a range in `heap` (min-heap on `better`).
+void accumulate_top_m(std::span<const double> fitness, std::uint64_t seed,
+                      std::size_t begin, std::size_t end, std::size_t m,
+                      std::vector<Entry>& heap) {
+  auto worse_first = [](const Entry& a, const Entry& b) { return better(a, b); };
+  for (std::size_t i = begin; i < end; ++i) {
+    if (fitness[i] <= 0.0) continue;
+    const Entry e{bid_at(seed, i, fitness[i]), i};
+    if (heap.size() < m) {
+      heap.push_back(e);
+      std::push_heap(heap.begin(), heap.end(), worse_first);
+    } else if (better(e, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), worse_first);
+      heap.back() = e;
+      std::push_heap(heap.begin(), heap.end(), worse_first);
+    }
+  }
+}
+
+std::vector<std::size_t> finalize(std::vector<Entry> winners, std::size_t m) {
+  LRB_REQUIRE(winners.size() >= m, InvalidArgumentError,
+              "sample_without_replacement: m exceeds the number of "
+              "positive-fitness entries");
+  std::sort(winners.begin(), winners.end(), better);
+  winners.resize(m);
+  std::vector<std::size_t> out;
+  out.reserve(m);
+  for (const Entry& e : winners) out.push_back(e.index);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> sample_without_replacement(
+    std::span<const double> fitness, std::size_t m, std::uint64_t seed) {
+  (void)checked_fitness_total(fitness);
+  if (m == 0) return {};
+  std::vector<Entry> heap;
+  heap.reserve(m);
+  accumulate_top_m(fitness, seed, 0, fitness.size(), m, heap);
+  return finalize(std::move(heap), m);
+}
+
+std::vector<std::size_t> sample_without_replacement(
+    parallel::ThreadPool& pool, std::span<const double> fitness, std::size_t m,
+    std::uint64_t seed) {
+  (void)checked_fitness_total(fitness);
+  if (m == 0) return {};
+  const std::size_t lanes = pool.lanes();
+  std::vector<std::vector<Entry>> lane_heaps(lanes);
+  pool.parallel_for(fitness.size(), [&](parallel::Range r, std::size_t lane) {
+    lane_heaps[lane].reserve(m);
+    accumulate_top_m(fitness, seed, r.begin, r.end, m, lane_heaps[lane]);
+  });
+  std::vector<Entry> merged;
+  for (auto& h : lane_heaps) {
+    merged.insert(merged.end(), h.begin(), h.end());
+  }
+  // Keep the global top m of the per-lane top-m's.  Bids are pure functions
+  // of (seed, index), so this equals the serial result exactly.
+  return finalize(std::move(merged), m);
+}
+
+std::vector<std::size_t> weighted_shuffle(std::span<const double> fitness,
+                                          std::uint64_t seed) {
+  (void)checked_fitness_total(fitness);
+  std::vector<Entry> entries;
+  entries.reserve(fitness.size());
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    if (fitness[i] <= 0.0) continue;
+    entries.push_back(Entry{bid_at(seed, i, fitness[i]), i});
+  }
+  std::sort(entries.begin(), entries.end(), better);
+  std::vector<std::size_t> out;
+  out.reserve(entries.size());
+  for (const Entry& e : entries) out.push_back(e.index);
+  return out;
+}
+
+}  // namespace lrb::core

@@ -1,0 +1,45 @@
+// Weighted sampling *without* replacement via bidding keys.
+//
+// The paper's bid r_i = log(u_i)/f_i is exactly the logarithm of the
+// Efraimidis–Spirakis key u_i^(1/f_i); taking the m largest bids therefore
+// yields a weighted sample without replacement whose sequential distribution
+// matches m successive roulette draws with winners removed (ES 2006,
+// Theorem 1).  This extends the paper's single-selection primitive to the
+// batched form heuristics often want (e.g. selecting m distinct parents).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace lrb::core {
+
+/// Draws `m` distinct indices, fitness-proportionately without replacement,
+/// using one pass and an m-element min-heap (O(n + m log m log(n/m))
+/// expected).  Returns indices in selection order (first element = the draw
+/// a single roulette spin would have produced).
+///
+/// Requires m <= (number of positive-fitness entries); throws
+/// InvalidArgumentError otherwise.
+///
+/// `seed` feeds a counter-based generator, so results are independent of
+/// thread count; the pool overload evaluates lanes in parallel and returns
+/// the same sample as the serial overload.
+[[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+    std::span<const double> fitness, std::size_t m, std::uint64_t seed);
+
+[[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+    parallel::ThreadPool& pool, std::span<const double> fitness, std::size_t m,
+    std::uint64_t seed);
+
+/// Weighted shuffle: a full random permutation of the positive-fitness
+/// indices, distributed as iterated roulette selection with removal
+/// (equivalently: sort by descending bid).  Zero-fitness indices are
+/// excluded from the result.  O(n log n).
+[[nodiscard]] std::vector<std::size_t> weighted_shuffle(
+    std::span<const double> fitness, std::uint64_t seed);
+
+}  // namespace lrb::core

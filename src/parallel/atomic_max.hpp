@@ -1,0 +1,152 @@
+// Lock-free maximum over doubles — the shared-memory analog of the paper's
+// CRCW write race.
+//
+// The paper's Section III algorithm has every processor repeatedly write its
+// bid r_i to one shared cell s while s < r_i; arbitration keeps one write per
+// round.  On real hardware the equivalent is a compare-exchange loop that
+// only installs improving values.  AtomicMaxCell packages that loop, plus the
+// "value and index win together" variant needed to report *which* processor
+// held the maximum, and counts CAS attempts so benches can compare against
+// the PRAM round model (ablation A4 / experiment E5).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+namespace lrb::parallel {
+
+/// A packed (bid, index) pair that preserves bid ordering when compared as
+/// an integer.  Doubles' IEEE-754 ordering matches their bit pattern for
+/// non-negative values; bids are in (-inf, 0], so we flip the encoding:
+/// for negative d, the two's-complement trick maps order-reversed bits to
+/// order-preserving integers.
+struct BidIndex {
+  double bid = -std::numeric_limits<double>::infinity();
+  std::uint32_t index = 0;
+};
+
+namespace detail {
+
+/// Monotone (order-preserving) mapping from double to uint64.
+[[nodiscard]] inline std::uint64_t order_preserving_bits(double d) noexcept {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof d);
+  __builtin_memcpy(&bits, &d, sizeof d);
+  // For negatives (sign bit set), flip all bits; for positives, flip sign bit.
+  return (bits & 0x8000000000000000ULL) ? ~bits : (bits | 0x8000000000000000ULL);
+}
+
+[[nodiscard]] inline double double_from_order_bits(std::uint64_t bits) noexcept {
+  const std::uint64_t raw =
+      (bits & 0x8000000000000000ULL) ? (bits & 0x7fffffffffffffffULL)
+                                     : ~bits;
+  double d;
+  __builtin_memcpy(&d, &raw, sizeof d);
+  return d;
+}
+
+}  // namespace detail
+
+/// Atomic max over plain doubles.  update() returns the number of CAS
+/// attempts made (0 when the current value already dominated), which the
+/// race benches aggregate as "write traffic".
+class AtomicMaxCell {
+ public:
+  explicit AtomicMaxCell(
+      double initial = -std::numeric_limits<double>::infinity()) noexcept
+      : bits_(detail::order_preserving_bits(initial)) {}
+
+  /// Raises the cell to at least `value`.  Lock-free; wait-free in the
+  /// absence of contention.  Returns the number of CAS attempts.
+  std::uint32_t update(double value) noexcept {
+    const std::uint64_t want = detail::order_preserving_bits(value);
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    std::uint32_t attempts = 0;
+    while (cur < want) {
+      ++attempts;
+      if (bits_.compare_exchange_weak(cur, want, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    return attempts;
+  }
+
+  [[nodiscard]] double load() const noexcept {
+    return detail::double_from_order_bits(bits_.load(std::memory_order_acquire));
+  }
+
+  void store(double value) noexcept {
+    bits_.store(detail::order_preserving_bits(value), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_;
+};
+
+/// Atomic max over (bid, index) pairs with the library's deterministic
+/// tie-break: among equal bids the smallest index wins.
+///
+/// Encoding: 64-bit order bits of the bid are truncated to the top 32 bits?
+/// No — we need the full bid ordering, so this cell uses a 128-bit atomic
+/// when available and otherwise falls back to a two-word seqlock-free retry
+/// scheme built from a single 64-bit atomic holding the order bits and an
+/// index published via a second atomic validated by re-reading the first.
+/// To stay simple, portable and provably correct, we instead pack
+/// (bid order bits, ~index) into unsigned __int128 and rely on GCC/Clang
+/// 128-bit compare-exchange (lock-free with cmpxchg16b on x86-64).
+class AtomicArgMaxCell {
+ public:
+  AtomicArgMaxCell() noexcept : packed_(pack(BidIndex{})) {}
+
+  explicit AtomicArgMaxCell(BidIndex initial) noexcept
+      : packed_(pack(initial)) {}
+
+  /// Outcome of one update() call.
+  struct UpdateResult {
+    std::uint32_t attempts = 0;  ///< CAS attempts (0: cell already dominated)
+    bool installed = false;      ///< true iff this call's value ended up in the cell
+  };
+
+  /// Raises the cell to at least (value, index) under lexicographic order
+  /// (higher bid wins; equal bid -> smaller index wins).
+  UpdateResult update(double bid, std::uint32_t index) noexcept {
+    const unsigned __int128 want = pack(BidIndex{bid, index});
+    unsigned __int128 cur = packed_.load(std::memory_order_relaxed);
+    UpdateResult result;
+    while (cur < want) {
+      ++result.attempts;
+      if (packed_.compare_exchange_weak(cur, want, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        result.installed = true;
+        break;
+      }
+    }
+    return result;
+  }
+
+  [[nodiscard]] BidIndex load() const noexcept {
+    return unpack(packed_.load(std::memory_order_acquire));
+  }
+
+ private:
+  // Layout: [bid order bits : 64][~index : 32][zero : 32].  Larger packed
+  // value == (strictly larger bid) or (equal bid and smaller index).
+  static unsigned __int128 pack(BidIndex v) noexcept {
+    const std::uint64_t hi = detail::order_preserving_bits(v.bid);
+    const std::uint64_t lo = static_cast<std::uint64_t>(~v.index) << 32;
+    return (static_cast<unsigned __int128>(hi) << 64) | lo;
+  }
+
+  static BidIndex unpack(unsigned __int128 p) noexcept {
+    BidIndex v;
+    v.bid = detail::double_from_order_bits(static_cast<std::uint64_t>(p >> 64));
+    v.index = ~static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32);
+    return v;
+  }
+
+  std::atomic<unsigned __int128> packed_;
+};
+
+}  // namespace lrb::parallel

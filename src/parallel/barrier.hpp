@@ -1,0 +1,61 @@
+// Barriers for SPMD regions.
+//
+// The paper's race algorithm has an explicit barrier_synchronization() step
+// between "write until stable" and "publish the winner".  std::barrier is
+// the obvious tool, but the race loop also needs a *reusable spin* barrier
+// with phase counting so the bench can attribute time to rounds; SpinBarrier
+// provides that with a sense-reversing counter.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace lrb::parallel {
+
+/// Sense-reversing spin barrier.  All `parties` threads must call arrive_and_wait
+/// for any of them to proceed.  Reusable across an unbounded number of phases.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() noexcept {
+    const std::uint64_t my_phase = phase_.load(std::memory_order_acquire);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver resets and releases the phase.
+      remaining_.store(parties_, std::memory_order_relaxed);
+      phase_.store(my_phase + 1, std::memory_order_release);
+      phase_.notify_all();
+    } else {
+      std::uint64_t seen = phase_.load(std::memory_order_acquire);
+      while (seen == my_phase) {
+        // Bounded spin, then futex-style wait (std::atomic::wait).
+        for (int spin = 0; spin < 256 && seen == my_phase; ++spin) {
+          seen = phase_.load(std::memory_order_acquire);
+        }
+        if (seen == my_phase) {
+          phase_.wait(my_phase, std::memory_order_acquire);
+          seen = phase_.load(std::memory_order_acquire);
+        }
+      }
+    }
+  }
+
+  /// Number of completed phases (monotone).  Used by round-counting benches.
+  [[nodiscard]] std::uint64_t phase() const noexcept {
+    return phase_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<std::uint64_t> phase_{0};
+};
+
+}  // namespace lrb::parallel

@@ -1,0 +1,41 @@
+// Deterministic range partitioning for SPMD-style loops.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace lrb::parallel {
+
+/// A half-open index range [begin, end).
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return begin >= end; }
+  friend constexpr bool operator==(const Range&, const Range&) = default;
+};
+
+/// Splits [0,n) into `parts` contiguous ranges whose sizes differ by at most
+/// one (the first n % parts ranges get the extra element).  Deterministic:
+/// the same (n, parts) always yields the same split, which the reproducible
+/// parallel selection paths rely on.
+[[nodiscard]] constexpr Range partition_range(std::size_t n, std::size_t parts,
+                                              std::size_t part) noexcept {
+  if (parts == 0) return Range{0, n};
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  const std::size_t begin = part * base + (part < extra ? part : extra);
+  const std::size_t size = base + (part < extra ? 1 : 0);
+  return Range{begin, begin + size};
+}
+
+/// Number of chunks of at most `grain` covering [0,n).
+[[nodiscard]] constexpr std::size_t chunk_count(std::size_t n,
+                                                std::size_t grain) noexcept {
+  if (grain == 0) return n == 0 ? 0 : 1;
+  return (n + grain - 1) / grain;
+}
+
+}  // namespace lrb::parallel

@@ -1,0 +1,66 @@
+// Inclusive prefix sums, serial and parallel.
+//
+// The prefix-sum-based roulette selection (the paper's EREW baseline) needs
+// p_i = f_0 + ... + f_i.  The parallel version is the classic two-pass
+// scheme: lane-local sums, exclusive scan over lane totals, then lane-local
+// inclusive scans with the lane offset — O(n/p + p) work per lane and
+// deterministic for a fixed lane count.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace lrb::parallel {
+
+/// Serial inclusive scan: out[i] = xs[0] + ... + xs[i].  In-place allowed
+/// (out may alias xs).
+inline void inclusive_scan_serial(std::span<const double> xs,
+                                  std::span<double> out) {
+  LRB_REQUIRE(xs.size() == out.size(), lrb::InvalidArgumentError,
+              "inclusive_scan: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+    out[i] = acc;
+  }
+}
+
+/// Parallel two-pass inclusive scan.  Falls back to serial for small inputs.
+/// out may alias xs.
+inline void inclusive_scan(ThreadPool& pool, std::span<const double> xs,
+                           std::span<double> out) {
+  LRB_REQUIRE(xs.size() == out.size(), lrb::InvalidArgumentError,
+              "inclusive_scan: size mismatch");
+  const std::size_t n = xs.size();
+  if (n < 4096 || pool.lanes() == 1) {
+    inclusive_scan_serial(xs, out);
+    return;
+  }
+  std::vector<double> lane_total(pool.lanes(), 0.0);
+  // Pass 1: per-lane totals.
+  pool.parallel_for(n, [&](Range r, std::size_t lane) {
+    double acc = 0.0;
+    for (std::size_t i = r.begin; i < r.end; ++i) acc += xs[i];
+    lane_total[lane] = acc;
+  });
+  // Exclusive scan over lane totals (p lanes; serial is fine).
+  std::vector<double> lane_offset(pool.lanes(), 0.0);
+  double acc = 0.0;
+  for (std::size_t lane = 0; lane < pool.lanes(); ++lane) {
+    lane_offset[lane] = acc;
+    acc += lane_total[lane];
+  }
+  // Pass 2: local inclusive scans with offsets.
+  pool.parallel_for(n, [&](Range r, std::size_t lane) {
+    double local = lane_offset[lane];
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      local += xs[i];
+      out[i] = local;
+    }
+  });
+}
+
+}  // namespace lrb::parallel

@@ -1,0 +1,77 @@
+// Parallel reductions over spans: sum and argmax, with deterministic results.
+//
+// Determinism matters more here than peak throughput: the tree-reduction
+// baseline must return bit-identical sums regardless of lane count so that
+// probability tables reproduce exactly.  Sums therefore reduce per-lane
+// partials in lane order with compensated accumulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/math.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace lrb::parallel {
+
+/// Compensated parallel sum.  Deterministic for a fixed lane count; within
+/// 1 ulp-of-Kahan of the serial compensated sum for any lane count.
+[[nodiscard]] inline double parallel_sum(ThreadPool& pool,
+                                         std::span<const double> xs) {
+  if (xs.size() < 4096 || pool.lanes() == 1) return lrb::accurate_sum(xs);
+  std::vector<double> partial(pool.lanes(), 0.0);
+  pool.parallel_for(xs.size(), [&](Range r, std::size_t lane) {
+    partial[lane] = lrb::accurate_sum(xs.subspan(r.begin, r.size()));
+  });
+  return lrb::accurate_sum(partial);
+}
+
+/// Result of an argmax reduction.
+struct ArgMax {
+  std::size_t index = 0;
+  double value = -std::numeric_limits<double>::infinity();
+};
+
+/// Serial argmax with the library-wide tie-break (smallest index wins ties).
+/// Skips nothing; -inf entries simply never win unless all entries are -inf,
+/// in which case index 0 is returned.
+[[nodiscard]] inline ArgMax argmax_serial(std::span<const double> xs) noexcept {
+  ArgMax best;
+  best.index = 0;
+  best.value = xs.empty() ? -std::numeric_limits<double>::infinity() : xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] > best.value) {
+      best.value = xs[i];
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+/// Parallel tree argmax (EREW-style reduction).  Deterministic for any lane
+/// count: lane-local argmaxes use the same tie-break, and the cross-lane
+/// combine prefers the smaller index on equal values.
+[[nodiscard]] inline ArgMax parallel_argmax(ThreadPool& pool,
+                                            std::span<const double> xs) {
+  if (xs.empty()) return ArgMax{};
+  if (xs.size() < 4096 || pool.lanes() == 1) return argmax_serial(xs);
+  std::vector<ArgMax> partial(pool.lanes());
+  pool.parallel_for(xs.size(), [&](Range r, std::size_t lane) {
+    ArgMax local = argmax_serial(xs.subspan(r.begin, r.size()));
+    local.index += r.begin;
+    partial[lane] = local;
+  });
+  ArgMax best = partial[0];
+  for (std::size_t lane = 1; lane < partial.size(); ++lane) {
+    const ArgMax& cand = partial[lane];
+    // Lanes cover ascending index ranges, so on ties keep the current (lower
+    // index) winner.
+    if (cand.value > best.value) best = cand;
+  }
+  return best;
+}
+
+}  // namespace lrb::parallel

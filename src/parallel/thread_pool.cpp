@@ -1,0 +1,90 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace lrb::parallel {
+
+std::size_t hardware_lanes() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+ThreadPool::ThreadPool(std::size_t lanes)
+    : lanes_(lanes == 0 ? hardware_lanes() : lanes) {
+  // Caller is lane 0; spawn lanes_-1 workers.
+  threads_.reserve(lanes_ - 1);
+  for (std::size_t lane = 1; lane < lanes_; ++lane) {
+    threads_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  std::size_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(lane, lanes_);
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_spmd(
+    const std::function<void(std::size_t lane, std::size_t lanes)>& fn) {
+  if (lanes_ == 1) {
+    fn(0, 1);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    remaining_ = lanes_ - 1;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  fn(0, lanes_);  // caller participates as lane 0
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(Range, std::size_t lane)>& fn) {
+  if (n == 0) return;
+  if (lanes_ == 1 || n == 1) {
+    fn(Range{0, n}, 0);
+    return;
+  }
+  run_spmd([&](std::size_t lane, std::size_t lanes) {
+    const Range r = partition_range(n, lanes, lane);
+    if (!r.empty()) fn(r, lane);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(hardware_lanes());
+  return pool;
+}
+
+}  // namespace lrb::parallel

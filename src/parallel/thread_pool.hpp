@@ -1,0 +1,67 @@
+// A small persistent thread pool with two entry points:
+//
+//   * parallel_for(n, fn)      — data-parallel loops (fn sees [begin,end) + lane)
+//   * run_spmd(fn)             — SPMD region: every worker runs fn(lane, lanes)
+//                                 simultaneously; used by the CRCW-style
+//                                 max-race where workers synchronize through
+//                                 atomics and barriers like PRAM processors.
+//
+// Workers are lazily started and reused across calls.  The pool always
+// counts the calling thread as lane 0, so a pool of size 1 degenerates to
+// serial execution with zero thread overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/partition.hpp"
+
+namespace lrb::parallel {
+
+class ThreadPool {
+ public:
+  /// `lanes` = total number of workers including the caller.  0 means
+  /// hardware_concurrency().
+  explicit ThreadPool(std::size_t lanes = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+
+  /// Runs fn(lane, lanes) on every lane (caller participates as lane 0) and
+  /// blocks until all lanes finish.  fn must be safe to call concurrently.
+  void run_spmd(const std::function<void(std::size_t lane, std::size_t lanes)>& fn);
+
+  /// Statically-partitioned parallel loop: each lane receives one contiguous
+  /// range of [0,n) via fn(range, lane).
+  void parallel_for(std::size_t n,
+                    const std::function<void(Range, std::size_t lane)>& fn);
+
+  /// Process-wide pool sized to hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(std::size_t lane);
+
+  std::size_t lanes_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t epoch_ = 0;         // increments per job; wakes workers
+  std::size_t remaining_ = 0;     // workers still running the current job
+  bool stop_ = false;
+};
+
+/// Hardware concurrency with a sane floor of 1.
+[[nodiscard]] std::size_t hardware_lanes() noexcept;
+
+}  // namespace lrb::parallel

@@ -1,0 +1,104 @@
+#include "pram/machine.hpp"
+
+#include "rng/uniform.hpp"
+
+namespace lrb::pram {
+
+// ---------------------------------------------------------------------------
+// CrcwMachine
+
+CrcwMachine::CrcwMachine(std::size_t num_cells, std::uint64_t seed)
+    : cells_(num_cells, 0.0), arbiter_(seed) {
+  LRB_REQUIRE(num_cells > 0, InvalidArgumentError,
+              "CrcwMachine needs at least one cell");
+}
+
+double CrcwMachine::read(std::size_t cell) {
+  LRB_REQUIRE(cell < cells_.size(), InvalidArgumentError,
+              "CrcwMachine::read: cell out of range");
+  ++stats_.reads;
+  return cells_[cell];
+}
+
+void CrcwMachine::write(std::size_t cell, double value) {
+  LRB_REQUIRE(cell < cells_.size(), InvalidArgumentError,
+              "CrcwMachine::write: cell out of range");
+  ++stats_.writes;
+  pending_[cell].push_back(value);
+}
+
+std::size_t CrcwMachine::commit() {
+  ++stats_.rounds;
+  const std::size_t written = pending_.size();
+  for (auto& [cell, candidates] : pending_) {
+    // The paper's rule: "a randomly selected one among the multiple memory
+    // write operations succeeds".
+    const std::size_t winner = static_cast<std::size_t>(
+        rng::uniform_below(arbiter_, candidates.size()));
+    cells_[cell] = candidates[winner];
+    stats_.write_conflicts += candidates.size() - 1;
+  }
+  pending_.clear();
+  return written;
+}
+
+void CrcwMachine::poke(std::size_t cell, double value) {
+  LRB_REQUIRE(cell < cells_.size(), InvalidArgumentError,
+              "CrcwMachine::poke: cell out of range");
+  cells_[cell] = value;
+}
+
+double CrcwMachine::peek(std::size_t cell) const {
+  LRB_REQUIRE(cell < cells_.size(), InvalidArgumentError,
+              "CrcwMachine::peek: cell out of range");
+  return cells_[cell];
+}
+
+// ---------------------------------------------------------------------------
+// ErewMachine
+
+ErewMachine::ErewMachine(std::size_t num_cells) : cells_(num_cells, 0.0) {
+  LRB_REQUIRE(num_cells > 0, InvalidArgumentError,
+              "ErewMachine needs at least one cell");
+}
+
+// PRAM rounds have a read subcycle followed by a write subcycle; EREW
+// exclusivity is per subcycle: at most one read and at most one write per
+// cell per round.  Reads always observe the previous round's value.
+double ErewMachine::read(std::size_t cell) {
+  LRB_REQUIRE(cell < cells_.size(), InvalidArgumentError,
+              "ErewMachine::read: cell out of range");
+  LRB_REQUIRE(read_this_round_.insert(cell).second, PramModelViolation,
+              "EREW violation: concurrent read of cell " + std::to_string(cell));
+  ++stats_.reads;
+  return cells_[cell];
+}
+
+void ErewMachine::write(std::size_t cell, double value) {
+  LRB_REQUIRE(cell < cells_.size(), InvalidArgumentError,
+              "ErewMachine::write: cell out of range");
+  LRB_REQUIRE(write_this_round_.emplace(cell, value).second, PramModelViolation,
+              "EREW violation: concurrent write of cell " + std::to_string(cell));
+  ++stats_.writes;
+}
+
+void ErewMachine::commit() {
+  ++stats_.rounds;
+  for (const auto& [cell, value] : write_this_round_) cells_[cell] = value;
+  read_this_round_.clear();
+  write_this_round_.clear();
+}
+
+void ErewMachine::poke(std::size_t cell, double value) {
+  LRB_REQUIRE(cell < cells_.size(), InvalidArgumentError,
+              "ErewMachine::poke: cell out of range");
+  cells_[cell] = value;
+}
+
+double ErewMachine::peek(std::size_t cell) const {
+  LRB_REQUIRE(cell < cells_.size(), InvalidArgumentError,
+              "ErewMachine::peek: cell out of range");
+  return cells_[cell];
+}
+
+}  // namespace lrb::pram

@@ -1,0 +1,102 @@
+// A cycle-synchronous PRAM shared-memory simulator.
+//
+// The paper's model (Section I): synchronous processors over a shared
+// memory; under CRCW, concurrent writes to one cell are resolved by a
+// *uniformly random* winning write.  Theorem 1's O(log k) bound is a
+// statement about synchronous rounds in exactly this model, so the
+// simulator's job is to count rounds/steps with the model's semantics —
+// not to be fast.
+//
+// Two machines:
+//  * CrcwMachine — concurrent reads allowed; writes buffered per round and
+//    resolved with a random winner per cell at commit().
+//  * ErewMachine — every cell may be read OR written by at most one
+//    processor per round; violations throw PramModelViolation.  Used by the
+//    prefix-sum baseline program to certify it is EREW-legal.
+//
+// Cells hold doubles; programs that need an index store it via the cell
+// (exact for indices < 2^53, asserted).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::pram {
+
+/// Statistics every machine accumulates.
+struct MachineStats {
+  std::uint64_t rounds = 0;          ///< commit() calls
+  std::uint64_t reads = 0;           ///< total read operations
+  std::uint64_t writes = 0;          ///< total write *attempts*
+  std::uint64_t write_conflicts = 0; ///< losing writes under CRCW
+};
+
+class CrcwMachine {
+ public:
+  /// `num_cells` is the shared memory size; the paper's algorithm needs
+  /// O(1) cells (we allocate exactly what the program asks for).
+  explicit CrcwMachine(std::size_t num_cells, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t num_cells() const noexcept { return cells_.size(); }
+
+  /// Concurrent read (any number of processors per round).
+  [[nodiscard]] double read(std::size_t cell);
+
+  /// Buffered write attempt by `proc`; takes effect at commit().
+  void write(std::size_t cell, double value);
+
+  /// Ends the round: for every cell with pending writes, installs one
+  /// uniformly random winner (the paper's conflict rule).  Returns the
+  /// number of cells written this round.
+  std::size_t commit();
+
+  [[nodiscard]] const MachineStats& stats() const noexcept { return stats_; }
+
+  /// Direct cell poke for program setup (not counted as a PRAM operation).
+  void poke(std::size_t cell, double value);
+  [[nodiscard]] double peek(std::size_t cell) const;
+
+ private:
+  std::vector<double> cells_;
+  // Pending writes per round: cell -> candidate values.
+  std::unordered_map<std::size_t, std::vector<double>> pending_;
+  rng::Xoshiro256StarStar arbiter_;
+  MachineStats stats_;
+};
+
+class ErewMachine {
+ public:
+  explicit ErewMachine(std::size_t num_cells);
+
+  [[nodiscard]] std::size_t num_cells() const noexcept { return cells_.size(); }
+
+  /// Exclusive read: throws PramModelViolation if the cell was already
+  /// accessed this round.
+  [[nodiscard]] double read(std::size_t cell);
+
+  /// Exclusive write: throws PramModelViolation if the cell was already
+  /// accessed this round.  Takes effect at commit() (synchronous PRAM:
+  /// reads in a round see the previous round's values).
+  void write(std::size_t cell, double value);
+
+  /// Ends the round.
+  void commit();
+
+  [[nodiscard]] const MachineStats& stats() const noexcept { return stats_; }
+
+  void poke(std::size_t cell, double value);
+  [[nodiscard]] double peek(std::size_t cell) const;
+
+ private:
+  std::vector<double> cells_;
+  std::unordered_set<std::size_t> read_this_round_;
+  std::unordered_map<std::size_t, double> write_this_round_;
+  MachineStats stats_;
+};
+
+}  // namespace lrb::pram

@@ -1,0 +1,249 @@
+#include "pram/programs.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::pram {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+RaceResult crcw_max_race(std::span<const double> bids,
+                         std::uint64_t machine_seed) {
+  LRB_REQUIRE(!bids.empty(), InvalidArgumentError,
+              "crcw_max_race: empty bid vector");
+
+  RaceResult result;
+  std::vector<std::size_t> active;
+  active.reserve(bids.size());
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    LRB_REQUIRE(!std::isnan(bids[i]), InvalidArgumentError,
+                "crcw_max_race: NaN bid");
+    if (bids[i] > kNegInf) active.push_back(i);
+  }
+  LRB_REQUIRE(!active.empty(), InvalidArgumentError,
+              "crcw_max_race: no finite bids");
+  result.initially_active = active.size();
+
+  // Shared memory: cell 0 = s, cell 1 = output.  The paper initializes s
+  // "to zero", which only types-checks with its do-while reading (all k
+  // processors are active in the first iteration); with negative bids we
+  // realize that reading by initializing s to -inf.
+  CrcwMachine machine(2, machine_seed);
+  machine.poke(0, kNegInf);
+
+  // while s < r_i do s <- r_i   (one synchronous round per iteration)
+  std::vector<std::size_t> next;
+  next.reserve(active.size());
+  while (true) {
+    next.clear();
+    // Read subcycle: every active processor reads s (concurrent read OK).
+    for (std::size_t i : active) {
+      const double s = machine.read(0);
+      if (s < bids[i]) {
+        machine.write(0, bids[i]);
+        next.push_back(i);
+      }
+    }
+    if (next.empty()) break;  // all active processors observed s >= r_i
+    ++result.rounds;
+    result.active_per_round.push_back(next.size());
+    machine.commit();
+    // Processors whose condition just became false exit their loop; the
+    // others retry next round.  (We keep them all in `next` and re-test at
+    // the top — identical semantics, since the test is s < r_i.)
+    active.swap(next);
+  }
+  result.write_attempts = machine.stats().writes;
+
+  // Step 2: barrier (implicit between rounds).  Step 3: if s == r_i then
+  // output <- i.  Exact float equality is intentional — s holds a bid that
+  // was written verbatim.  Duplicate bids (possible when two processors
+  // share a fitness and collide in 53 bits) both write; CRCW arbitration
+  // picks one uniformly, which is the correct tie semantics.
+  const double s_final = machine.peek(0);
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    if (bids[i] == s_final) {
+      machine.write(1, static_cast<double>(i));
+    }
+  }
+  machine.commit();
+  result.winner = static_cast<std::size_t>(machine.peek(1));
+  return result;
+}
+
+RaceResult crcw_bidding_selection(std::span<const double> fitness,
+                                  std::uint64_t draw_seed,
+                                  std::uint64_t machine_seed) {
+  (void)checked_fitness_total(fitness);
+  rng::Xoshiro256StarStar gen(draw_seed);
+  std::vector<double> bids(fitness.size(), kNegInf);
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    if (fitness[i] > 0.0) bids[i] = rng::log_bid(gen, fitness[i]);
+  }
+  return crcw_max_race(bids, machine_seed);
+}
+
+ErewResult erew_tree_max(std::span<const double> values) {
+  LRB_REQUIRE(!values.empty(), InvalidArgumentError,
+              "erew_tree_max: empty input");
+  const std::size_t n = values.size();
+  const std::size_t m = lrb::next_pow2(n);
+
+  // Heap layout: nodes 1..2m-1; leaves at m..2m-1.  Two planes of cells:
+  // plane 0 = value, plane 1 = argmax index.
+  const std::size_t value_base = 0;
+  const std::size_t index_base = 2 * m;
+  ErewMachine machine(4 * m);
+  ErewResult result;
+  result.memory_cells = 4 * m;
+
+  for (std::size_t i = 0; i < m; ++i) {
+    machine.poke(value_base + m + i, i < n ? values[i] : kNegInf);
+    machine.poke(index_base + m + i, static_cast<double>(i < n ? i : n - 1));
+  }
+
+  // Up-sweep: level by level, one processor per internal node.
+  for (std::size_t width = m / 2; width >= 1; width /= 2) {
+    for (std::size_t p = width; p < 2 * width; ++p) {
+      const double vl = machine.read(value_base + 2 * p);
+      const double vr = machine.read(value_base + 2 * p + 1);
+      const double il = machine.read(index_base + 2 * p);
+      const double ir = machine.read(index_base + 2 * p + 1);
+      // Smaller index wins ties (vl first).
+      if (vl >= vr) {
+        machine.write(value_base + p, vl);
+        machine.write(index_base + p, il);
+      } else {
+        machine.write(value_base + p, vr);
+        machine.write(index_base + p, ir);
+      }
+    }
+    machine.commit();
+    ++result.rounds;
+    if (width == 1) break;
+  }
+  result.winner = static_cast<std::size_t>(machine.peek(index_base + 1));
+  return result;
+}
+
+ErewResult erew_prefix_sum_selection(std::span<const double> fitness,
+                                     std::uint64_t draw_seed) {
+  const std::size_t n = fitness.size();
+  (void)checked_fitness_total(fitness);
+  const std::size_t m = lrb::next_pow2(n);
+  const std::uint32_t levels = lrb::ceil_log2(m);
+
+  // Cell planes: work[0..m) (Blelloch scratch), f[m..m+n), p[...] inclusive
+  // prefixes, r[...] broadcast copies of R, plus one output cell.
+  const std::size_t work_base = 0;
+  const std::size_t f_base = m;
+  const std::size_t p_base = m + n;
+  const std::size_t r_base = m + 2 * n;
+  const std::size_t out_cell = m + 3 * n;
+  ErewMachine machine(m + 3 * n + 1);
+  ErewResult result;
+  result.memory_cells = m + 3 * n + 1;
+
+  for (std::size_t i = 0; i < m; ++i) {
+    machine.poke(work_base + i, i < n ? fitness[i] : 0.0);
+  }
+  for (std::size_t i = 0; i < n; ++i) machine.poke(f_base + i, fitness[i]);
+
+  // Blelloch up-sweep: work[j + 2^{d+1} - 1] += work[j + 2^d - 1].
+  for (std::uint32_t d = 0; d < levels; ++d) {
+    const std::size_t stride = std::size_t{1} << (d + 1);
+    const std::size_t half = std::size_t{1} << d;
+    for (std::size_t j = 0; j + stride <= m; j += stride) {
+      const double a = machine.read(work_base + j + half - 1);
+      const double b = machine.read(work_base + j + stride - 1);
+      machine.write(work_base + j + stride - 1, a + b);
+    }
+    machine.commit();
+    ++result.rounds;
+  }
+
+  // Root clear (one processor, one round).
+  const double total = machine.peek(work_base + m - 1);
+  machine.write(work_base + m - 1, 0.0);
+  machine.commit();
+  ++result.rounds;
+
+  // Down-sweep: left gets parent, right gets parent + old left.
+  for (std::uint32_t d = levels; d-- > 0;) {
+    const std::size_t stride = std::size_t{1} << (d + 1);
+    const std::size_t half = std::size_t{1} << d;
+    for (std::size_t j = 0; j + stride <= m; j += stride) {
+      const double left = machine.read(work_base + j + half - 1);
+      const double parent = machine.read(work_base + j + stride - 1);
+      machine.write(work_base + j + half - 1, parent);
+      machine.write(work_base + j + stride - 1, parent + left);
+    }
+    machine.commit();
+    ++result.rounds;
+  }
+
+  // Inclusive prefixes: p_i = exclusive_i + f_i (processor i reads its two
+  // private cells).
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = machine.read(work_base + i);
+    const double f = machine.read(f_base + i);
+    machine.write(p_base + i, e + f);
+  }
+  machine.commit();
+  ++result.rounds;
+
+  // Processor 0 draws R = rand() * p_{n-1}.
+  rng::Xoshiro256StarStar gen(draw_seed);
+  {
+    const double p_last = machine.read(p_base + n - 1);
+    LRB_ASSERT(lrb::is_close(p_last, total, 1e-9),
+               "scan total must match up-sweep total");
+    const double r_value = rng::u01_closed_open(gen) * p_last;
+    machine.write(r_base + 0, r_value);
+    machine.commit();
+    ++result.rounds;
+  }
+
+  // EREW broadcast of R by doubling: round d copies r[j] -> r[j + 2^d].
+  for (std::size_t have = 1; have < n; have *= 2) {
+    const std::size_t copies = std::min(have, n - have);
+    for (std::size_t j = 0; j < copies; ++j) {
+      const double v = machine.read(r_base + j);
+      machine.write(r_base + j + have, v);
+    }
+    machine.commit();
+    ++result.rounds;
+  }
+
+  // Shadow copy so processor i can read p_{i-1} without a concurrent read:
+  // processor i copies its own p_i into work[i] (work plane is free now).
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = machine.read(p_base + i);
+    machine.write(work_base + i, v);
+  }
+  machine.commit();
+  ++result.rounds;
+
+  // Check p_{i-1} <= R < p_i; the unique holder writes its index.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = i == 0 ? 0.0 : machine.read(work_base + i - 1);
+    const double hi = machine.read(p_base + i);
+    const double r_value = machine.read(r_base + i);
+    if (lo <= r_value && r_value < hi) {
+      machine.write(out_cell, static_cast<double>(i));
+    }
+  }
+  machine.commit();
+  ++result.rounds;
+
+  result.winner = static_cast<std::size_t>(machine.peek(out_cell));
+  return result;
+}
+
+}  // namespace lrb::pram

@@ -1,0 +1,85 @@
+// PRAM programs from the paper, executed on the simulators in machine.hpp.
+//
+//  * crcw_max_race            — Section III's "identify the maximum r_i"
+//                               with O(1) shared memory; round counts are
+//                               Theorem 1's observable.
+//  * crcw_bidding_selection   — the full selection: draw bids, race, read
+//                               the winner (experiment E3 driver).
+//  * erew_tree_max            — the obvious O(log n)-time, O(n)-memory EREW
+//                               reduction the paper contrasts against.
+//  * erew_prefix_sum_selection— Section I's prefix-sum baseline on the EREW
+//                               machine (certified EREW-legal by the
+//                               machine's conflict checks).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/machine.hpp"
+
+namespace lrb::pram {
+
+/// Outcome of a CRCW max race.
+struct RaceResult {
+  std::size_t winner = 0;       ///< index of the maximum element
+  std::uint64_t rounds = 0;     ///< while-loop iterations (Theorem 1's count)
+  std::uint64_t write_attempts = 0;  ///< total writes offered to the cell
+  std::size_t initially_active = 0;  ///< processors with finite bids ("k")
+  /// Active-processor count at the start of every round (size == rounds).
+  /// This is the trajectory the paper's proof reasons about: a round is a
+  /// "success" if at least half its active processors become inactive, and
+  /// Theorem 1 follows from success-probability >= 1/2 plus at most
+  /// ceil(log2 k) successes.  Exposed so tests/benches can validate the
+  /// proof mechanics, not just the endpoint.
+  std::vector<std::size_t> active_per_round;
+
+  /// Rounds where the active set at least halved (the paper's "success").
+  [[nodiscard]] std::size_t success_rounds() const noexcept {
+    std::size_t successes = 0;
+    for (std::size_t r = 0; r < active_per_round.size(); ++r) {
+      const std::size_t before = active_per_round[r];
+      const std::size_t after =
+          r + 1 < active_per_round.size() ? active_per_round[r + 1] : 0;
+      if (after * 2 <= before) ++successes;
+    }
+    return successes;
+  }
+};
+
+/// Section III's algorithm on the CRCW machine: every processor with a
+/// finite bid repeatedly writes it to cell `s` while `s < r_i`; one random
+/// write wins per round; after stabilization the processor with `s == r_i`
+/// writes its index to `output`.
+///
+/// `bids` may contain -inf (zero-fitness processors never participate).
+/// Requires at least one finite bid.  Shared memory used: 2 cells.
+[[nodiscard]] RaceResult crcw_max_race(std::span<const double> bids,
+                                       std::uint64_t machine_seed);
+
+/// Full logarithmic-bidding selection at the PRAM level: draws
+/// r_i = log(u_i)/f_i for f_i > 0 (processor-local computation, not charged
+/// to shared memory), then races.  Returns the RaceResult whose `winner` is
+/// the selected processor.
+[[nodiscard]] RaceResult crcw_bidding_selection(std::span<const double> fitness,
+                                                std::uint64_t draw_seed,
+                                                std::uint64_t machine_seed);
+
+/// Outcome of an EREW reduction/scan program.
+struct ErewResult {
+  std::size_t winner = 0;
+  std::uint64_t rounds = 0;
+  std::size_t memory_cells = 0;  ///< shared memory footprint (O(n))
+};
+
+/// Binary-tree maximum on the EREW machine: O(ceil(log2 n)) rounds, O(n)
+/// cells.  Ties resolve to the smaller index (library-wide rule).
+[[nodiscard]] ErewResult erew_tree_max(std::span<const double> values);
+
+/// Section I's prefix-sum-based roulette selection on the EREW machine:
+/// up-sweep/down-sweep inclusive scan (2*ceil(log2 n) rounds), processor 0
+/// draws R = u * p_{n-1}, every processor checks p_{i-1} <= R < p_i.
+[[nodiscard]] ErewResult erew_prefix_sum_selection(std::span<const double> fitness,
+                                                   std::uint64_t draw_seed);
+
+}  // namespace lrb::pram

@@ -1,0 +1,37 @@
+#include "rng/engines.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace lrb::rng {
+
+EngineKind parse_engine_kind(std::string_view name) {
+  std::string low(name);
+  std::transform(low.begin(), low.end(), low.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (low == "xoshiro" || low == "xoshiro256" || low == "xoshiro256**" ||
+      low == "xoshiro256starstar") {
+    return EngineKind::kXoshiro256StarStar;
+  }
+  if (low == "mt" || low == "mt19937" || low == "mt19937_64" ||
+      low == "mersenne" || low == "mersenne_twister") {
+    return EngineKind::kMt19937_64;
+  }
+  if (low == "splitmix" || low == "splitmix64" || low == "sm64") {
+    return EngineKind::kSplitMix64;
+  }
+  if (low == "philox" || low == "philox4x32" || low == "philox4x32-10") {
+    return EngineKind::kPhilox4x32_10;
+  }
+  throw InvalidArgumentError("unknown RNG engine '" + std::string(name) +
+                             "' (expected xoshiro|mt19937|splitmix64|philox)");
+}
+
+std::vector<EngineKind> all_engine_kinds() {
+  return {EngineKind::kXoshiro256StarStar, EngineKind::kMt19937_64,
+          EngineKind::kSplitMix64, EngineKind::kPhilox4x32_10};
+}
+
+}  // namespace lrb::rng

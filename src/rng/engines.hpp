@@ -1,0 +1,57 @@
+// Umbrella header + runtime engine selection for benches/CLI tools that let
+// the user pick an engine by name (ablation A3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rng/mt19937_64.hpp"
+#include "rng/philox.hpp"
+#include "rng/seed.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::rng {
+
+/// Engines selectable by name on bench command lines.
+enum class EngineKind {
+  kXoshiro256StarStar,
+  kMt19937_64,
+  kSplitMix64,
+  kPhilox4x32_10,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kXoshiro256StarStar: return "xoshiro256**";
+    case EngineKind::kMt19937_64: return "mt19937_64";
+    case EngineKind::kSplitMix64: return "splitmix64";
+    case EngineKind::kPhilox4x32_10: return "philox4x32-10";
+  }
+  return "unknown";
+}
+
+/// Parses an engine name ("mt19937", "xoshiro", ...).  Throws
+/// InvalidArgumentError on unknown names.
+[[nodiscard]] EngineKind parse_engine_kind(std::string_view name);
+
+/// All engine kinds (for sweeps).
+[[nodiscard]] std::vector<EngineKind> all_engine_kinds();
+
+/// Invokes `fn` with a freshly-seeded engine of the requested kind:
+///   dispatch_engine(kind, seed, [&](auto rng) { ... });
+template <typename Fn>
+decltype(auto) dispatch_engine(EngineKind kind, std::uint64_t seed, Fn&& fn) {
+  switch (kind) {
+    case EngineKind::kMt19937_64: return fn(Mt19937_64(seed));
+    case EngineKind::kSplitMix64: return fn(SplitMix64(seed));
+    case EngineKind::kPhilox4x32_10: return fn(PhiloxRng(seed));
+    case EngineKind::kXoshiro256StarStar:
+    default: return fn(Xoshiro256StarStar(seed));
+  }
+}
+
+}  // namespace lrb::rng

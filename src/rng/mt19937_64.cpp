@@ -1,0 +1,45 @@
+#include "rng/mt19937_64.hpp"
+
+namespace lrb::rng {
+
+namespace {
+constexpr std::size_t kN = Mt19937_64::kStateSize;  // 312
+constexpr std::size_t kM = 156;
+constexpr std::uint64_t kMatrixA = 0xb5026f5aa96619e9ULL;
+constexpr std::uint64_t kUpperMask = 0xffffffff80000000ULL;  // most significant 33 bits
+constexpr std::uint64_t kLowerMask = 0x7fffffffULL;          // least significant 31 bits
+}  // namespace
+
+Mt19937_64::Mt19937_64(std::uint64_t seed_value) noexcept { seed(seed_value); }
+
+void Mt19937_64::seed(std::uint64_t value) noexcept {
+  state_[0] = value;
+  for (std::size_t i = 1; i < kN; ++i) {
+    state_[i] =
+        6364136223846793005ULL * (state_[i - 1] ^ (state_[i - 1] >> 62)) + i;
+  }
+  index_ = kN;  // force a twist on the first draw
+}
+
+void Mt19937_64::twist() noexcept {
+  for (std::size_t i = 0; i < kN; ++i) {
+    const std::uint64_t x =
+        (state_[i] & kUpperMask) | (state_[(i + 1) % kN] & kLowerMask);
+    std::uint64_t x_a = x >> 1;
+    if (x & 1ULL) x_a ^= kMatrixA;
+    state_[i] = state_[(i + kM) % kN] ^ x_a;
+  }
+  index_ = 0;
+}
+
+Mt19937_64::result_type Mt19937_64::operator()() noexcept {
+  if (index_ >= kN) twist();
+  std::uint64_t y = state_[index_++];
+  y ^= (y >> 29) & 0x5555555555555555ULL;
+  y ^= (y << 17) & 0x71d67fffeda60000ULL;
+  y ^= (y << 37) & 0xfff7eee000000000ULL;
+  y ^= y >> 43;
+  return y;
+}
+
+}  // namespace lrb::rng

@@ -1,0 +1,144 @@
+// Philox4x32-10 counter-based RNG (Salmon, Moraes, Dror & Shaw, SC'11).
+//
+// A counter-based generator computes the i-th random block as a pure function
+// of (key, counter=i).  That property is what makes parallel selection
+// *reproducible independent of thread count*: the j-th draw of a Monte-Carlo
+// experiment always consumes block j no matter which worker executes it.
+// src/core's deterministic parallel paths are built on this.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace lrb::rng {
+
+/// One 128-bit Philox4x32-10 block: 4 lanes of 32 bits.
+struct PhiloxBlock {
+  std::array<std::uint32_t, 4> lane;
+
+  /// Packs lanes {0,1} and {2,3} into two 64-bit words.
+  [[nodiscard]] constexpr std::uint64_t u64_lo() const noexcept {
+    return (static_cast<std::uint64_t>(lane[1]) << 32) | lane[0];
+  }
+  [[nodiscard]] constexpr std::uint64_t u64_hi() const noexcept {
+    return (static_cast<std::uint64_t>(lane[3]) << 32) | lane[2];
+  }
+};
+
+namespace detail {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kPhiloxW0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kPhiloxW1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+struct MulHiLo {
+  std::uint32_t hi;
+  std::uint32_t lo;
+};
+
+constexpr MulHiLo mulhilo32(std::uint32_t a, std::uint32_t b) noexcept {
+  const std::uint64_t p = static_cast<std::uint64_t>(a) * b;
+  return {static_cast<std::uint32_t>(p >> 32), static_cast<std::uint32_t>(p)};
+}
+
+constexpr PhiloxBlock philox_round(PhiloxBlock ctr,
+                                   std::array<std::uint32_t, 2> key) noexcept {
+  const MulHiLo p0 = mulhilo32(kPhiloxM0, ctr.lane[0]);
+  const MulHiLo p1 = mulhilo32(kPhiloxM1, ctr.lane[2]);
+  return PhiloxBlock{{p1.hi ^ ctr.lane[1] ^ key[0], p1.lo,
+                      p0.hi ^ ctr.lane[3] ^ key[1], p0.lo}};
+}
+
+}  // namespace detail
+
+/// Computes the Philox4x32-10 block for (key, counter).  Stateless; safe to
+/// call from any thread.
+[[nodiscard]] constexpr PhiloxBlock philox4x32_10(
+    std::array<std::uint32_t, 4> counter,
+    std::array<std::uint32_t, 2> key) noexcept {
+  PhiloxBlock block{counter};
+  for (int round = 0; round < 10; ++round) {
+    block = detail::philox_round(block, key);
+    key[0] += detail::kPhiloxW0;
+    key[1] += detail::kPhiloxW1;
+  }
+  return block;
+}
+
+/// 64-bit convenience: the i-th 128-bit block of stream `seed`, with a
+/// 64-bit stream discriminator folded into the counter's upper half.
+[[nodiscard]] constexpr PhiloxBlock philox_block_at(std::uint64_t seed,
+                                                    std::uint64_t counter,
+                                                    std::uint64_t stream = 0) noexcept {
+  const std::array<std::uint32_t, 4> ctr = {
+      static_cast<std::uint32_t>(counter), static_cast<std::uint32_t>(counter >> 32),
+      static_cast<std::uint32_t>(stream), static_cast<std::uint32_t>(stream >> 32)};
+  const std::array<std::uint32_t, 2> key = {
+      static_cast<std::uint32_t>(seed), static_cast<std::uint32_t>(seed >> 32)};
+  return philox4x32_10(ctr, key);
+}
+
+/// Stateless draw: 64 random bits fully determined by (seed, counter, stream).
+[[nodiscard]] constexpr std::uint64_t philox_u64_at(std::uint64_t seed,
+                                                    std::uint64_t counter,
+                                                    std::uint64_t stream = 0) noexcept {
+  return philox_block_at(seed, counter, stream).u64_lo();
+}
+
+/// Stateful engine view over the counter sequence.  Each 128-bit block yields
+/// two 64-bit outputs before the counter advances.
+class PhiloxRng {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit PhiloxRng(std::uint64_t seed = 0,
+                               std::uint64_t stream = 0) noexcept
+      : seed_(seed), stream_(stream) {}
+
+  constexpr result_type operator()() noexcept {
+    if (phase_ == 0) {
+      block_ = philox_block_at(seed_, counter_, stream_);
+      phase_ = 1;
+      return block_.u64_lo();
+    }
+    phase_ = 0;
+    ++counter_;
+    return block_.u64_hi();
+  }
+
+  /// O(1) skip-ahead: position the engine so the next output is output
+  /// index `n` of the stream (output 2c is block c's low word, 2c+1 its
+  /// high word).
+  constexpr void seek(std::uint64_t n) noexcept {
+    counter_ = n / 2;
+    phase_ = static_cast<int>(n % 2);
+    if (phase_ == 1) {
+      block_ = philox_block_at(seed_, counter_, stream_);
+    }
+  }
+
+  constexpr void discard(std::uint64_t n) noexcept {
+    for (std::uint64_t i = 0; i < n; ++i) (void)(*this)();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  friend constexpr bool operator==(const PhiloxRng& a, const PhiloxRng& b) noexcept {
+    return a.seed_ == b.seed_ && a.stream_ == b.stream_ &&
+           a.counter_ == b.counter_ && a.phase_ == b.phase_;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t stream_;
+  std::uint64_t counter_ = 0;
+  int phase_ = 0;
+  PhiloxBlock block_{};
+};
+
+}  // namespace lrb::rng

@@ -1,0 +1,17 @@
+#include "rng/seed.hpp"
+
+namespace lrb::rng {
+
+std::uint64_t SeedSequence::child(std::string_view label,
+                                  std::uint64_t index) const noexcept {
+  return splitmix64_mix(splitmix64_mix(master_ ^ fnv1a64(label)) + index);
+}
+
+std::vector<std::uint64_t> SeedSequence::children(std::size_t n) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(child(i));
+  return out;
+}
+
+}  // namespace lrb::rng

@@ -1,0 +1,55 @@
+// SplitMix64: Steele, Lea & Flood's fast 64-bit mixer.
+//
+// Used in two roles:
+//  * as the canonical seed-expansion function for the other engines
+//    (a single user seed deterministically yields arbitrarily many
+//    well-distributed 64-bit state words), and
+//  * as a standalone engine for throughput baselines.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lrb::rng {
+
+/// One stateless SplitMix64 step: mixes `x` into a 64-bit output.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// SplitMix64 engine.  Satisfies std::uniform_random_bit_generator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept
+      : state_(seed) {}
+
+  constexpr result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Skips `n` outputs in O(1) (the state advances linearly).
+  constexpr void discard(std::uint64_t n) noexcept {
+    state_ += n * 0x9e3779b97f4a7c15ULL;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  friend constexpr bool operator==(const SplitMix64&, const SplitMix64&) = default;
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace lrb::rng

@@ -1,0 +1,111 @@
+// Canonical floating-point draws and the distributions the selection
+// algorithms consume.
+//
+// The paper's rand() is uniform on [0,1).  Its bid is r = log(rand())/f,
+// which is -inf when rand() returns exactly 0.  A -inf bid merely guarantees
+// that processor loses the race (harmless but wasteful), so the library
+// draws bids from the open-closed interval (0,1] where log() is always
+// finite.  The selection distribution is unchanged: {0} has measure zero.
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <random>
+
+namespace lrb::rng {
+
+/// Concept for the engines this library accepts: 64-bit output covering the
+/// full range, like all engines in lrb::rng and std::mt19937_64.
+template <typename G>
+concept Engine64 = std::uniform_random_bit_generator<std::remove_reference_t<G>> &&
+                   std::same_as<typename std::remove_reference_t<G>::result_type,
+                                std::uint64_t>;
+
+/// Uniform on [0,1), 53-bit resolution (the classic "canonical" mapping;
+/// matches the paper's rand() contract).
+template <Engine64 G>
+[[nodiscard]] double u01_closed_open(G&& gen) noexcept {
+  return static_cast<double>(gen() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform on (0,1], 53-bit resolution.  log(u01_open_closed()) is always
+/// finite; use this for bid generation.
+template <Engine64 G>
+[[nodiscard]] double u01_open_closed(G&& gen) noexcept {
+  return static_cast<double>((gen() >> 11) + 1) * 0x1.0p-53;
+}
+
+/// Uniform on (0,1) — both endpoints excluded.
+template <Engine64 G>
+[[nodiscard]] double u01_open_open(G&& gen) noexcept {
+  return (static_cast<double>(gen() >> 12) + 0.5) * 0x1.0p-52;
+}
+
+/// Uniform integer in [0, bound) by Lemire's multiply-shift rejection method
+/// (unbiased, no modulo).
+template <Engine64 G>
+[[nodiscard]] std::uint64_t uniform_below(G&& gen, std::uint64_t bound) noexcept {
+  // Degenerate bound: the only valid return is 0.
+  if (bound <= 1) return 0;
+  while (true) {
+    const std::uint64_t x = gen();
+    const unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+    // Rejection zone: accept unless low < 2^64 mod bound.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    if (low >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+/// Exponential with rate `lambda` (> 0) by inversion.
+template <Engine64 G>
+[[nodiscard]] double exponential(G&& gen, double lambda) noexcept {
+  return -std::log(u01_open_closed(gen)) / lambda;
+}
+
+/// Standard Gumbel(0,1): -log(-log(U)).
+template <Engine64 G>
+[[nodiscard]] double gumbel(G&& gen) noexcept {
+  return -std::log(-std::log(u01_open_open(gen)));
+}
+
+/// The paper's logarithmic random bid for fitness f > 0:
+///   r = log(u)/f,  u ~ Uniform(0,1].
+/// r is in (-inf, 0]; larger is better.  Exactly equivalent to negating an
+/// Exponential(f) arrival time, hence the winner of max(r_i) is index i with
+/// probability f_i / sum(f).
+template <Engine64 G>
+[[nodiscard]] double log_bid(G&& gen, double fitness) noexcept {
+  return std::log(u01_open_closed(gen)) / fitness;
+}
+
+/// Stateless variant used by counter-based deterministic parallel paths:
+/// forms the bid from a pre-drawn uniform.
+[[nodiscard]] inline double log_bid_from_uniform(double u, double fitness) noexcept {
+  return std::log(u) / fitness;
+}
+
+/// The Efraimidis–Spirakis key u^(1/w) for ablation A2.  Mathematically the
+/// winner distribution equals log-bidding (it is exp(log(u)/w)), but the
+/// direct form underflows to 0 for small w / small u, collapsing ties —
+/// measured in bench/ablation_key_formulations.
+template <Engine64 G>
+[[nodiscard]] double es_key(G&& gen, double weight) noexcept {
+  return std::pow(u01_open_closed(gen), 1.0 / weight);
+}
+
+/// The biased "independent roulette" draw r = f * u from Cecilia et al.,
+/// kept as the paper's baseline.
+template <Engine64 G>
+[[nodiscard]] double independent_draw(G&& gen, double fitness) noexcept {
+  return fitness * u01_closed_open(gen);
+}
+
+}  // namespace lrb::rng

@@ -1,0 +1,95 @@
+// xoshiro256** 1.0 (Blackman & Vigna): the library's default engine.
+//
+// Chosen as the default because it is ~3x faster than MT19937-64 with
+// excellent statistical quality, and it supports jump()/long_jump() for
+// provably non-overlapping parallel substreams — which the thread-pool
+// selection paths rely on for reproducible parallel runs.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "rng/splitmix64.hpp"
+
+namespace lrb::rng {
+
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 state bits through SplitMix64 as the authors recommend.
+  constexpr explicit Xoshiro256StarStar(std::uint64_t seed = 1) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm();
+    // An all-zero state is a fixed point; SplitMix64 cannot produce four
+    // zero outputs in a row from any seed, but keep the guard explicit.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr void discard(std::uint64_t n) noexcept {
+    for (std::uint64_t i = 0; i < n; ++i) (void)(*this)();
+  }
+
+  /// Advances the state by 2^128 steps: partitions the period into 2^128
+  /// non-overlapping substreams for parallel workers.
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    apply_polynomial(kJump);
+  }
+
+  /// Advances by 2^192 steps (substreams of substreams).
+  constexpr void long_jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kLongJump = {
+        0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+        0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+    apply_polynomial(kLongJump);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  friend constexpr bool operator==(const Xoshiro256StarStar&,
+                                   const Xoshiro256StarStar&) = default;
+
+ private:
+  constexpr void apply_polynomial(const std::array<std::uint64_t, 4>& poly) noexcept {
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t word : poly) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (std::uint64_t{1} << bit)) {
+          acc[0] ^= state_[0];
+          acc[1] ^= state_[1];
+          acc[2] ^= state_[2];
+          acc[3] ^= state_[3];
+        }
+        (void)(*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// The engine the library uses unless the caller asks for another.
+using DefaultRng = Xoshiro256StarStar;
+
+}  // namespace lrb::rng

@@ -1,0 +1,150 @@
+#include "stats/gof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "stats/special.hpp"
+
+namespace lrb::stats {
+
+ChiSquareResult chi_square_gof(std::span<const std::uint64_t> observed,
+                               std::span<const double> expected,
+                               double min_expected) {
+  LRB_REQUIRE(observed.size() == expected.size(), lrb::InvalidArgumentError,
+              "chi_square_gof: arity mismatch");
+  LRB_REQUIRE(!observed.empty(), lrb::InvalidArgumentError,
+              "chi_square_gof: empty input");
+
+  std::uint64_t total = 0;
+  for (std::uint64_t c : observed) total += c;
+  LRB_REQUIRE(total > 0, lrb::InvalidArgumentError,
+              "chi_square_gof: no observations");
+
+  const double n = static_cast<double>(total);
+
+  ChiSquareResult result;
+  lrb::KahanSum stat;
+  double pooled_expected = 0.0;
+  std::uint64_t pooled_observed = 0;
+
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double p = expected[i];
+    LRB_REQUIRE(p >= 0.0 && std::isfinite(p), lrb::InvalidArgumentError,
+                "chi_square_gof: expected probabilities must be finite and >= 0");
+    if (p == 0.0) {
+      // A zero-probability cell with observations is an unconditional
+      // rejection: the model says this outcome is impossible.
+      if (observed[i] != 0) {
+        result.statistic = std::numeric_limits<double>::infinity();
+        result.p_value = 0.0;
+        result.cells_used = observed.size();
+        return result;
+      }
+      ++result.cells_dropped;
+      continue;
+    }
+    const double e = p * n;
+    if (e < min_expected) {
+      pooled_expected += e;
+      pooled_observed += observed[i];
+      continue;
+    }
+    const double d = static_cast<double>(observed[i]) - e;
+    stat.add(d * d / e);
+    ++result.cells_used;
+  }
+  // Include the pooled remainder when it is valid on its own, or when
+  // dropping it would leave a degenerate (single-cell) test.
+  if (pooled_expected >= min_expected ||
+      (pooled_expected > 0.0 && result.cells_used < 2)) {
+    const double d = static_cast<double>(pooled_observed) - pooled_expected;
+    stat.add(d * d / pooled_expected);
+    ++result.cells_used;
+  } else if (pooled_expected > 0.0) {
+    // The pooled remainder is too sparse for the chi-square approximation;
+    // drop it (its mass is negligible by construction).
+    ++result.cells_dropped;
+  }
+
+  LRB_REQUIRE(result.cells_used >= 2, lrb::InvalidArgumentError,
+              "chi_square_gof: fewer than two usable cells");
+
+  result.statistic = stat.value();
+  result.dof = static_cast<double>(result.cells_used - 1);
+  result.p_value = chi_square_sf(result.statistic, result.dof);
+  return result;
+}
+
+ChiSquareResult chi_square_gof(const SelectionHistogram& hist,
+                               std::span<const double> expected,
+                               double min_expected) {
+  return chi_square_gof(hist.counts(), expected, min_expected);
+}
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+  LRB_REQUIRE(p.size() == q.size(), lrb::InvalidArgumentError,
+              "total_variation: arity mismatch");
+  lrb::KahanSum s;
+  for (std::size_t i = 0; i < p.size(); ++i) s.add(std::abs(p[i] - q[i]));
+  return 0.5 * s.value();
+}
+
+double kl_divergence(std::span<const double> p, std::span<const double> q) {
+  LRB_REQUIRE(p.size() == q.size(), lrb::InvalidArgumentError,
+              "kl_divergence: arity mismatch");
+  lrb::KahanSum s;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == 0.0) continue;
+    LRB_REQUIRE(q[i] > 0.0, lrb::InvalidArgumentError,
+                "kl_divergence: q must be positive wherever p is");
+    s.add(p[i] * std::log(p[i] / q[i]));
+  }
+  return s.value();
+}
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double confidence) {
+  LRB_REQUIRE(trials > 0, lrb::InvalidArgumentError,
+              "wilson_interval: trials must be positive");
+  LRB_REQUIRE(successes <= trials, lrb::InvalidArgumentError,
+              "wilson_interval: successes must not exceed trials");
+  LRB_REQUIRE(confidence > 0.0 && confidence < 1.0, lrb::InvalidArgumentError,
+              "wilson_interval: confidence must be in (0,1)");
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  Interval out;
+  out.low = std::max(0.0, center - half);
+  out.high = std::min(1.0, center + half);
+  return out;
+}
+
+KsResult ks_uniform01(std::vector<double> samples) {
+  LRB_REQUIRE(!samples.empty(), lrb::InvalidArgumentError,
+              "ks_uniform01: empty sample");
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double cdf = std::min(1.0, std::max(0.0, samples[i]));
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(cdf - lo), std::abs(hi - cdf)});
+  }
+  KsResult out;
+  out.statistic = d;
+  const double sqrt_n = std::sqrt(n);
+  // Asymptotic p-value with the small-sample correction of Stephens.
+  out.p_value = kolmogorov_sf((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return out;
+}
+
+}  // namespace lrb::stats

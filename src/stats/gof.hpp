@@ -1,0 +1,77 @@
+// Goodness-of-fit machinery: chi-square test against expected selection
+// probabilities, distribution distances, and binomial confidence intervals.
+//
+// These are the acceptance criteria of the reproduction: "the logarithmic
+// bidding matches F_i" is checked as a chi-square p-value, not an eyeballed
+// table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace lrb::stats {
+
+/// Result of a chi-square goodness-of-fit test.
+struct ChiSquareResult {
+  double statistic = 0.0;      ///< sum (obs - exp)^2 / exp over kept cells
+  double dof = 0.0;            ///< kept cells - 1
+  double p_value = 1.0;        ///< Pr[X >= statistic]
+  std::size_t cells_used = 0;  ///< cells with expected count above threshold
+  std::size_t cells_dropped = 0;
+
+  /// True when the empirical data is consistent with the model at level
+  /// `alpha` (i.e. we fail to reject).
+  [[nodiscard]] bool consistent_with_model(double alpha = 1e-3) const {
+    return p_value >= alpha;
+  }
+};
+
+/// Chi-square GOF of observed counts against probabilities `expected`
+/// (must sum to ~1; zero-probability cells must have zero observations, and
+/// are excluded from the statistic).  Cells with expected count below
+/// `min_expected` are pooled into a single remainder cell, the standard
+/// validity fix for sparse cells.
+[[nodiscard]] ChiSquareResult chi_square_gof(std::span<const std::uint64_t> observed,
+                                             std::span<const double> expected,
+                                             double min_expected = 5.0);
+
+/// Convenience overload on SelectionHistogram.
+[[nodiscard]] ChiSquareResult chi_square_gof(const SelectionHistogram& hist,
+                                             std::span<const double> expected,
+                                             double min_expected = 5.0);
+
+/// Total variation distance 0.5 * sum |p_i - q_i| between an empirical
+/// distribution and a model.
+[[nodiscard]] double total_variation(std::span<const double> p,
+                                     std::span<const double> q);
+
+/// KL divergence sum p_i log(p_i / q_i); requires q_i > 0 wherever p_i > 0
+/// (throws InvalidArgumentError otherwise).  Natural log.
+[[nodiscard]] double kl_divergence(std::span<const double> p,
+                                   std::span<const double> q);
+
+/// Wilson score interval for a binomial proportion at confidence
+/// `confidence` (e.g. 0.999).  Returns {low, high}.
+struct Interval {
+  double low = 0.0;
+  double high = 1.0;
+  [[nodiscard]] bool contains(double x) const { return low <= x && x <= high; }
+};
+
+[[nodiscard]] Interval wilson_interval(std::uint64_t successes,
+                                       std::uint64_t trials,
+                                       double confidence = 0.999);
+
+/// One-sample Kolmogorov–Smirnov test of `samples` against the uniform(0,1)
+/// CDF.  `samples` is sorted in place by the caller or internally (copy).
+struct KsResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+};
+
+[[nodiscard]] KsResult ks_uniform01(std::vector<double> samples);
+
+}  // namespace lrb::stats

@@ -1,0 +1,28 @@
+#include "stats/histogram.hpp"
+
+namespace lrb::stats {
+
+void SelectionHistogram::merge(const SelectionHistogram& other) {
+  LRB_REQUIRE(other.size() == size(), lrb::InvalidArgumentError,
+              "SelectionHistogram::merge: arity mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double SelectionHistogram::frequency(std::size_t index) const {
+  LRB_REQUIRE(index < counts_.size(), lrb::InvalidArgumentError,
+              "SelectionHistogram::frequency: index out of range");
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[index]) / static_cast<double>(total_);
+}
+
+std::vector<double> SelectionHistogram::frequencies() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+}  // namespace lrb::stats

@@ -1,0 +1,50 @@
+// Selection-count histogram: the accumulator every probability experiment
+// (Tables I & II, all property tests) writes into.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lrb::stats {
+
+/// Counts selections of indices in [0, n).
+class SelectionHistogram {
+ public:
+  explicit SelectionHistogram(std::size_t n) : counts_(n, 0) {}
+
+  void record(std::size_t index) {
+    LRB_REQUIRE(index < counts_.size(), lrb::InvalidArgumentError,
+                "SelectionHistogram::record: index out of range");
+    ++counts_[index];
+    ++total_;
+  }
+
+  /// Merges another histogram of the same arity (parallel accumulation).
+  void merge(const SelectionHistogram& other);
+
+  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count(std::size_t index) const {
+    LRB_REQUIRE(index < counts_.size(), lrb::InvalidArgumentError,
+                "SelectionHistogram::count: index out of range");
+    return counts_[index];
+  }
+  [[nodiscard]] std::span<const std::uint64_t> counts() const noexcept {
+    return counts_;
+  }
+
+  /// Empirical frequency of `index` (0 if no draws recorded).
+  [[nodiscard]] double frequency(std::size_t index) const;
+
+  /// All empirical frequencies.
+  [[nodiscard]] std::vector<double> frequencies() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lrb::stats

@@ -1,0 +1,138 @@
+#include "aco/ant_system.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lrb::aco {
+namespace {
+
+AntSystemParams fast_params() {
+  AntSystemParams p;
+  p.num_ants = 8;
+  p.iterations = 10;
+  return p;
+}
+
+TEST(AntSystem, ConstructTourIsPermutation) {
+  const auto inst = random_euclidean_instance(25, 1);
+  AntSystem aco(inst, fast_params());
+  const auto tour = aco.construct_tour(3, 42);
+  EXPECT_EQ(tour.size(), 25u);
+  EXPECT_EQ(tour[0], 3u);
+  const std::set<std::size_t> unique(tour.begin(), tour.end());
+  EXPECT_EQ(unique.size(), 25u);
+}
+
+TEST(AntSystem, RunIsDeterministicInSeed) {
+  const auto inst = random_euclidean_instance(15, 2);
+  AntSystem a(inst, fast_params()), b(inst, fast_params());
+  const auto ra = a.run(7);
+  const auto rb = b.run(7);
+  EXPECT_DOUBLE_EQ(ra.best_length, rb.best_length);
+  EXPECT_EQ(ra.best_tour, rb.best_tour);
+  EXPECT_EQ(ra.history, rb.history);
+}
+
+TEST(AntSystem, BestTourIsValidAndTracked) {
+  const auto inst = random_euclidean_instance(20, 3);
+  AntSystem aco(inst, fast_params());
+  const auto r = aco.run(1);
+  EXPECT_EQ(r.best_tour.size(), 20u);
+  EXPECT_NEAR(inst.tour_length(r.best_tour), r.best_length, 1e-9);
+  EXPECT_EQ(r.history.size(), fast_params().iterations);
+  // Best length equals the minimum of the history.
+  EXPECT_DOUBLE_EQ(r.best_length,
+                   *std::min_element(r.history.begin(), r.history.end()));
+  EXPECT_EQ(r.selections, fast_params().num_ants * fast_params().iterations *
+                              (inst.size() - 1));
+}
+
+TEST(AntSystem, SolvesCircleNearOptimally) {
+  // A 12-city circle: AS with bidding selection should land within 15% of
+  // optimal quickly (usually exactly optimal).
+  const auto inst = circle_instance(12);
+  AntSystemParams p;
+  p.num_ants = 16;
+  p.iterations = 30;
+  p.rule = SelectionRule::kBidding;
+  AntSystem aco(inst, p);
+  const auto r = aco.run(5);
+  EXPECT_LT(r.best_length, 1.15 * circle_optimal_length(12));
+}
+
+TEST(AntSystem, MmasVariantRunsAndClampsPheromone) {
+  const auto inst = random_euclidean_instance(15, 4);
+  AntSystemParams p = fast_params();
+  p.variant = AcoVariant::kMaxMin;
+  AntSystem aco(inst, p);
+  const auto r = aco.run(2);
+  EXPECT_EQ(r.best_tour.size(), 15u);
+  // All pheromone within the clamp bounds (tau_min > 0).
+  double lo = 1e18, hi = 0;
+  for (double tau : aco.pheromone()) {
+    lo = std::min(lo, tau);
+    hi = std::max(hi, tau);
+  }
+  EXPECT_GT(lo, 0.0);
+  EXPECT_GE(hi, lo);
+}
+
+TEST(AntSystem, AllSelectionRulesProduceValidTours) {
+  const auto inst = random_euclidean_instance(18, 5);
+  for (SelectionRule rule :
+       {SelectionRule::kBidding, SelectionRule::kCdf,
+        SelectionRule::kIndependent, SelectionRule::kGreedy}) {
+    AntSystemParams p = fast_params();
+    p.rule = rule;
+    AntSystem aco(inst, p);
+    const auto r = aco.run(3);
+    EXPECT_NO_THROW((void)inst.tour_length(r.best_tour))
+        << to_string(rule);
+  }
+}
+
+TEST(AntSystem, ImprovesOverIterationsOnAverage) {
+  const auto inst = random_euclidean_instance(30, 6);
+  AntSystemParams p;
+  p.num_ants = 16;
+  p.iterations = 40;
+  AntSystem aco(inst, p);
+  const auto r = aco.run(9);
+  // Later iterations should beat the first iteration's best.
+  const double first = r.history.front();
+  const double last_min =
+      *std::min_element(r.history.end() - 10, r.history.end());
+  EXPECT_LE(last_min, first);
+}
+
+TEST(AntSystem, RejectsBadParams) {
+  const auto inst = random_euclidean_instance(5, 7);
+  AntSystemParams p = fast_params();
+  p.num_ants = 0;
+  EXPECT_THROW(AntSystem(inst, p), InvalidArgumentError);
+  p = fast_params();
+  p.rho = 0.0;
+  EXPECT_THROW(AntSystem(inst, p), InvalidArgumentError);
+  p = fast_params();
+  p.rho = 1.5;
+  EXPECT_THROW(AntSystem(inst, p), InvalidArgumentError);
+  p = fast_params();
+  p.alpha = -1;
+  EXPECT_THROW(AntSystem(inst, p), InvalidArgumentError);
+}
+
+TEST(SelectionRuleNames, RoundTrip) {
+  for (SelectionRule rule :
+       {SelectionRule::kBidding, SelectionRule::kCdf,
+        SelectionRule::kIndependent, SelectionRule::kGreedy}) {
+    EXPECT_EQ(parse_selection_rule(to_string(rule)), rule);
+  }
+  EXPECT_THROW((void)parse_selection_rule("bogus"), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace lrb::aco

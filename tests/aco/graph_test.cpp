@@ -1,0 +1,94 @@
+#include "aco/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lrb::aco {
+namespace {
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Graph, DuplicateEdgesIgnored) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopAndOutOfRange) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), InvalidArgumentError);
+  EXPECT_THROW(g.add_edge(0, 3), InvalidArgumentError);
+  EXPECT_THROW((void)g.has_edge(5, 0), InvalidArgumentError);
+  EXPECT_THROW((void)Graph(0), InvalidArgumentError);
+}
+
+TEST(Graph, ProperColoringCheck) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_proper_coloring(std::vector<int>{0, 1, 0}));
+  EXPECT_FALSE(g.is_proper_coloring(std::vector<int>{0, 0, 1}));
+  EXPECT_FALSE(g.is_proper_coloring(std::vector<int>{0, 1}));      // wrong size
+  EXPECT_FALSE(g.is_proper_coloring(std::vector<int>{0, -1, 0}));  // uncolored
+}
+
+TEST(CompleteGraph, EdgeCountAndDegree) {
+  const auto g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(g.max_degree(), 5u);
+}
+
+TEST(CycleGraph, Structure) {
+  const auto g = cycle_graph(5);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_TRUE(g.has_edge(4, 0));
+  EXPECT_THROW((void)cycle_graph(2), InvalidArgumentError);
+}
+
+TEST(CompleteMultipartite, Structure) {
+  const auto g = complete_multipartite(3, 2);  // 6 vertices, chromatic 3
+  EXPECT_EQ(g.num_vertices(), 6u);
+  // Edges: C(6,2) - 3 within-group = 15 - 3 = 12.
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_FALSE(g.has_edge(0, 1));  // same group
+  EXPECT_TRUE(g.has_edge(0, 2));
+  // The canonical 3-coloring by group is proper.
+  EXPECT_TRUE(g.is_proper_coloring(std::vector<int>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(RandomGnp, EdgeDensityNearP) {
+  const auto g = random_gnp(60, 0.3, 5);
+  const double max_edges = 60.0 * 59.0 / 2.0;
+  const double density = static_cast<double>(g.num_edges()) / max_edges;
+  EXPECT_NEAR(density, 0.3, 0.05);
+  EXPECT_THROW((void)random_gnp(5, 1.5, 1), InvalidArgumentError);
+}
+
+TEST(RandomGnp, DeterministicInSeed) {
+  const auto a = random_gnp(20, 0.4, 9);
+  const auto b = random_gnp(20, 0.4, 9);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t u = 0; u < 20; ++u) {
+    for (std::size_t v = u + 1; v < 20; ++v) {
+      EXPECT_EQ(a.has_edge(u, v), b.has_edge(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lrb::aco

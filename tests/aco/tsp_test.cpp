@@ -1,0 +1,110 @@
+#include "aco/tsp.hpp"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lrb::aco {
+namespace {
+
+TEST(TspInstance, DistanceMatrixIsSymmetricWithZeroDiagonal) {
+  const auto inst = random_euclidean_instance(20, 1);
+  for (std::size_t a = 0; a < inst.size(); ++a) {
+    EXPECT_DOUBLE_EQ(inst.distance(a, a), 0.0);
+    for (std::size_t b = 0; b < inst.size(); ++b) {
+      EXPECT_DOUBLE_EQ(inst.distance(a, b), inst.distance(b, a));
+    }
+  }
+}
+
+TEST(TspInstance, TriangleInequalityHolds) {
+  const auto inst = random_euclidean_instance(15, 2);
+  for (std::size_t a = 0; a < inst.size(); ++a) {
+    for (std::size_t b = 0; b < inst.size(); ++b) {
+      for (std::size_t c = 0; c < inst.size(); ++c) {
+        EXPECT_LE(inst.distance(a, c),
+                  inst.distance(a, b) + inst.distance(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TspInstance, TourLengthValidation) {
+  const auto inst = random_euclidean_instance(5, 3);
+  std::vector<std::size_t> tour = {0, 1, 2, 3, 4};
+  EXPECT_GT(inst.tour_length(tour), 0.0);
+  tour[4] = 0;  // repeated city
+  EXPECT_THROW((void)inst.tour_length(tour), InvalidArgumentError);
+  EXPECT_THROW((void)inst.tour_length(std::vector<std::size_t>{0, 1}),
+               InvalidArgumentError);
+  EXPECT_THROW((void)inst.tour_length(std::vector<std::size_t>{0, 1, 2, 3, 9}),
+               InvalidArgumentError);
+}
+
+TEST(TspInstance, TourLengthIsRotationInvariant) {
+  const auto inst = random_euclidean_instance(8, 4);
+  std::vector<std::size_t> tour(8);
+  std::iota(tour.begin(), tour.end(), 0u);
+  const double len = inst.tour_length(tour);
+  std::rotate(tour.begin(), tour.begin() + 3, tour.end());
+  EXPECT_NEAR(inst.tour_length(tour), len, 1e-9);
+}
+
+TEST(TspInstance, NearestNeighborIsValidTour) {
+  const auto inst = random_euclidean_instance(30, 5);
+  const auto tour = inst.nearest_neighbor_tour(7);
+  EXPECT_EQ(tour.size(), 30u);
+  EXPECT_EQ(tour[0], 7u);
+  EXPECT_NO_THROW((void)inst.tour_length(tour));
+}
+
+TEST(CircleInstance, OptimalTourIsCircleOrder) {
+  const auto inst = circle_instance(12);
+  std::vector<std::size_t> tour(12);
+  std::iota(tour.begin(), tour.end(), 0u);
+  EXPECT_NEAR(inst.tour_length(tour), circle_optimal_length(12), 1e-9);
+  // Any transposition is strictly worse.
+  std::swap(tour[2], tour[7]);
+  EXPECT_GT(inst.tour_length(tour), circle_optimal_length(12) + 1e-9);
+}
+
+TEST(CircleInstance, NearestNeighborFindsNearOptimal) {
+  const auto inst = circle_instance(16);
+  const auto tour = inst.nearest_neighbor_tour(0);
+  // NN on a circle walks around it (possibly closing long), within 2x.
+  EXPECT_LT(inst.tour_length(tour), 2.0 * circle_optimal_length(16));
+}
+
+TEST(GridInstance, SizeAndSpacing) {
+  const auto inst = grid_instance(4, 3, 2.0);
+  EXPECT_EQ(inst.size(), 12u);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 4), 2.0);  // next row
+}
+
+TEST(Generators, RejectDegenerateArguments) {
+  EXPECT_THROW((void)random_euclidean_instance(1, 1), InvalidArgumentError);
+  EXPECT_THROW((void)random_euclidean_instance(5, 1, -1.0), InvalidArgumentError);
+  EXPECT_THROW((void)circle_instance(2), InvalidArgumentError);
+  EXPECT_THROW((void)grid_instance(1, 1), InvalidArgumentError);
+}
+
+TEST(RandomEuclidean, DeterministicInSeed) {
+  const auto a = random_euclidean_instance(10, 7);
+  const auto b = random_euclidean_instance(10, 7);
+  const auto c = random_euclidean_instance(10, 8);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.cities()[i].x, b.cities()[i].x);
+    EXPECT_DOUBLE_EQ(a.cities()[i].y, b.cities()[i].y);
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 10; ++i) {
+    any_diff |= a.cities()[i].x != c.cities()[i].x;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace lrb::aco

@@ -1,0 +1,121 @@
+#include "aco/tsplib.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lrb::aco {
+namespace {
+
+TEST(Tsplib, RoundTripsThroughStream) {
+  const auto original = random_euclidean_instance(25, 1);
+  std::stringstream buffer;
+  write_tsplib(buffer, original, "roundtrip", "test");
+  const auto parsed = read_tsplib(buffer);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_NEAR(parsed.cities()[i].x, original.cities()[i].x, 1e-9);
+    EXPECT_NEAR(parsed.cities()[i].y, original.cities()[i].y, 1e-9);
+  }
+  // Tour lengths agree, so the distance matrices match.
+  const auto tour = original.nearest_neighbor_tour(0);
+  EXPECT_NEAR(parsed.tour_length(tour), original.tour_length(tour), 1e-6);
+}
+
+TEST(Tsplib, ParsesHandWrittenInstance) {
+  std::stringstream in(
+      "NAME : tiny\n"
+      "COMMENT : three points\n"
+      "TYPE : TSP\n"
+      "DIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EUC_2D\n"
+      "NODE_COORD_SECTION\n"
+      "1 0.0 0.0\n"
+      "2 3.0 0.0\n"
+      "3 0.0 4.0\n"
+      "EOF\n");
+  const auto inst = read_tsplib(in);
+  ASSERT_EQ(inst.size(), 3u);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(inst.distance(1, 2), 5.0);
+}
+
+TEST(Tsplib, AcceptsShuffledNodeIds) {
+  std::stringstream in(
+      "DIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EUC_2D\n"
+      "NODE_COORD_SECTION\n"
+      "3 0.0 4.0\n"
+      "1 0.0 0.0\n"
+      "2 3.0 0.0\n");
+  const auto inst = read_tsplib(in);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 1), 3.0);
+}
+
+TEST(Tsplib, RejectsUnsupportedFeatures) {
+  {
+    std::stringstream in("EDGE_WEIGHT_TYPE : GEO\nDIMENSION : 3\n");
+    EXPECT_THROW((void)read_tsplib(in), InvalidArgumentError);
+  }
+  {
+    std::stringstream in("TYPE : ATSP\n");
+    EXPECT_THROW((void)read_tsplib(in), InvalidArgumentError);
+  }
+  {
+    std::stringstream in("GIBBERISH LINE WITHOUT COLON\n");
+    EXPECT_THROW((void)read_tsplib(in), InvalidArgumentError);
+  }
+}
+
+TEST(Tsplib, RejectsMalformedCoordSection) {
+  {
+    // Truncated.
+    std::stringstream in(
+        "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+        "1 0 0\n2 1 1\n");
+    EXPECT_THROW((void)read_tsplib(in), InvalidArgumentError);
+  }
+  {
+    // Duplicate id.
+    std::stringstream in(
+        "DIMENSION : 2\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+        "1 0 0\n1 1 1\n");
+    EXPECT_THROW((void)read_tsplib(in), InvalidArgumentError);
+  }
+  {
+    // Id out of range.
+    std::stringstream in(
+        "DIMENSION : 2\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+        "1 0 0\n5 1 1\n");
+    EXPECT_THROW((void)read_tsplib(in), InvalidArgumentError);
+  }
+  {
+    // Missing dimension entirely.
+    std::stringstream in(
+        "EDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n1 0 0\n");
+    EXPECT_THROW((void)read_tsplib(in), InvalidArgumentError);
+  }
+}
+
+TEST(Tsplib, FileRoundTrip) {
+  const auto original = circle_instance(8);
+  const std::string path = ::testing::TempDir() + "/lrb_tsplib_test.tsp";
+  write_tsplib_file(path, original, "circle8");
+  const auto parsed = read_tsplib_file(path);
+  EXPECT_EQ(parsed.size(), 8u);
+  std::vector<std::size_t> tour = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_NEAR(parsed.tour_length(tour), circle_optimal_length(8), 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(Tsplib, MissingFileThrows) {
+  EXPECT_THROW((void)read_tsplib_file("/nonexistent/nope.tsp"),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace lrb::aco

@@ -1,0 +1,65 @@
+#include "aco/two_opt.hpp"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lrb::aco {
+namespace {
+
+TEST(TwoOpt, NeverWorsensATour) {
+  const auto inst = random_euclidean_instance(30, 1);
+  std::vector<std::size_t> tour(30);
+  std::iota(tour.begin(), tour.end(), 0u);
+  const double before = inst.tour_length(tour);
+  const auto r = two_opt(inst, tour);
+  EXPECT_LE(r.length, before + 1e-9);
+  EXPECT_NO_THROW((void)inst.tour_length(r.tour));
+}
+
+TEST(TwoOpt, SolvesCircleExactly) {
+  // 2-opt from a scrambled circle tour must untangle all crossings; on a
+  // circle the 2-opt local optimum IS the global optimum.
+  const auto inst = circle_instance(16);
+  std::vector<std::size_t> tour = {0, 8, 1, 9,  2, 10, 3, 11,
+                                   4, 12, 5, 13, 6, 14, 7, 15};
+  const auto r = two_opt(inst, tour);
+  EXPECT_NEAR(r.length, circle_optimal_length(16), 1e-6);
+  EXPECT_GT(r.improvements, 0u);
+}
+
+TEST(TwoOpt, LocalOptimumIsFixedPoint) {
+  const auto inst = random_euclidean_instance(25, 2);
+  const auto first = two_opt(inst, inst.nearest_neighbor_tour(0));
+  auto tour = first.tour;
+  EXPECT_EQ(two_opt_pass(inst, tour), 0u);  // no further improvements
+  EXPECT_EQ(tour, first.tour);
+}
+
+TEST(TwoOpt, MaxPassesBoundsWork) {
+  const auto inst = random_euclidean_instance(40, 3);
+  std::vector<std::size_t> tour(40);
+  std::iota(tour.begin(), tour.end(), 0u);
+  const auto r = two_opt(inst, tour, /*max_passes=*/1);
+  EXPECT_EQ(r.passes, 1u);
+}
+
+TEST(TwoOpt, ImprovesNearestNeighbor) {
+  const auto inst = random_euclidean_instance(60, 4);
+  const auto nn = inst.nearest_neighbor_tour(0);
+  const double nn_len = inst.tour_length(nn);
+  const auto r = two_opt(inst, nn);
+  // 2-opt reliably trims several percent off NN tours on uniform points.
+  EXPECT_LT(r.length, nn_len);
+}
+
+TEST(TwoOpt, RejectsMalformedTour) {
+  const auto inst = random_euclidean_instance(10, 5);
+  std::vector<std::size_t> bad(10, 0);
+  EXPECT_THROW((void)two_opt(inst, bad), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace lrb::aco

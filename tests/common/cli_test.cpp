@@ -1,0 +1,91 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lrb {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(CliArgs, ParsesEqualsForm) {
+  const auto args = make({"prog", "--iters=1000", "--name=table1"});
+  EXPECT_EQ(args.get_u64("iters", 0), 1000u);
+  EXPECT_EQ(args.get_string("name", ""), "table1");
+}
+
+TEST(CliArgs, ParsesSpaceForm) {
+  const auto args = make({"prog", "--iters", "42"});
+  EXPECT_EQ(args.get_u64("iters", 0), 42u);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  const auto args = make({"prog", "--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+}
+
+TEST(CliArgs, ExplicitBooleans) {
+  const auto args = make({"prog", "--a=true", "--b=0", "--c=no", "--d=on"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_FALSE(args.get_bool("c", true));
+  EXPECT_TRUE(args.get_bool("d", false));
+  EXPECT_THROW((void)make({"p", "--x=maybe"}).get_bool("x", false),
+               InvalidArgumentError);
+}
+
+TEST(CliArgs, Defaults) {
+  const auto args = make({"prog"});
+  EXPECT_EQ(args.get_u64("iters", 7), 7u);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("name", "x"), "x");
+}
+
+TEST(CliArgs, Positionals) {
+  const auto args = make({"prog", "file1", "--k=2", "file2"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "file1");
+  EXPECT_EQ(args.positionals()[1], "file2");
+}
+
+TEST(CliArgs, EnvFallback) {
+  ::setenv("LRB_TEST_ITERS", "123", 1);
+  const auto args = make({"prog"});
+  EXPECT_EQ(args.get_u64("iters", 0, "LRB_TEST_ITERS"), 123u);
+  // Explicit option beats env.
+  const auto args2 = make({"prog", "--iters=5"});
+  EXPECT_EQ(args2.get_u64("iters", 0, "LRB_TEST_ITERS"), 5u);
+  ::unsetenv("LRB_TEST_ITERS");
+}
+
+TEST(CliArgs, ParseU64ScientificShorthand) {
+  EXPECT_EQ(CliArgs::parse_u64("1e9"), 1000000000u);
+  EXPECT_EQ(CliArgs::parse_u64("2.5e6"), 2500000u);
+  EXPECT_EQ(CliArgs::parse_u64("1_000_000"), 1000000u);
+  EXPECT_EQ(CliArgs::parse_u64("1,000"), 1000u);
+  EXPECT_EQ(CliArgs::parse_u64("0"), 0u);
+}
+
+TEST(CliArgs, ParseU64RejectsGarbage) {
+  EXPECT_THROW(CliArgs::parse_u64("abc"), InvalidArgumentError);
+  EXPECT_THROW(CliArgs::parse_u64(""), InvalidArgumentError);
+  EXPECT_THROW(CliArgs::parse_u64("1.5"), InvalidArgumentError);  // not integral
+  EXPECT_THROW(CliArgs::parse_u64("12x"), InvalidArgumentError);
+}
+
+TEST(CliArgs, GetDoubleParses) {
+  const auto args = make({"prog", "--rho=0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double("rho", 0.0), 0.25);
+  EXPECT_THROW((void)make({"p", "--x=nanx!"}).get_double("x", 0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace lrb

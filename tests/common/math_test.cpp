@@ -1,0 +1,143 @@
+#include "common/math.hpp"
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lrb {
+namespace {
+
+TEST(KahanSum, MatchesExactForSmallInputs) {
+  KahanSum s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.value(), 6.0);
+}
+
+TEST(KahanSum, RecoversCancellationError) {
+  // 1 + 1e-16 repeated: naive summation loses every increment.
+  KahanSum s;
+  s.add(1.0);
+  for (int i = 0; i < 10'000; ++i) {
+    for (int j = 0; j < 1000; ++j) s.add(1e-16);
+  }
+  // 1e7 increments of 1e-16 = 1e-9; naive summation would lose all of it.
+  const double expected = 1.0 + 1e-9;
+  EXPECT_NEAR(s.value(), expected, 1e-15);
+}
+
+TEST(KahanSum, AccurateSumMatchesLongDouble) {
+  std::mt19937_64 gen(7);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> xs(100000);
+  long double ref = 0.0L;
+  for (auto& x : xs) {
+    x = dist(gen);
+    ref += x;
+  }
+  EXPECT_NEAR(accurate_sum(xs), static_cast<double>(ref), 1e-9);
+}
+
+TEST(CeilLog2, SmallValues) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(FloorLog2, SmallValues) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+}
+
+TEST(NextPow2, RoundsUp) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(IsPow2, Classification) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+  EXPECT_FALSE(is_pow2((1ull << 63) + 1));
+}
+
+TEST(IsClose, RelativeAndAbsolute) {
+  EXPECT_TRUE(is_close(1.0, 1.0));
+  EXPECT_TRUE(is_close(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(is_close(1.0, 1.001));
+  EXPECT_TRUE(is_close(0.0, 1e-12, 1e-9, 1e-9));
+  EXPECT_FALSE(is_close(0.0, 1e-12));  // no absolute tolerance by default
+  EXPECT_FALSE(is_close(1.0, std::numeric_limits<double>::quiet_NaN()));
+  // inf == inf short-circuits to true before the finiteness check.
+  EXPECT_TRUE(is_close(std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::infinity()));
+}
+
+TEST(CheckedFitnessTotal, AcceptsValidVectors) {
+  const std::vector<double> f = {0.0, 1.0, 2.5};
+  EXPECT_DOUBLE_EQ(checked_fitness_total(f), 3.5);
+}
+
+TEST(CheckedFitnessTotal, RejectsEmpty) {
+  EXPECT_THROW((void)checked_fitness_total({}), InvalidFitnessError);
+}
+
+TEST(CheckedFitnessTotal, RejectsNegative) {
+  const std::vector<double> f = {1.0, -0.5};
+  EXPECT_THROW((void)checked_fitness_total(f), InvalidFitnessError);
+}
+
+TEST(CheckedFitnessTotal, RejectsNaN) {
+  const std::vector<double> f = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)checked_fitness_total(f), InvalidFitnessError);
+}
+
+TEST(CheckedFitnessTotal, RejectsInfinity) {
+  const std::vector<double> f = {1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)checked_fitness_total(f), InvalidFitnessError);
+}
+
+TEST(CheckedFitnessTotal, RejectsAllZeroWhenPositiveRequired) {
+  const std::vector<double> f = {0.0, 0.0};
+  EXPECT_THROW((void)checked_fitness_total(f), InvalidFitnessError);
+  EXPECT_DOUBLE_EQ(checked_fitness_total(f, false), 0.0);
+}
+
+TEST(CountNonzero, CountsStrictlyPositive) {
+  const std::vector<double> f = {0.0, 1.0, 0.0, 2.0, 3.0};
+  EXPECT_EQ(count_nonzero(f), 3u);
+}
+
+TEST(NormalizeFitness, ProducesProbabilities) {
+  const std::vector<double> f = {1.0, 3.0};
+  std::vector<double> p(2);
+  const double total = normalize_fitness(f, p);
+  EXPECT_DOUBLE_EQ(total, 4.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[1], 0.75);
+}
+
+TEST(NormalizeFitness, RejectsSizeMismatch) {
+  const std::vector<double> f = {1.0, 3.0};
+  std::vector<double> p(3);
+  EXPECT_THROW(normalize_fitness(f, p), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace lrb

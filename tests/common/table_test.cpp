@@ -1,0 +1,93 @@
+#include "common/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lrb {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), InvalidArgumentError);
+}
+
+TEST(Table, RejectsWrongArityRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), InvalidArgumentError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InvalidArgumentError);
+}
+
+TEST(Table, PrintsAlignedConsoleTable) {
+  Table t({"i", "value"});
+  t.set_align(0, Align::kLeft);
+  t.add_row({"0", "1.5"});
+  t.add_row({"10", "200.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| i  |  value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| 10 | 200.25 |"), std::string::npos) << out;
+  // Three horizontal rule lines: top, under header, bottom.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("\n+", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  // The top rule starts the output without a preceding newline.
+  EXPECT_EQ(rules + 1, 3u);
+}
+
+TEST(Table, PrintsCsvWithEscaping) {
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  t.add_row({"plain", "multi\nline"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"multi\nline\""), std::string::npos);
+  EXPECT_NE(out.find("plain"), std::string::npos);
+}
+
+TEST(Table, PrintsMarkdown) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_markdown(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("| x | y |", 0), 0u) << out;
+  EXPECT_NE(out.find("--:|"), std::string::npos);  // right-aligned marker
+}
+
+TEST(Table, AddRowValuesFormatsDoubles) {
+  Table t({"a", "b"});
+  t.add_row_values({0.123456789, 2.0}, 4);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("0.1235,2.0000"), std::string::npos) << os.str();
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(0.0, 6), "0.000000");
+  EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(FormatSci, Notation) {
+  EXPECT_EQ(format_sci(1234.5, 2), "1.23e+03");
+  EXPECT_EQ(format_sci(1.57772e-32, 3), "1.578e-32");
+}
+
+TEST(FormatCount, ThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1000000000ull), "1,000,000,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace lrb

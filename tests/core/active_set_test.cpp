@@ -1,0 +1,110 @@
+#include "core/active_set.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::core {
+namespace {
+
+TEST(ActiveSetBidder, TracksActiveIndices) {
+  ActiveSetBidder bidder(std::vector<double>{0, 1, 0, 2, 3, 0});
+  EXPECT_EQ(bidder.size(), 6u);
+  EXPECT_EQ(bidder.active_count(), 3u);
+  const auto active = bidder.active_indices();
+  EXPECT_EQ(std::set<std::size_t>(active.begin(), active.end()),
+            (std::set<std::size_t>{1, 3, 4}));
+}
+
+TEST(ActiveSetBidder, UpdateMaintainsSetUnderChurn) {
+  rng::Xoshiro256StarStar gen(1);
+  std::vector<double> fitness(200, 0.0);
+  ActiveSetBidder bidder(fitness);
+  for (int step = 0; step < 5000; ++step) {
+    const std::size_t i = rng::uniform_below(gen, fitness.size());
+    const double v =
+        rng::u01_closed_open(gen) < 0.4 ? 0.0 : rng::u01_closed_open(gen) + 0.1;
+    fitness[i] = v;
+    bidder.update(i, v);
+    if (step % 500 == 0) {
+      std::size_t expected_k = 0;
+      for (double f : fitness) expected_k += f > 0.0;
+      ASSERT_EQ(bidder.active_count(), expected_k) << "step " << step;
+      for (std::size_t a : bidder.active_indices()) {
+        ASSERT_GT(fitness[a], 0.0);
+      }
+    }
+  }
+}
+
+TEST(ActiveSetBidder, SelectMatchesRoulette) {
+  const std::vector<double> fitness = {0, 2, 0, 1, 4, 0, 3};
+  ActiveSetBidder bidder(fitness);
+  rng::Xoshiro256StarStar gen(2);
+  const auto hist = lrb::testing::collect(fitness.size(), 50000,
+                                          [&] { return bidder.select(gen); });
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(ActiveSetBidder, SelectMatchesRouletteAfterUpdates) {
+  ActiveSetBidder bidder(std::vector<double>{1, 1, 1, 1});
+  bidder.update(0, 0.0);
+  bidder.update(2, 3.0);
+  bidder.update(0, 2.0);  // re-activate
+  const std::vector<double> current = {2, 1, 3, 1};
+  rng::Xoshiro256StarStar gen(3);
+  const auto hist = lrb::testing::collect(current.size(), 50000,
+                                          [&] { return bidder.select(gen); });
+  lrb::testing::expect_matches_roulette(hist, current);
+}
+
+TEST(ActiveSetBidder, AcoConstructionSweep) {
+  // Draw + deactivate until empty: must visit every active index once.
+  ActiveSetBidder bidder(std::vector<double>(64, 1.0));
+  rng::Xoshiro256StarStar gen(4);
+  std::set<std::size_t> visited;
+  while (bidder.active_count() > 0) {
+    const std::size_t v = bidder.select(gen);
+    EXPECT_TRUE(visited.insert(v).second);
+    bidder.deactivate(v);
+  }
+  EXPECT_EQ(visited.size(), 64u);
+  EXPECT_THROW((void)bidder.select(gen), InvalidFitnessError);
+}
+
+TEST(ActiveSetBidder, SelectCostIsProportionalToK) {
+  // Structural check (not a timing test): with k=2 actives out of n=100000,
+  // the RNG consumption per draw is exactly 2.
+  std::vector<double> fitness(100000, 0.0);
+  fitness[7] = 1.0;
+  fitness[99999] = 2.0;
+  ActiveSetBidder bidder(fitness);
+  rng::Xoshiro256StarStar a(5), b(5);
+  (void)bidder.select(a);
+  b.discard(2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ActiveSetBidder, RejectsInvalidInput) {
+  EXPECT_THROW(ActiveSetBidder(std::vector<double>{1, -1}), InvalidFitnessError);
+  ActiveSetBidder bidder(std::vector<double>{1, 2});
+  EXPECT_THROW(bidder.update(5, 1.0), InvalidArgumentError);
+  EXPECT_THROW(bidder.update(0, -2.0), InvalidFitnessError);
+  EXPECT_THROW((void)bidder.fitness(9), InvalidArgumentError);
+}
+
+TEST(ActiveSetBidder, AllZeroStartIsValidUntilSelect) {
+  ActiveSetBidder bidder(std::vector<double>{0, 0, 0});
+  EXPECT_EQ(bidder.active_count(), 0u);
+  rng::Xoshiro256StarStar gen(6);
+  EXPECT_THROW((void)bidder.select(gen), InvalidFitnessError);
+  bidder.update(1, 5.0);
+  EXPECT_EQ(bidder.select(gen), 1u);
+}
+
+}  // namespace
+}  // namespace lrb::core

@@ -1,0 +1,97 @@
+#include "core/alias_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::core {
+namespace {
+
+TEST(AliasTable, StructuralInvariant) {
+  // Reconstructing the implied probabilities from (prob, alias) must give
+  // back F_i exactly (up to fp): each column contributes prob/n to itself
+  // and (1-prob)/n to its alias.
+  const std::vector<double> fitness = {1, 2, 3, 4};
+  AliasTable table(fitness);
+  const std::size_t n = fitness.size();
+  std::vector<double> implied(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    implied[c] += table.probabilities()[c] / static_cast<double>(n);
+    implied[table.aliases()[c]] +=
+        (1.0 - table.probabilities()[c]) / static_cast<double>(n);
+  }
+  const auto exact = exact_probabilities(fitness);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(implied[i], exact[i], 1e-12) << "index " << i;
+  }
+}
+
+TEST(AliasTable, StructuralInvariantWithZeros) {
+  const std::vector<double> fitness = {0, 3, 0, 1, 0, 0, 2};
+  AliasTable table(fitness);
+  const std::size_t n = fitness.size();
+  std::vector<double> implied(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    implied[c] += table.probabilities()[c] / static_cast<double>(n);
+    implied[table.aliases()[c]] +=
+        (1.0 - table.probabilities()[c]) / static_cast<double>(n);
+  }
+  const auto exact = exact_probabilities(fitness);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(implied[i], exact[i], 1e-12) << "index " << i;
+  }
+}
+
+TEST(AliasTable, SelectMatchesRoulette) {
+  const std::vector<double> fitness = {5, 0, 1, 2, 0, 2};
+  AliasTable table(fitness);
+  rng::Xoshiro256StarStar gen(1);
+  const auto hist = lrb::testing::collect(fitness.size(), 50000,
+                                          [&] { return table.select(gen); });
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(AliasTable, UniformFitnessIsUniform) {
+  const std::vector<double> fitness(8, 1.0);
+  AliasTable table(fitness);
+  for (double p : table.probabilities()) EXPECT_DOUBLE_EQ(p, 1.0);
+  rng::Xoshiro256StarStar gen(2);
+  const auto hist = lrb::testing::collect(fitness.size(), 40000,
+                                          [&] { return table.select(gen); });
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(AliasTable, SingleEntry) {
+  AliasTable table(std::vector<double>{4.2});
+  rng::Xoshiro256StarStar gen(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.select(gen), 0u);
+}
+
+TEST(AliasTable, RebuildReusesStorage) {
+  AliasTable table(std::vector<double>{1, 1});
+  table.rebuild(std::vector<double>{0, 7});
+  rng::Xoshiro256StarStar gen(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.select(gen), 1u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(AliasTable, RejectsInvalidFitness) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), InvalidFitnessError);
+  EXPECT_THROW(AliasTable(std::vector<double>{0, 0}), InvalidFitnessError);
+  EXPECT_THROW(AliasTable(std::vector<double>{1, -2}), InvalidFitnessError);
+}
+
+TEST(AliasTable, ExtremeSkew) {
+  // One huge and many tiny weights still produce a valid table.
+  std::vector<double> fitness(100, 1e-12);
+  fitness[42] = 1.0;
+  AliasTable table(fitness);
+  rng::Xoshiro256StarStar gen(5);
+  std::size_t hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += table.select(gen) == 42;
+  EXPECT_GT(hits, 9990u);  // P(42) = 1/(1 + 99e-12) ~ 1
+}
+
+}  // namespace
+}  // namespace lrb::core

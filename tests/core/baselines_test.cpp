@@ -1,0 +1,138 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::core {
+namespace {
+
+TEST(SelectLinearCdf, SingleNonzeroAlwaysWins) {
+  const std::vector<double> fitness = {0, 0, 0, 9};
+  rng::Xoshiro256StarStar gen(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(select_linear_cdf(fitness, gen), 3u);
+  }
+}
+
+TEST(SelectLinearCdf, NeverSelectsZeroFitness) {
+  const std::vector<double> fitness = {0, 1, 0, 1, 0};
+  rng::Xoshiro256StarStar gen(2);
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = select_linear_cdf(fitness, gen);
+    ASSERT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(SelectLinearCdf, ThrowsOnInvalid) {
+  rng::Xoshiro256StarStar gen(3);
+  EXPECT_THROW((void)select_linear_cdf({}, gen), InvalidFitnessError);
+  EXPECT_THROW((void)select_linear_cdf(std::vector<double>{0.0}, gen),
+               InvalidFitnessError);
+}
+
+TEST(SelectPrefixSumParallel, MatchesRouletteAcrossLaneCounts) {
+  const std::vector<double> fitness = {1, 0, 2, 3, 0, 4};
+  for (std::size_t lanes : {1u, 2u, 4u}) {
+    parallel::ThreadPool pool(lanes);
+    rng::Xoshiro256StarStar gen(40 + lanes);
+    std::vector<double> scratch;
+    const auto hist = lrb::testing::collect(fitness.size(), 20000, [&] {
+      return select_prefix_sum_parallel(pool, fitness, gen, scratch);
+    });
+    lrb::testing::expect_matches_roulette(hist, fitness);
+  }
+}
+
+TEST(SelectPrefixSumParallel, LargeInputParallelLocate) {
+  parallel::ThreadPool pool(4);
+  std::vector<double> fitness(10000, 0.0);
+  fitness[7777] = 1.0;  // exactly one candidate
+  rng::Xoshiro256StarStar gen(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(select_prefix_sum_parallel(pool, fitness, gen), 7777u);
+  }
+}
+
+TEST(SelectIndependent, ReproducesKnownBias) {
+  // Paper Table I note: with f={2,1}, independent picks 0 w.p. 3/4.
+  // With f={1,1} it is unbiased (symmetric).
+  const std::vector<double> sym = {1, 1};
+  rng::Xoshiro256StarStar gen(6);
+  const auto hist =
+      lrb::testing::collect(2, 100000, [&] { return select_independent(sym, gen); });
+  EXPECT_NEAR(hist.frequency(0), 0.5, 0.01);
+}
+
+TEST(SelectIndependent, NeverSelectsZeroFitness) {
+  const std::vector<double> fitness = {0, 2, 0, 1};
+  rng::Xoshiro256StarStar gen(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = select_independent(fitness, gen);
+    ASSERT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(SelectGumbelMax, MatchesRoulette) {
+  const std::vector<double> fitness = {1, 2, 0, 3};
+  rng::Xoshiro256StarStar gen(8);
+  const auto hist = lrb::testing::collect(
+      fitness.size(), 50000, [&] { return select_gumbel_max(fitness, gen); });
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(SelectEsKey, MatchesRouletteForModerateFitness) {
+  const std::vector<double> fitness = {1, 2, 3};
+  rng::Xoshiro256StarStar gen(9);
+  const auto hist = lrb::testing::collect(
+      fitness.size(), 50000, [&] { return select_es_key(fitness, gen); });
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(SelectEsKey, UnderflowsForTinyFitness) {
+  // This is the documented failure mode the bidding formulation avoids:
+  // u^(1/f) underflows to 0 for f = 1e-3-ish and moderate u, so the keys
+  // of tiny-fitness items collapse and ties break by index, not by weight.
+  const std::vector<double> fitness = {1e-5, 1e-5};
+  rng::Xoshiro256StarStar gen(10);
+  std::size_t zero_wins = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) zero_wins += select_es_key(fitness, gen) == 0;
+  // Exact sampling would give ~50%; underflow collapses almost every draw
+  // to the tie-break (index 0).
+  EXPECT_GT(static_cast<double>(zero_wins) / kDraws, 0.95);
+}
+
+TEST(SelectStochasticAcceptance, MatchesRoulette) {
+  const std::vector<double> fitness = {4, 1, 0, 2, 3};
+  rng::Xoshiro256StarStar gen(11);
+  const auto hist = lrb::testing::collect(fitness.size(), 50000, [&] {
+    return select_stochastic_acceptance(fitness, gen);
+  });
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(SelectStochasticAcceptance, AcceptsPrecomputedMax) {
+  const std::vector<double> fitness = {1, 5};
+  rng::Xoshiro256StarStar gen(12);
+  const auto hist = lrb::testing::collect(fitness.size(), 50000, [&] {
+    return select_stochastic_acceptance(fitness, gen, 5.0);
+  });
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(AllExactSelectors, AgreeOnDegenerateSingleton) {
+  const std::vector<double> fitness = {3.0};
+  rng::Xoshiro256StarStar gen(13);
+  parallel::ThreadPool pool(2);
+  EXPECT_EQ(select_linear_cdf(fitness, gen), 0u);
+  EXPECT_EQ(select_gumbel_max(fitness, gen), 0u);
+  EXPECT_EQ(select_es_key(fitness, gen), 0u);
+  EXPECT_EQ(select_stochastic_acceptance(fitness, gen), 0u);
+  EXPECT_EQ(select_independent(fitness, gen), 0u);
+  EXPECT_EQ(select_prefix_sum_parallel(pool, fitness, gen), 0u);
+}
+
+}  // namespace
+}  // namespace lrb::core

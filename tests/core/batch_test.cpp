@@ -1,0 +1,80 @@
+#include "core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::core {
+namespace {
+
+TEST(BatchSelect, SizeAndRange) {
+  const std::vector<double> fitness = {1, 0, 2};
+  rng::Xoshiro256StarStar gen(1);
+  const auto batch = batch_select(fitness, 1000, gen);
+  EXPECT_EQ(batch.size(), 1000u);
+  for (std::size_t i : batch) {
+    EXPECT_TRUE(i == 0 || i == 2);
+  }
+  EXPECT_TRUE(batch_select(fitness, 0, gen).empty());
+}
+
+TEST(BatchSelect, BothStrategiesMatchRoulette) {
+  const std::vector<double> fitness = {3, 1, 0, 2};
+  for (BatchStrategy strategy : {BatchStrategy::kBidding, BatchStrategy::kAlias}) {
+    rng::Xoshiro256StarStar gen(2);
+    stats::SelectionHistogram hist(fitness.size());
+    const auto batch = batch_select(fitness, 50000, gen, strategy);
+    for (std::size_t i : batch) hist.record(i);
+    lrb::testing::expect_matches_roulette(hist, fitness);
+  }
+}
+
+TEST(BatchSelect, AutoMatchesRoulette) {
+  const std::vector<double> fitness = {1, 2, 3, 4, 5};
+  rng::Xoshiro256StarStar gen(3);
+  stats::SelectionHistogram hist(fitness.size());
+  for (std::size_t i : batch_select(fitness, 50000, gen)) hist.record(i);
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(BatchSelectDeterministic, PureInSeed) {
+  const std::vector<double> fitness = {1, 2, 0, 3};
+  const auto a = batch_select_deterministic(fitness, 100, 7);
+  const auto b = batch_select_deterministic(fitness, 100, 7);
+  const auto c = batch_select_deterministic(fitness, 100, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(BatchSelectDeterministic, ParallelMatchesSerialAnyLaneCount) {
+  std::vector<double> fitness(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    fitness[i] = (i % 5 == 0) ? 0.0 : static_cast<double>(i % 9) + 1.0;
+  }
+  const auto serial = batch_select_deterministic(fitness, 500, 11);
+  for (std::size_t lanes : {1u, 2u, 3u, 4u, 8u}) {
+    parallel::ThreadPool pool(lanes);
+    EXPECT_EQ(batch_select_deterministic(pool, fitness, 500, 11), serial)
+        << "lanes=" << lanes;
+  }
+}
+
+TEST(BatchSelectDeterministic, MatchesRoulette) {
+  const std::vector<double> fitness = {0, 1, 2, 3, 4};
+  stats::SelectionHistogram hist(fitness.size());
+  for (std::size_t i : batch_select_deterministic(fitness, 50000, 13)) {
+    hist.record(i);
+  }
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(BatchSelect, ThrowsOnInvalidFitness) {
+  rng::Xoshiro256StarStar gen(4);
+  EXPECT_THROW((void)batch_select({}, 10, gen), InvalidFitnessError);
+  EXPECT_THROW((void)batch_select_deterministic(std::vector<double>{0.0}, 5, 1),
+               InvalidFitnessError);
+}
+
+}  // namespace
+}  // namespace lrb::core

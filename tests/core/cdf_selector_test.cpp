@@ -1,0 +1,73 @@
+#include "core/cdf_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::core {
+namespace {
+
+TEST(CdfSelector, PrefixSumsAreInclusive) {
+  CdfSelector sel(std::vector<double>{1, 2, 3});
+  const auto p = sel.prefix_sums();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 3.0);
+  EXPECT_DOUBLE_EQ(p[2], 6.0);
+  EXPECT_DOUBLE_EQ(sel.total(), 6.0);
+}
+
+TEST(CdfSelector, LocateImplementsHalfOpenIntervals) {
+  CdfSelector sel(std::vector<double>{1, 2, 3});
+  EXPECT_EQ(sel.locate(0.0), 0u);
+  EXPECT_EQ(sel.locate(0.999), 0u);
+  EXPECT_EQ(sel.locate(1.0), 1u);  // boundary belongs to the next interval
+  EXPECT_EQ(sel.locate(2.999), 1u);
+  EXPECT_EQ(sel.locate(3.0), 2u);
+  EXPECT_EQ(sel.locate(5.999), 2u);
+}
+
+TEST(CdfSelector, LocateSkipsZeroFitnessPlateaus) {
+  CdfSelector sel(std::vector<double>{1, 0, 0, 2});
+  EXPECT_EQ(sel.locate(0.5), 0u);
+  EXPECT_EQ(sel.locate(1.0), 3u);  // plateau at 1.0: upper_bound skips zeros
+  EXPECT_EQ(sel.locate(2.5), 3u);
+}
+
+TEST(CdfSelector, LocateFpSlackReturnsLastPositive) {
+  CdfSelector sel(std::vector<double>{1, 2, 0});
+  EXPECT_EQ(sel.locate(3.0), 1u);  // r == total: last *positive*, not index 2
+  EXPECT_EQ(sel.locate(100.0), 1u);
+}
+
+TEST(CdfSelector, SelectMatchesRoulette) {
+  const std::vector<double> fitness = {1, 0, 2, 3, 0};
+  CdfSelector sel(fitness);
+  rng::Xoshiro256StarStar gen(1);
+  const auto hist = lrb::testing::collect(fitness.size(), 50000,
+                                          [&] { return sel.select(gen); });
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(CdfSelector, RebuildReplacesDistribution) {
+  CdfSelector sel(std::vector<double>{1, 1});
+  sel.rebuild(std::vector<double>{0, 1});
+  rng::Xoshiro256StarStar gen(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sel.select(gen), 1u);
+}
+
+TEST(CdfSelector, EmptySelectorThrows) {
+  CdfSelector sel;
+  EXPECT_TRUE(sel.empty());
+  rng::Xoshiro256StarStar gen(3);
+  EXPECT_THROW((void)sel.select(gen), InvalidArgumentError);
+}
+
+TEST(CdfSelector, InvalidFitnessThrows) {
+  EXPECT_THROW(CdfSelector(std::vector<double>{0, 0}), InvalidFitnessError);
+  EXPECT_THROW(CdfSelector(std::vector<double>{-1, 1}), InvalidFitnessError);
+}
+
+}  // namespace
+}  // namespace lrb::core

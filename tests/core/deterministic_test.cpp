@@ -1,0 +1,86 @@
+#include "core/deterministic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+
+namespace lrb::core {
+namespace {
+
+TEST(DeterministicBidder, SerialIsReproducible) {
+  const std::vector<double> fitness = {1, 2, 3, 0, 4};
+  DeterministicBidder a(42), b(42);
+  for (int t = 0; t < 200; ++t) {
+    EXPECT_EQ(a.select(fitness), b.select(fitness));
+  }
+}
+
+TEST(DeterministicBidder, ParallelMatchesSerialForEveryLaneCount) {
+  const std::vector<double> fitness = {3, 1, 0, 2, 5, 0, 1, 4, 2, 2, 0, 7};
+  std::vector<std::size_t> serial;
+  {
+    DeterministicBidder bidder(7);
+    for (int t = 0; t < 500; ++t) serial.push_back(bidder.select(fitness));
+  }
+  for (std::size_t lanes : {1u, 2u, 3u, 4u, 8u}) {
+    parallel::ThreadPool pool(lanes);
+    DeterministicBidder bidder(7);
+    for (int t = 0; t < 500; ++t) {
+      ASSERT_EQ(bidder.select(pool, fitness), serial[t])
+          << "lanes=" << lanes << " draw=" << t;
+    }
+  }
+}
+
+TEST(DeterministicBidder, SeekReplaysDraws) {
+  const std::vector<double> fitness = {1, 1, 1};
+  DeterministicBidder bidder(9);
+  std::vector<std::size_t> first;
+  for (int t = 0; t < 50; ++t) first.push_back(bidder.select(fitness));
+  bidder.seek(0);
+  for (int t = 0; t < 50; ++t) EXPECT_EQ(bidder.select(fitness), first[t]);
+  bidder.seek(25);
+  EXPECT_EQ(bidder.select(fitness), first[25]);
+}
+
+TEST(DeterministicBidder, DistributionMatchesRoulette) {
+  const std::vector<double> fitness = {0, 1, 2, 3, 4};
+  DeterministicBidder bidder(11);
+  const auto hist = lrb::testing::collect(fitness.size(), 50000,
+                                          [&] { return bidder.select(fitness); });
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(DeterministicBidder, DifferentSeedsDiffer) {
+  const std::vector<double> fitness(16, 1.0);
+  DeterministicBidder a(1), b(2);
+  int same = 0;
+  for (int t = 0; t < 200; ++t) same += a.select(fitness) == b.select(fitness);
+  EXPECT_LT(same, 50);  // expected ~200/16
+}
+
+TEST(DeterministicBidder, BidForIsPureAndNegative) {
+  DeterministicBidder bidder(5);
+  const double b1 = bidder.bid_for(3, 7, 2.0);
+  const double b2 = bidder.bid_for(3, 7, 2.0);
+  EXPECT_EQ(b1, b2);
+  EXPECT_LE(b1, 0.0);
+  EXPECT_NE(bidder.bid_for(4, 7, 2.0), b1);
+  EXPECT_NE(bidder.bid_for(3, 8, 2.0), b1);
+}
+
+TEST(DeterministicBidder, NeverSelectsZeroFitness) {
+  const std::vector<double> fitness = {0, 5, 0};
+  DeterministicBidder bidder(13);
+  for (int t = 0; t < 1000; ++t) EXPECT_EQ(bidder.select(fitness), 1u);
+}
+
+TEST(DeterministicBidder, ThrowsOnInvalidFitness) {
+  DeterministicBidder bidder(1);
+  EXPECT_THROW((void)bidder.select(std::vector<double>{}), InvalidFitnessError);
+  EXPECT_THROW((void)bidder.select(std::vector<double>{0.0}),
+               InvalidFitnessError);
+}
+
+}  // namespace
+}  // namespace lrb::core

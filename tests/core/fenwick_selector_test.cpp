@@ -1,0 +1,117 @@
+#include "core/fenwick_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::core {
+namespace {
+
+TEST(FenwickSelector, PrefixSumsMatchDirectSummation) {
+  const std::vector<double> fitness = {1, 0, 2, 3, 0, 4, 5};
+  FenwickSelector sel(fitness);
+  double acc = 0.0;
+  EXPECT_DOUBLE_EQ(sel.prefix_sum(0), 0.0);
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    acc += fitness[i];
+    EXPECT_DOUBLE_EQ(sel.prefix_sum(i + 1), acc) << "i=" << i;
+  }
+  EXPECT_DOUBLE_EQ(sel.total(), 15.0);
+}
+
+TEST(FenwickSelector, LocateMatchesCdfSelectorSemantics) {
+  const std::vector<double> fitness = {1, 0, 2, 3};
+  FenwickSelector sel(fitness);
+  EXPECT_EQ(sel.locate(0.0), 0u);
+  EXPECT_EQ(sel.locate(0.999), 0u);
+  EXPECT_EQ(sel.locate(1.0), 2u);  // plateau skip: index 1 has zero fitness
+  EXPECT_EQ(sel.locate(2.999), 2u);
+  EXPECT_EQ(sel.locate(3.0), 3u);
+  EXPECT_EQ(sel.locate(5.999), 3u);
+}
+
+TEST(FenwickSelector, SelectMatchesRoulette) {
+  const std::vector<double> fitness = {2, 0, 1, 4, 3};
+  FenwickSelector sel(fitness);
+  rng::Xoshiro256StarStar gen(1);
+  const auto hist = lrb::testing::collect(fitness.size(), 50000,
+                                          [&] { return sel.select(gen); });
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(FenwickSelector, UpdateChangesDistribution) {
+  FenwickSelector sel(std::vector<double>{1, 1, 1});
+  sel.update(0, 0.0);
+  sel.update(2, 3.0);
+  EXPECT_DOUBLE_EQ(sel.fitness(0), 0.0);
+  EXPECT_DOUBLE_EQ(sel.total(), 4.0);
+  const std::vector<double> updated = {0, 1, 3};
+  rng::Xoshiro256StarStar gen(2);
+  const auto hist = lrb::testing::collect(3, 50000, [&] { return sel.select(gen); });
+  lrb::testing::expect_matches_roulette(hist, updated);
+}
+
+TEST(FenwickSelector, DeactivateDrivesAcoWorkflow) {
+  // The ACO pattern: deactivate winners until one remains.
+  FenwickSelector sel(std::vector<double>(32, 1.0));
+  rng::Xoshiro256StarStar gen(3);
+  std::vector<bool> picked(32, false);
+  for (int step = 0; step < 32; ++step) {
+    const std::size_t v = sel.select(gen);
+    EXPECT_FALSE(picked[v]) << "step " << step;
+    picked[v] = true;
+    sel.deactivate(v);
+  }
+  EXPECT_THROW((void)sel.select(gen), InvalidFitnessError);
+}
+
+TEST(FenwickSelector, UpdatesMatchRebuiltSelectorDistribution) {
+  // Random update sequence: prefix sums must always equal a fresh build.
+  rng::Xoshiro256StarStar gen(4);
+  std::vector<double> fitness(100, 1.0);
+  FenwickSelector incremental(fitness);
+  for (int step = 0; step < 500; ++step) {
+    const std::size_t i = rng::uniform_below(gen, fitness.size());
+    const double v = rng::u01_closed_open(gen) * 10.0;
+    fitness[i] = v;
+    incremental.update(i, v);
+    if (step % 50 == 0) {
+      FenwickSelector fresh(fitness);
+      for (std::size_t c = 0; c <= fitness.size(); c += 13) {
+        ASSERT_NEAR(incremental.prefix_sum(c), fresh.prefix_sum(c), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(FenwickSelector, RejectsInvalidInput) {
+  EXPECT_THROW(FenwickSelector(std::vector<double>{}), InvalidFitnessError);
+  EXPECT_THROW(FenwickSelector(std::vector<double>{0, 0}), InvalidFitnessError);
+  FenwickSelector sel(std::vector<double>{1, 2});
+  EXPECT_THROW(sel.update(2, 1.0), InvalidArgumentError);
+  EXPECT_THROW(sel.update(0, -1.0), InvalidFitnessError);
+  EXPECT_THROW((void)sel.fitness(5), InvalidArgumentError);
+}
+
+TEST(FenwickSelector, NonPowerOfTwoSizes) {
+  for (std::size_t n : {1u, 3u, 7u, 100u, 1000u}) {
+    std::vector<double> fitness(n);
+    for (std::size_t i = 0; i < n; ++i) fitness[i] = static_cast<double>(i + 1);
+    FenwickSelector sel(fitness);
+    EXPECT_NEAR(sel.total(), n * (n + 1.0) / 2.0, 1e-9) << "n=" << n;
+    rng::Xoshiro256StarStar gen(5);
+    for (int t = 0; t < 100; ++t) {
+      EXPECT_LT(sel.select(gen), n);
+    }
+  }
+}
+
+TEST(FenwickSelector, SingleElement) {
+  FenwickSelector sel(std::vector<double>{5.0});
+  rng::Xoshiro256StarStar gen(6);
+  for (int t = 0; t < 50; ++t) EXPECT_EQ(sel.select(gen), 0u);
+}
+
+}  // namespace
+}  // namespace lrb::core

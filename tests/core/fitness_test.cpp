@@ -1,0 +1,64 @@
+#include "core/fitness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lrb::core {
+namespace {
+
+TEST(ExactProbabilities, PaperTable1Values) {
+  // f_i = i for 0 <= i <= 9: F_i = i/45 (the paper's Table I F column).
+  std::vector<double> fitness(10);
+  for (int i = 0; i < 10; ++i) fitness[i] = i;
+  const auto p = exact_probabilities(fitness);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_NEAR(p[1], 0.022222, 1e-6);
+  EXPECT_NEAR(p[5], 0.111111, 1e-6);
+  EXPECT_NEAR(p[9], 0.200000, 1e-6);
+  double sum = 0;
+  for (double x : p) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ExactProbabilities, PaperTable2Values) {
+  // f_0 = 1, f_1..f_99 = 2: F_0 = 1/199, F_i = 2/199.
+  std::vector<double> fitness(100, 2.0);
+  fitness[0] = 1.0;
+  const auto p = exact_probabilities(fitness);
+  EXPECT_NEAR(p[0], 0.005025, 1e-6);
+  EXPECT_NEAR(p[1], 0.010050, 1e-6);
+  EXPECT_NEAR(p[99], 0.010050, 1e-6);
+}
+
+TEST(ExactProbabilities, ScaleInvariance) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {10, 20, 30};
+  const auto pa = exact_probabilities(a);
+  const auto pb = exact_probabilities(b);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(ExactProbabilities, RejectsInvalid) {
+  EXPECT_THROW((void)exact_probabilities({}), InvalidFitnessError);
+  EXPECT_THROW((void)exact_probabilities(std::vector<double>{0, 0}),
+               InvalidFitnessError);
+  EXPECT_THROW((void)exact_probabilities(std::vector<double>{-1, 2}),
+               InvalidFitnessError);
+}
+
+TEST(NonzeroIndices, FindsPositives) {
+  const std::vector<double> f = {0, 1, 0, 0, 2, 0};
+  const auto idx = nonzero_indices(f);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{1, 4}));
+}
+
+TEST(NonzeroIndices, EmptyForAllZero) {
+  const std::vector<double> f = {0, 0};
+  EXPECT_TRUE(nonzero_indices(f).empty());
+}
+
+}  // namespace
+}  // namespace lrb::core

@@ -1,0 +1,73 @@
+#include "core/openmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+
+namespace lrb::core {
+namespace {
+
+TEST(OpenMp, AvailabilityIsReported) {
+  // Either way the entry points must work; this just pins the wiring.
+  EXPECT_GE(openmp_threads(), 1u);
+  if (openmp_available()) {
+    EXPECT_GE(openmp_threads(), 1u);
+  } else {
+    EXPECT_EQ(openmp_threads(), 1u);
+  }
+}
+
+TEST(SelectBiddingOmp, MatchesRoulette) {
+  const std::vector<double> fitness = {1, 0, 2, 3};
+  stats::SelectionHistogram hist(fitness.size());
+  for (std::uint64_t seed = 0; seed < 30000; ++seed) {
+    hist.record(select_bidding_omp(fitness, seed));
+  }
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(SelectBiddingOmp, SingleNonzeroAlwaysWins) {
+  const std::vector<double> fitness = {0, 0, 0, 7, 0};
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    EXPECT_EQ(select_bidding_omp(fitness, seed), 3u);
+  }
+}
+
+TEST(SelectBiddingOmp, DeterministicInSeed) {
+  const std::vector<double> fitness = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    EXPECT_EQ(select_bidding_omp(fitness, seed),
+              select_bidding_omp(fitness, seed));
+  }
+}
+
+TEST(SelectBiddingOmp, ThrowsOnInvalidFitness) {
+  EXPECT_THROW((void)select_bidding_omp({}, 1), InvalidFitnessError);
+  EXPECT_THROW((void)select_bidding_omp(std::vector<double>{0, 0}, 1),
+               InvalidFitnessError);
+}
+
+TEST(SelectBiddingRaceOmp, MatchesRoulette) {
+  const std::vector<double> fitness = {2, 1, 0, 3};
+  stats::SelectionHistogram hist(fitness.size());
+  for (std::uint64_t seed = 0; seed < 30000; ++seed) {
+    hist.record(select_bidding_race_omp(fitness, seed));
+  }
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(SelectBiddingRaceOmp, AgreesWithReduceVariantDistribution) {
+  // Both OMP paths realize the same distribution; compare histograms via
+  // chi-square against each other's exact target.
+  const std::vector<double> fitness = {5, 3, 2};
+  stats::SelectionHistogram reduce_hist(3), race_hist(3);
+  for (std::uint64_t seed = 0; seed < 20000; ++seed) {
+    reduce_hist.record(select_bidding_omp(fitness, seed));
+    race_hist.record(select_bidding_race_omp(fitness, seed + 777));
+  }
+  lrb::testing::expect_matches_roulette(reduce_hist, fitness);
+  lrb::testing::expect_matches_roulette(race_hist, fitness);
+}
+
+}  // namespace
+}  // namespace lrb::core

@@ -1,0 +1,111 @@
+#include "core/streaming.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+
+namespace lrb::core {
+namespace {
+
+TEST(StreamingSelector, NoWinnerBeforePositiveOffer) {
+  StreamingSelector sel(1);
+  EXPECT_FALSE(sel.has_winner());
+  EXPECT_THROW((void)sel.winner(), InvalidFitnessError);
+  EXPECT_FALSE(sel.offer(0.0));
+  EXPECT_FALSE(sel.has_winner());
+  EXPECT_TRUE(sel.offer(2.0));
+  EXPECT_TRUE(sel.has_winner());
+  EXPECT_EQ(sel.winner(), 1u);
+  EXPECT_EQ(sel.count(), 2u);
+}
+
+TEST(StreamingSelector, RejectsInvalidFitness) {
+  StreamingSelector sel(2);
+  EXPECT_THROW(sel.offer(-1.0), InvalidFitnessError);
+  EXPECT_THROW(sel.offer(std::numeric_limits<double>::quiet_NaN()),
+               InvalidFitnessError);
+}
+
+TEST(StreamingSelector, MatchesRouletteAtEndOfStream) {
+  const std::vector<double> fitness = {1, 0, 2, 3, 0, 4};
+  stats::SelectionHistogram hist(fitness.size());
+  for (std::uint64_t seed = 0; seed < 50000; ++seed) {
+    StreamingSelector sel(seed);
+    for (double f : fitness) (void)sel.offer(f);
+    hist.record(sel.winner());
+  }
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(StreamingSelector, AnytimeProperty) {
+  // After ANY prefix of the stream, the winner follows the roulette
+  // distribution over that prefix.
+  const std::vector<double> fitness = {3, 1, 2, 5, 4};
+  for (std::size_t prefix : {2u, 3u, 4u}) {
+    stats::SelectionHistogram hist(prefix);
+    for (std::uint64_t seed = 0; seed < 30000; ++seed) {
+      StreamingSelector sel(seed * 2 + 1);
+      for (std::size_t i = 0; i < prefix; ++i) (void)sel.offer(fitness[i]);
+      hist.record(sel.winner());
+    }
+    lrb::testing::expect_matches_roulette(
+        hist, std::span<const double>(fitness).subspan(0, prefix));
+  }
+}
+
+TEST(StreamingSelector, ResetStartsFresh) {
+  StreamingSelector sel(7);
+  (void)sel.offer(1.0);
+  sel.reset();
+  EXPECT_EQ(sel.count(), 0u);
+  EXPECT_FALSE(sel.has_winner());
+  (void)sel.offer(1.0);
+  EXPECT_EQ(sel.winner(), 0u);
+}
+
+TEST(StreamingSampler, ReservoirFillsThenSifts) {
+  StreamingSampler sampler(3, 1);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(sampler.offer(1.0));
+  EXPECT_EQ(sampler.reservoir_size(), 3u);
+  int entered = 0;
+  for (int i = 0; i < 100; ++i) entered += sampler.offer(1.0);
+  EXPECT_EQ(sampler.reservoir_size(), 3u);
+  EXPECT_GT(entered, 0);    // some later items displace
+  EXPECT_LT(entered, 100);  // but not all
+  const auto s = sampler.sample();
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(std::set<std::uint64_t>(s.begin(), s.end()).size(), 3u);
+}
+
+TEST(StreamingSampler, MatchesBatchWithoutReplacementDistribution) {
+  // The streaming reservoir's first element has the roulette marginal over
+  // the whole stream (ES equivalence).
+  const std::vector<double> fitness = {1, 2, 0, 3, 4};
+  stats::SelectionHistogram hist(fitness.size());
+  for (std::uint64_t seed = 0; seed < 40000; ++seed) {
+    StreamingSampler sampler(2, seed);
+    for (double f : fitness) (void)sampler.offer(f);
+    hist.record(sampler.sample()[0]);
+  }
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(StreamingSampler, ZeroFitnessNeverEnters) {
+  StreamingSampler sampler(4, 5);
+  (void)sampler.offer(0.0);
+  (void)sampler.offer(1.0);
+  (void)sampler.offer(0.0);
+  (void)sampler.offer(2.0);
+  const auto s = sampler.sample();
+  EXPECT_EQ(s.size(), 2u);
+  for (std::uint64_t i : s) EXPECT_TRUE(i == 1 || i == 3);
+}
+
+TEST(StreamingSampler, RequiresPositiveM) {
+  EXPECT_THROW(StreamingSampler(0, 1), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace lrb::core

@@ -1,0 +1,155 @@
+#include "core/without_replacement.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+
+namespace lrb::core {
+namespace {
+
+TEST(SampleWithoutReplacement, ReturnsDistinctIndices) {
+  const std::vector<double> fitness = {1, 2, 3, 4, 5, 6};
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto sample = sample_without_replacement(fitness, 4, seed);
+    ASSERT_EQ(sample.size(), 4u);
+    const std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (std::size_t i : sample) EXPECT_LT(i, fitness.size());
+  }
+}
+
+TEST(SampleWithoutReplacement, NeverPicksZeroFitness) {
+  const std::vector<double> fitness = {0, 1, 0, 2, 0, 3};
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const auto sample = sample_without_replacement(fitness, 3, seed);
+    for (std::size_t i : sample) EXPECT_GT(fitness[i], 0.0);
+  }
+}
+
+TEST(SampleWithoutReplacement, FullSampleIsPermutationOfPositives) {
+  const std::vector<double> fitness = {0, 1, 2, 0, 3};
+  const auto sample = sample_without_replacement(fitness, 3, 7);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique, (std::set<std::size_t>{1, 2, 4}));
+}
+
+TEST(SampleWithoutReplacement, MTooLargeThrows) {
+  const std::vector<double> fitness = {0, 1, 2};
+  EXPECT_THROW((void)sample_without_replacement(fitness, 3, 1),
+               InvalidArgumentError);
+}
+
+TEST(SampleWithoutReplacement, ZeroMIsEmpty) {
+  const std::vector<double> fitness = {1, 2};
+  EXPECT_TRUE(sample_without_replacement(fitness, 0, 1).empty());
+}
+
+TEST(SampleWithoutReplacement, FirstElementMatchesRouletteDistribution) {
+  // By the ES equivalence, the first element of the sample has exactly the
+  // single-draw roulette distribution.
+  const std::vector<double> fitness = {1, 0, 2, 3};
+  stats::SelectionHistogram hist(fitness.size());
+  for (std::uint64_t seed = 0; seed < 40000; ++seed) {
+    hist.record(sample_without_replacement(fitness, 2, seed)[0]);
+  }
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(SampleWithoutReplacement, SecondElementMatchesConditionalRoulette) {
+  // Given the first pick j, the second follows roulette over the rest.
+  // Check the unconditional distribution of the 2nd pick against the exact
+  // enumeration for a 3-item case.
+  const std::vector<double> fitness = {1, 2, 3};
+  const auto probs = exact_probabilities(fitness);
+  std::vector<double> second(3, 0.0);
+  for (int j = 0; j < 3; ++j) {
+    for (int k = 0; k < 3; ++k) {
+      if (k == j) continue;
+      second[k] += probs[j] * fitness[k] / (6.0 - fitness[j]);
+    }
+  }
+  stats::SelectionHistogram hist(3);
+  for (std::uint64_t seed = 0; seed < 60000; ++seed) {
+    hist.record(sample_without_replacement(fitness, 2, seed)[1]);
+  }
+  const auto gof = stats::chi_square_gof(hist, second);
+  EXPECT_GT(gof.p_value, 1e-6) << "chi2=" << gof.statistic;
+}
+
+TEST(SampleWithoutReplacement, ParallelMatchesSerialExactly) {
+  std::vector<double> fitness(1000);
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    fitness[i] = (i % 7 == 0) ? 0.0 : static_cast<double>(i % 13) + 0.5;
+  }
+  for (std::size_t lanes : {1u, 2u, 4u, 8u}) {
+    parallel::ThreadPool pool(lanes);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const auto serial = sample_without_replacement(fitness, 25, seed);
+      const auto par = sample_without_replacement(pool, fitness, 25, seed);
+      EXPECT_EQ(par, serial) << "lanes=" << lanes << " seed=" << seed;
+    }
+  }
+}
+
+TEST(WeightedShuffle, PermutesPositiveIndicesOnly) {
+  const std::vector<double> fitness = {0, 1, 2, 0, 3, 0};
+  const auto order = weighted_shuffle(fitness, 3);
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_EQ(std::set<std::size_t>(order.begin(), order.end()),
+            (std::set<std::size_t>{1, 2, 4}));
+}
+
+TEST(WeightedShuffle, PrefixEqualsSampleWithoutReplacement) {
+  // The first m elements of the shuffle are exactly the m-sample (same
+  // seed, same bids).
+  std::vector<double> fitness(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    fitness[i] = (i % 4 == 0) ? 0.0 : static_cast<double>(i % 7) + 1.0;
+  }
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto shuffle = weighted_shuffle(fitness, seed);
+    const auto sample = sample_without_replacement(fitness, 10, seed);
+    ASSERT_GE(shuffle.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(shuffle[i], sample[i]) << "seed=" << seed << " i=" << i;
+    }
+  }
+}
+
+TEST(WeightedShuffle, FirstElementMatchesRoulette) {
+  const std::vector<double> fitness = {1, 3, 0, 2};
+  stats::SelectionHistogram hist(fitness.size());
+  for (std::uint64_t seed = 0; seed < 40000; ++seed) {
+    hist.record(weighted_shuffle(fitness, seed)[0]);
+  }
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(WeightedShuffle, HigherFitnessTendsEarlier) {
+  // Mean rank of the heaviest item must be clearly ahead of the lightest.
+  const std::vector<double> fitness = {10, 1, 1, 1, 1};
+  double heavy_rank = 0, light_rank = 0;
+  constexpr int kTrials = 5000;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto order = weighted_shuffle(fitness, 100000 + t);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      if (order[pos] == 0) heavy_rank += static_cast<double>(pos);
+      if (order[pos] == 1) light_rank += static_cast<double>(pos);
+    }
+  }
+  EXPECT_LT(heavy_rank / kTrials + 0.5, light_rank / kTrials);
+}
+
+TEST(SampleWithoutReplacement, DeterministicInSeed) {
+  const std::vector<double> fitness = {1, 2, 3, 4, 5};
+  EXPECT_EQ(sample_without_replacement(fitness, 3, 9),
+            sample_without_replacement(fitness, 3, 9));
+  EXPECT_NE(sample_without_replacement(fitness, 3, 9),
+            sample_without_replacement(fitness, 3, 10));
+}
+
+}  // namespace
+}  // namespace lrb::core

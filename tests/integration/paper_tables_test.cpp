@@ -1,0 +1,98 @@
+// Integration reproduction of the paper's Tables I and II at test-scale
+// sample sizes (the full 1e9-draw versions live in bench/).
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+#include "core/baselines.hpp"
+#include "core/logarithmic_bidding.hpp"
+#include "rng/mt19937_64.hpp"
+
+namespace lrb {
+namespace {
+
+// Table I workload: f_i = i, 0 <= i <= 9, Mersenne Twister (as the paper).
+class PaperTable1 : public ::testing::Test {
+ protected:
+  std::vector<double> fitness_ = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  static constexpr std::uint64_t kDraws = 200000;
+};
+
+TEST_F(PaperTable1, LogarithmicColumnMatchesExactProbabilities) {
+  rng::Mt19937_64 gen(20240228);
+  const auto hist = testing::collect(
+      fitness_.size(), kDraws, [&] { return core::select_bidding(fitness_, gen); });
+  testing::expect_matches_roulette(hist, fitness_);
+  // Row-level check mirroring the table: F_1 = 1/45 ~ 0.0222.
+  EXPECT_NEAR(hist.frequency(1), 1.0 / 45.0, 0.002);
+  EXPECT_NEAR(hist.frequency(9), 9.0 / 45.0, 0.004);
+  EXPECT_EQ(hist.count(0), 0u);
+}
+
+TEST_F(PaperTable1, IndependentColumnReproducesPaperBias) {
+  // The paper's independent column: 0.000000, 0.000000, 0.000088, 0.001708,
+  // 0.010993, 0.038787, 0.094267, 0.178238, 0.282382, 0.393536.
+  rng::Mt19937_64 gen(20240228);
+  const auto hist = testing::collect(fitness_.size(), kDraws, [&] {
+    return core::select_independent(fitness_, gen);
+  });
+  const std::vector<double> paper = {0.0,      0.0,      0.000088, 0.001708,
+                                     0.010993, 0.038787, 0.094267, 0.178238,
+                                     0.282382, 0.393536};
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    // 3-sigma-ish binomial tolerance at 2e5 draws, floored for tiny p.
+    const double tol = 3.0 * std::sqrt(paper[i] * (1 - paper[i]) / kDraws) + 3e-4;
+    EXPECT_NEAR(hist.frequency(i), paper[i], tol) << "row i=" << i;
+  }
+  // The qualitative claim: small-fitness rows are starved...
+  EXPECT_LT(hist.frequency(2), 0.001);
+  // ...and the largest fitness is wildly over-selected (0.394 vs F_9 = 0.2).
+  EXPECT_GT(hist.frequency(9), 0.35);
+}
+
+// Table II workload: f_0 = 1, f_1..f_99 = 2.
+class PaperTable2 : public ::testing::Test {
+ protected:
+  PaperTable2() : fitness_(100, 2.0) { fitness_[0] = 1.0; }
+  std::vector<double> fitness_;
+  static constexpr std::uint64_t kDraws = 400000;
+};
+
+TEST_F(PaperTable2, LogarithmicSelectsProcessor0AtRate1Over199) {
+  rng::Mt19937_64 gen(42);
+  const auto hist = testing::collect(
+      fitness_.size(), kDraws, [&] { return core::select_bidding(fitness_, gen); });
+  // F_0 = 1/199 ~ 0.005025; expect ~2010 hits of 4e5.
+  const auto ci = stats::wilson_interval(hist.count(0), kDraws, 0.9999);
+  EXPECT_TRUE(ci.contains(1.0 / 199.0))
+      << "observed " << hist.frequency(0) << " in [" << ci.low << ", "
+      << ci.high << "]";
+  testing::expect_matches_roulette(hist, fitness_);
+}
+
+TEST_F(PaperTable2, IndependentNeverSelectsProcessor0) {
+  // The paper: Pr ~ 1.58e-32 — zero selections in any feasible run.
+  rng::Mt19937_64 gen(43);
+  const auto hist = testing::collect(fitness_.size(), kDraws, [&] {
+    return core::select_independent(fitness_, gen);
+  });
+  EXPECT_EQ(hist.count(0), 0u);
+  // Meanwhile the other 99 processors are roughly uniform at ~1/99 each
+  // (paper shows ~0.0101 per row).
+  for (std::size_t i = 1; i < 10; ++i) {
+    EXPECT_NEAR(hist.frequency(i), 1.0 / 99.0, 0.0015) << "row " << i;
+  }
+}
+
+TEST_F(PaperTable2, Section1ClosedFormForIndependentBias) {
+  // The paper's closed form: with f_0=1 and 99 processors at f=2, the
+  // independent rule picks 0 only if all 99 opponents draw below 1 AND 0
+  // wins the sub-race: (1/2)^99 / 100.  Verify the formula's magnitude.
+  const double p = std::pow(0.5, 99) / 100.0;
+  EXPECT_NEAR(p, 1.57772e-32, 1e-36);
+}
+
+}  // namespace
+}  // namespace lrb

@@ -1,0 +1,89 @@
+// Meta-tests of the acceptance methodology itself: if the chi-square
+// machinery were mis-calibrated, every distribution test in this suite
+// would be meaningless.  These tests check that p-values are uniform under
+// the null (exact sampler) and collapse under the alternative (biased
+// sampler), and that empirical error shrinks at the Monte-Carlo rate.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/fitness.hpp"
+#include "core/logarithmic_bidding.hpp"
+#include "rng/xoshiro256.hpp"
+#include "stats/gof.hpp"
+#include "stats/histogram.hpp"
+
+namespace lrb {
+namespace {
+
+TEST(StatisticalMeta, PValuesUniformUnderNull) {
+  // 300 independent experiments with an exact sampler: the chi-square
+  // p-values must look uniform(0,1).
+  const std::vector<double> fitness = {1, 2, 3, 4};
+  const auto expected = core::exact_probabilities(fitness);
+  std::vector<double> p_values;
+  for (std::uint64_t e = 0; e < 300; ++e) {
+    rng::Xoshiro256StarStar gen(1000 + e);
+    stats::SelectionHistogram hist(fitness.size());
+    for (int t = 0; t < 4000; ++t) {
+      hist.record(core::select_bidding(fitness, gen));
+    }
+    p_values.push_back(stats::chi_square_gof(hist, expected).p_value);
+  }
+  const auto ks = stats::ks_uniform01(std::move(p_values));
+  EXPECT_GT(ks.p_value, 1e-4) << "KS stat " << ks.statistic
+                              << " — chi-square p-values are not uniform "
+                                 "under the null: methodology is broken";
+}
+
+TEST(StatisticalMeta, PValuesCollapseUnderAlternative) {
+  // The same harness must reject the biased sampler essentially always.
+  const std::vector<double> fitness = {1, 2, 3, 4};
+  const auto expected = core::exact_probabilities(fitness);
+  int rejections = 0;
+  for (std::uint64_t e = 0; e < 50; ++e) {
+    rng::Xoshiro256StarStar gen(5000 + e);
+    stats::SelectionHistogram hist(fitness.size());
+    for (int t = 0; t < 4000; ++t) {
+      hist.record(core::select_independent(fitness, gen));
+    }
+    rejections += stats::chi_square_gof(hist, expected).p_value < 1e-6;
+  }
+  EXPECT_EQ(rejections, 50);
+}
+
+TEST(StatisticalMeta, EmpiricalErrorShrinksAtMonteCarloRate) {
+  // TV distance from the target should scale ~ 1/sqrt(N): growing N by
+  // 100x shrinks TV by ~10x (allow 3x slack either way).
+  const std::vector<double> fitness = {3, 1, 2, 4};
+  const auto expected = core::exact_probabilities(fitness);
+  auto tv_at = [&](std::uint64_t draws, std::uint64_t seed) {
+    rng::Xoshiro256StarStar gen(seed);
+    stats::SelectionHistogram hist(fitness.size());
+    for (std::uint64_t t = 0; t < draws; ++t) {
+      hist.record(core::select_bidding(fitness, gen));
+    }
+    return stats::total_variation(hist.frequencies(), expected);
+  };
+  // Average a few repetitions to stabilize the ratio.
+  double tv_small = 0, tv_large = 0;
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    tv_small += tv_at(2000, 10 + r);
+    tv_large += tv_at(200000, 20 + r);
+  }
+  const double ratio = tv_small / tv_large;
+  EXPECT_GT(ratio, 10.0 / 3.0) << "small=" << tv_small << " large=" << tv_large;
+  EXPECT_LT(ratio, 10.0 * 3.0);
+}
+
+TEST(StatisticalMeta, WilsonIntervalWidthMatchesTheory) {
+  // Width of the 95% Wilson interval at p-hat=0.5, n=10000 is ~2*1.96*
+  // sqrt(0.25/10000) ~ 0.0196.
+  const auto ci = stats::wilson_interval(5000, 10000, 0.95);
+  EXPECT_NEAR(ci.high - ci.low, 0.0196, 0.001);
+}
+
+}  // namespace
+}  // namespace lrb

@@ -1,0 +1,145 @@
+#include "parallel/atomic_max.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::parallel {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(OrderPreservingBits, MonotoneOverRepresentativeDoubles) {
+  const std::vector<double> vals = {-kInf, -1e300, -2.5, -1.0, -1e-300, 0.0,
+                                    1e-300, 0.5, 1.0, 2.5, 1e300, kInf};
+  for (std::size_t i = 0; i + 1 < vals.size(); ++i) {
+    EXPECT_LT(detail::order_preserving_bits(vals[i]),
+              detail::order_preserving_bits(vals[i + 1]))
+        << vals[i] << " vs " << vals[i + 1];
+  }
+}
+
+TEST(OrderPreservingBits, RoundTrips) {
+  for (double d : {-kInf, -3.25, -0.0, 0.0, 7.5, kInf}) {
+    EXPECT_EQ(detail::double_from_order_bits(detail::order_preserving_bits(d)), d);
+  }
+}
+
+TEST(AtomicMaxCell, SerialUpdatesKeepMaximum) {
+  AtomicMaxCell cell;
+  EXPECT_EQ(cell.load(), -kInf);
+  cell.update(-3.0);
+  EXPECT_DOUBLE_EQ(cell.load(), -3.0);
+  cell.update(-5.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(cell.load(), -3.0);
+  cell.update(-1.0);
+  EXPECT_DOUBLE_EQ(cell.load(), -1.0);
+}
+
+TEST(AtomicMaxCell, UpdateReturnsZeroAttemptsWhenDominated) {
+  AtomicMaxCell cell(10.0);
+  EXPECT_EQ(cell.update(5.0), 0u);
+  EXPECT_GE(cell.update(20.0), 1u);
+}
+
+TEST(AtomicMaxCell, ConcurrentRaceFindsGlobalMax) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  AtomicMaxCell cell;
+  std::vector<std::vector<double>> values(kThreads);
+  double expected = -kInf;
+  rng::Xoshiro256StarStar gen(77);
+  for (auto& vs : values) {
+    vs.resize(kPerThread);
+    for (auto& v : vs) {
+      v = rng::u01_closed_open(gen) * 2000.0 - 1000.0;
+      expected = std::max(expected, v);
+    }
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (double v : values[t]) cell.update(v);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(cell.load(), expected);
+}
+
+TEST(AtomicArgMaxCell, SerialKeepsValueAndIndex) {
+  AtomicArgMaxCell cell;
+  cell.update(-4.0, 3);
+  EXPECT_DOUBLE_EQ(cell.load().bid, -4.0);
+  EXPECT_EQ(cell.load().index, 3u);
+  cell.update(-2.0, 9);
+  EXPECT_DOUBLE_EQ(cell.load().bid, -2.0);
+  EXPECT_EQ(cell.load().index, 9u);
+  cell.update(-3.0, 1);  // lower bid: ignored
+  EXPECT_EQ(cell.load().index, 9u);
+}
+
+TEST(AtomicArgMaxCell, TieBreaksToSmallerIndex) {
+  AtomicArgMaxCell cell;
+  cell.update(-1.5, 7);
+  cell.update(-1.5, 3);  // equal bid, smaller index: wins
+  EXPECT_EQ(cell.load().index, 3u);
+  cell.update(-1.5, 12);  // equal bid, larger index: loses
+  EXPECT_EQ(cell.load().index, 3u);
+}
+
+TEST(AtomicArgMaxCell, InstalledFlagTracksOutcome) {
+  AtomicArgMaxCell cell;
+  auto r1 = cell.update(-2.0, 1);
+  EXPECT_TRUE(r1.installed);
+  auto r2 = cell.update(-5.0, 2);
+  EXPECT_FALSE(r2.installed);
+  EXPECT_EQ(r2.attempts, 0u);
+}
+
+TEST(AtomicArgMaxCell, ConcurrentRaceFindsArgMax) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  AtomicArgMaxCell cell;
+  // Unique values so the argmax is unambiguous.
+  std::vector<double> all(kThreads * kPerThread);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = -static_cast<double>(i) - 0.5;
+  }
+  // Shuffle deterministically.
+  rng::Xoshiro256StarStar gen(123);
+  for (std::size_t i = all.size(); i > 1; --i) {
+    std::swap(all[i - 1], all[rng::uniform_below(gen, i)]);
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int j = 0; j < kPerThread; ++j) {
+        const std::size_t idx = t * kPerThread + j;
+        cell.update(all[idx], static_cast<std::uint32_t>(idx));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Global max is -0.5 wherever it landed after the shuffle.
+  const auto winner = cell.load();
+  EXPECT_DOUBLE_EQ(winner.bid, -0.5);
+  EXPECT_DOUBLE_EQ(all[winner.index], -0.5);
+}
+
+TEST(AtomicArgMaxCell, NegativeZeroAndZeroOrder) {
+  AtomicArgMaxCell cell;
+  cell.update(-0.0, 1);
+  // +0.0 must not lose to -0.0 (they compare equal as doubles; the packed
+  // encoding maps them to adjacent keys with +0.0 >= -0.0).
+  cell.update(0.0, 2);
+  EXPECT_DOUBLE_EQ(cell.load().bid, 0.0);
+}
+
+}  // namespace
+}  // namespace lrb::parallel

@@ -1,0 +1,65 @@
+#include "parallel/barrier.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lrb::parallel {
+namespace {
+
+TEST(SpinBarrier, SinglePartyPassesImmediately) {
+  SpinBarrier barrier(1);
+  for (int i = 0; i < 100; ++i) barrier.arrive_and_wait();
+  EXPECT_EQ(barrier.phase(), 100u);
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kPhases = 200;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < kPhases; ++phase) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier every thread of this phase has incremented.
+        if (counter.load() < static_cast<int>(kThreads) * (phase + 1)) {
+          failed.store(true);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), static_cast<int>(kThreads) * kPhases);
+  EXPECT_EQ(barrier.phase(), 2u * kPhases);
+}
+
+TEST(SpinBarrier, PartiesAccessor) {
+  SpinBarrier barrier(3);
+  EXPECT_EQ(barrier.parties(), 3u);
+  EXPECT_EQ(barrier.phase(), 0u);
+}
+
+TEST(SpinBarrier, ManyPhasesNoDeadlock) {
+  constexpr std::size_t kThreads = 2;
+  SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) barrier.arrive_and_wait();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(barrier.phase(), 10000u);
+}
+
+}  // namespace
+}  // namespace lrb::parallel

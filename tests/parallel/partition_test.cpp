@@ -1,0 +1,70 @@
+#include "parallel/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lrb::parallel {
+namespace {
+
+TEST(PartitionRange, CoversWithoutOverlap) {
+  for (std::size_t n : {0u, 1u, 7u, 100u, 101u, 1024u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 7u, 16u, 200u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (std::size_t p = 0; p < parts; ++p) {
+        const Range r = partition_range(n, parts, p);
+        EXPECT_EQ(r.begin, prev_end) << "n=" << n << " parts=" << parts;
+        EXPECT_LE(r.end, n);
+        covered += r.size();
+        prev_end = r.end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(PartitionRange, BalancedWithinOne) {
+  for (std::size_t n : {10u, 97u, 1000u}) {
+    for (std::size_t parts : {3u, 7u, 8u}) {
+      std::size_t min_size = n, max_size = 0;
+      for (std::size_t p = 0; p < parts; ++p) {
+        const Range r = partition_range(n, parts, p);
+        min_size = std::min(min_size, r.size());
+        max_size = std::max(max_size, r.size());
+      }
+      EXPECT_LE(max_size - min_size, 1u) << "n=" << n << " parts=" << parts;
+    }
+  }
+}
+
+TEST(PartitionRange, ExtrasGoToLowLanes) {
+  // n=10, parts=4: sizes 3,3,2,2.
+  EXPECT_EQ(partition_range(10, 4, 0).size(), 3u);
+  EXPECT_EQ(partition_range(10, 4, 1).size(), 3u);
+  EXPECT_EQ(partition_range(10, 4, 2).size(), 2u);
+  EXPECT_EQ(partition_range(10, 4, 3).size(), 2u);
+}
+
+TEST(PartitionRange, MorePartsThanItems) {
+  for (std::size_t p = 0; p < 8; ++p) {
+    const Range r = partition_range(3, 8, p);
+    EXPECT_EQ(r.size(), p < 3 ? 1u : 0u);
+  }
+}
+
+TEST(PartitionRange, ZeroPartsFallsBackToWhole) {
+  const Range r = partition_range(5, 0, 0);
+  EXPECT_EQ(r.begin, 0u);
+  EXPECT_EQ(r.end, 5u);
+}
+
+TEST(ChunkCount, RoundsUp) {
+  EXPECT_EQ(chunk_count(0, 4), 0u);
+  EXPECT_EQ(chunk_count(1, 4), 1u);
+  EXPECT_EQ(chunk_count(4, 4), 1u);
+  EXPECT_EQ(chunk_count(5, 4), 2u);
+  EXPECT_EQ(chunk_count(8, 0), 1u);
+}
+
+}  // namespace
+}  // namespace lrb::parallel

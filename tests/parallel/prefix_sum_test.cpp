@@ -1,0 +1,86 @@
+#include "parallel/prefix_sum.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::parallel {
+namespace {
+
+TEST(InclusiveScanSerial, Basic) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  std::vector<double> out(4);
+  inclusive_scan_serial(xs, out);
+  EXPECT_EQ(out, (std::vector<double>{1, 3, 6, 10}));
+}
+
+TEST(InclusiveScanSerial, InPlace) {
+  std::vector<double> xs = {2, 2, 2};
+  inclusive_scan_serial(xs, xs);
+  EXPECT_EQ(xs, (std::vector<double>{2, 4, 6}));
+}
+
+TEST(InclusiveScanSerial, SizeMismatchThrows) {
+  const std::vector<double> xs = {1, 2};
+  std::vector<double> out(3);
+  EXPECT_THROW(inclusive_scan_serial(xs, out), lrb::InvalidArgumentError);
+}
+
+TEST(InclusiveScan, MatchesSerialAcrossLaneCounts) {
+  rng::Xoshiro256StarStar gen(23);
+  std::vector<double> xs(30000);
+  for (auto& x : xs) x = rng::u01_closed_open(gen);
+  std::vector<double> ref(xs.size());
+  inclusive_scan_serial(xs, ref);
+  for (std::size_t lanes : {1u, 2u, 3u, 5u, 8u}) {
+    ThreadPool pool(lanes);
+    std::vector<double> out(xs.size());
+    inclusive_scan(pool, xs, out);
+    for (std::size_t i = 0; i < xs.size(); i += 997) {
+      EXPECT_NEAR(out[i], ref[i], 1e-9 * (1.0 + ref[i])) << "lanes=" << lanes;
+    }
+    EXPECT_NEAR(out.back(), ref.back(), 1e-9 * ref.back());
+  }
+}
+
+TEST(InclusiveScan, SmallInputUsesSerialPath) {
+  ThreadPool pool(4);
+  const std::vector<double> xs = {5, 1, 2};
+  std::vector<double> out(3);
+  inclusive_scan(pool, xs, out);
+  EXPECT_EQ(out, (std::vector<double>{5, 6, 8}));
+}
+
+TEST(InclusiveScan, MonotoneForNonNegativeInput) {
+  ThreadPool pool(3);
+  rng::Xoshiro256StarStar gen(31);
+  std::vector<double> xs(10000);
+  for (auto& x : xs) x = rng::u01_closed_open(gen);
+  std::vector<double> out(xs.size());
+  inclusive_scan(pool, xs, out);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_GE(out[i], out[i - 1]);
+  }
+}
+
+TEST(InclusiveScan, ZeroRunsStayFlat) {
+  ThreadPool pool(2);
+  std::vector<double> xs(8192, 0.0);
+  xs[100] = 1.0;
+  xs[5000] = 2.0;
+  std::vector<double> out(xs.size());
+  inclusive_scan(pool, xs, out);
+  EXPECT_DOUBLE_EQ(out[99], 0.0);
+  EXPECT_DOUBLE_EQ(out[100], 1.0);
+  EXPECT_DOUBLE_EQ(out[4999], 1.0);
+  EXPECT_DOUBLE_EQ(out[5000], 3.0);
+  EXPECT_DOUBLE_EQ(out.back(), 3.0);
+}
+
+}  // namespace
+}  // namespace lrb::parallel

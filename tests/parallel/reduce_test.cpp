@@ -1,0 +1,82 @@
+#include "parallel/reduce.hpp"
+
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::parallel {
+namespace {
+
+TEST(ParallelSum, MatchesSerialForSmall) {
+  ThreadPool pool(4);
+  const std::vector<double> xs = {1.0, 2.0, 3.5};
+  EXPECT_DOUBLE_EQ(parallel_sum(pool, xs), 6.5);
+}
+
+TEST(ParallelSum, MatchesAccurateSumForLarge) {
+  ThreadPool pool(4);
+  rng::Xoshiro256StarStar gen(5);
+  std::vector<double> xs(100000);
+  for (auto& x : xs) x = rng::u01_closed_open(gen);
+  const double serial = lrb::accurate_sum(xs);
+  EXPECT_NEAR(parallel_sum(pool, xs), serial, 1e-9);
+}
+
+TEST(ArgmaxSerial, BasicAndTies) {
+  const std::vector<double> xs = {1.0, 5.0, 3.0, 5.0, 2.0};
+  const auto r = argmax_serial(xs);
+  EXPECT_EQ(r.index, 1u);  // first of the tied maxima
+  EXPECT_DOUBLE_EQ(r.value, 5.0);
+}
+
+TEST(ArgmaxSerial, AllNegativeInfinity) {
+  const std::vector<double> xs(4, -std::numeric_limits<double>::infinity());
+  const auto r = argmax_serial(xs);
+  EXPECT_EQ(r.index, 0u);
+}
+
+TEST(ArgmaxSerial, SingleElement) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_EQ(argmax_serial(xs).index, 0u);
+  EXPECT_DOUBLE_EQ(argmax_serial(xs).value, 42.0);
+}
+
+TEST(ParallelArgmax, MatchesSerialAcrossLaneCounts) {
+  rng::Xoshiro256StarStar gen(17);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng::u01_closed_open(gen) * 100.0;
+  const auto serial = argmax_serial(xs);
+  for (std::size_t lanes : {1u, 2u, 3u, 4u, 8u}) {
+    ThreadPool pool(lanes);
+    const auto par = parallel_argmax(pool, xs);
+    EXPECT_EQ(par.index, serial.index) << "lanes=" << lanes;
+    EXPECT_DOUBLE_EQ(par.value, serial.value);
+  }
+}
+
+TEST(ParallelArgmax, TieBreaksToSmallestIndexAcrossLanes) {
+  // Maximum value appears in several lanes' chunks.
+  std::vector<double> xs(20000, 0.0);
+  xs[1500] = 7.0;
+  xs[9999] = 7.0;
+  xs[17777] = 7.0;
+  for (std::size_t lanes : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(lanes);
+    EXPECT_EQ(parallel_argmax(pool, xs).index, 1500u) << "lanes=" << lanes;
+  }
+}
+
+TEST(ParallelArgmax, EmptyInput) {
+  ThreadPool pool(2);
+  const std::vector<double> xs;
+  const auto r = parallel_argmax(pool, xs);
+  EXPECT_EQ(r.index, 0u);
+}
+
+}  // namespace
+}  // namespace lrb::parallel

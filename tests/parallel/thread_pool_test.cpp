@@ -1,0 +1,98 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lrb::parallel {
+namespace {
+
+TEST(ThreadPool, SingleLaneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.lanes(), 1u);
+  std::size_t calls = 0;
+  pool.run_spmd([&](std::size_t lane, std::size_t lanes) {
+    EXPECT_EQ(lane, 0u);
+    EXPECT_EQ(lanes, 1u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, SpmdRunsEveryLaneExactlyOnce) {
+  for (std::size_t lanes : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(lanes);
+    std::vector<std::atomic<int>> hits(lanes);
+    pool.run_spmd([&](std::size_t lane, std::size_t nlanes) {
+      EXPECT_EQ(nlanes, lanes);
+      hits[lane].fetch_add(1);
+    });
+    for (std::size_t l = 0; l < lanes; ++l) {
+      EXPECT_EQ(hits[l].load(), 1) << "lane " << l;
+    }
+  }
+}
+
+TEST(ThreadPool, SpmdIsReusable) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run_spmd([&](std::size_t, std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10001;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](Range r, std::size_t) {
+    for (std::size_t i = r.begin; i < r.end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](Range, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSumMatchesSerial) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 100000;
+  std::vector<double> xs(kN);
+  std::iota(xs.begin(), xs.end(), 1.0);
+  std::vector<double> partial(pool.lanes(), 0.0);
+  pool.parallel_for(kN, [&](Range r, std::size_t lane) {
+    for (std::size_t i = r.begin; i < r.end; ++i) partial[lane] += xs[i];
+  });
+  const double total = std::accumulate(partial.begin(), partial.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, kN * (kN + 1.0) / 2.0);
+}
+
+TEST(ThreadPool, NestedSequentialJobsDoNotDeadlock) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 100; ++i) {
+    pool.parallel_for(16, [&](Range, std::size_t) {});
+  }
+  SUCCEED();
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.lanes(), 1u);
+}
+
+TEST(HardwareLanes, AtLeastOne) { EXPECT_GE(hardware_lanes(), 1u); }
+
+}  // namespace
+}  // namespace lrb::parallel

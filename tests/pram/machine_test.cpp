@@ -1,0 +1,118 @@
+#include "pram/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lrb::pram {
+namespace {
+
+TEST(CrcwMachine, SingleWriteCommits) {
+  CrcwMachine m(2, /*seed=*/1);
+  m.write(0, 3.5);
+  EXPECT_DOUBLE_EQ(m.peek(0), 0.0);  // not yet committed
+  m.commit();
+  EXPECT_DOUBLE_EQ(m.peek(0), 3.5);
+  EXPECT_EQ(m.stats().rounds, 1u);
+  EXPECT_EQ(m.stats().writes, 1u);
+  EXPECT_EQ(m.stats().write_conflicts, 0u);
+}
+
+TEST(CrcwMachine, ConflictPicksOneCandidate) {
+  CrcwMachine m(1, 7);
+  m.write(0, 1.0);
+  m.write(0, 2.0);
+  m.write(0, 3.0);
+  m.commit();
+  const double v = m.peek(0);
+  EXPECT_TRUE(v == 1.0 || v == 2.0 || v == 3.0);
+  EXPECT_EQ(m.stats().write_conflicts, 2u);
+}
+
+TEST(CrcwMachine, ConflictWinnerIsApproximatelyUniform) {
+  // Over many rounds, each of 4 candidates should win ~25%.
+  CrcwMachine m(1, 42);
+  int wins[4] = {0, 0, 0, 0};
+  constexpr int kRounds = 20000;
+  for (int r = 0; r < kRounds; ++r) {
+    for (int c = 0; c < 4; ++c) m.write(0, static_cast<double>(c));
+    m.commit();
+    ++wins[static_cast<int>(m.peek(0))];
+  }
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(static_cast<double>(wins[c]) / kRounds, 0.25, 0.02)
+        << "candidate " << c;
+  }
+}
+
+TEST(CrcwMachine, ReadsSeeCommittedValuesOnly) {
+  CrcwMachine m(1, 3);
+  m.poke(0, 5.0);
+  m.write(0, 9.0);
+  EXPECT_DOUBLE_EQ(m.read(0), 5.0);  // pre-commit read sees old value
+  m.commit();
+  EXPECT_DOUBLE_EQ(m.read(0), 9.0);
+}
+
+TEST(CrcwMachine, ConcurrentReadsAllowed) {
+  CrcwMachine m(1, 3);
+  m.poke(0, 2.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(m.read(0), 2.0);
+  }
+  EXPECT_EQ(m.stats().reads, 100u);
+}
+
+TEST(CrcwMachine, OutOfRangeThrows) {
+  CrcwMachine m(2, 1);
+  EXPECT_THROW((void)m.read(2), InvalidArgumentError);
+  EXPECT_THROW(m.write(5, 1.0), InvalidArgumentError);
+  EXPECT_THROW(m.poke(2, 1.0), InvalidArgumentError);
+  EXPECT_THROW((void)CrcwMachine(0, 1), InvalidArgumentError);
+}
+
+TEST(ErewMachine, ExclusiveAccessWorks) {
+  ErewMachine m(4);
+  m.poke(0, 1.0);
+  EXPECT_DOUBLE_EQ(m.read(0), 1.0);
+  m.write(1, 2.0);
+  m.commit();
+  EXPECT_DOUBLE_EQ(m.peek(1), 2.0);
+}
+
+TEST(ErewMachine, ConcurrentReadViolates) {
+  ErewMachine m(2);
+  (void)m.read(0);
+  EXPECT_THROW((void)m.read(0), PramModelViolation);
+  // After commit the round resets.
+  m.commit();
+  EXPECT_NO_THROW((void)m.read(0));
+}
+
+TEST(ErewMachine, ConcurrentWriteViolates) {
+  ErewMachine m(2);
+  m.write(1, 1.0);
+  EXPECT_THROW(m.write(1, 2.0), PramModelViolation);
+}
+
+TEST(ErewMachine, ReadAndWriteOfSameCellInOneRoundAllowed) {
+  // PRAM rounds have read and write subcycles; one read + one write of the
+  // same cell per round is legal, and the read sees the old value.
+  ErewMachine m(1);
+  m.poke(0, 7.0);
+  const double v = m.read(0);
+  m.write(0, v + 1.0);
+  m.commit();
+  EXPECT_DOUBLE_EQ(m.peek(0), 8.0);
+}
+
+TEST(ErewMachine, WritesApplyAtCommit) {
+  ErewMachine m(2);
+  m.poke(0, 1.0);
+  m.write(1, 10.0);
+  EXPECT_DOUBLE_EQ(m.peek(1), 0.0);
+  m.commit();
+  EXPECT_DOUBLE_EQ(m.peek(1), 10.0);
+  EXPECT_EQ(m.stats().rounds, 1u);
+}
+
+}  // namespace
+}  // namespace lrb::pram

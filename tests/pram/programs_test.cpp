@@ -1,0 +1,165 @@
+#include "pram/programs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+#include "core/fitness.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+#include "stats/gof.hpp"
+#include "stats/histogram.hpp"
+#include "stats/online.hpp"
+
+namespace lrb::pram {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(CrcwMaxRace, FindsUniqueMaximum) {
+  const std::vector<double> bids = {-5.0, -1.0, -3.0, -7.0};
+  const auto r = crcw_max_race(bids, 1);
+  EXPECT_EQ(r.winner, 1u);
+  EXPECT_EQ(r.initially_active, 4u);
+  EXPECT_GE(r.rounds, 1u);
+}
+
+TEST(CrcwMaxRace, IgnoresNegInfBids) {
+  const std::vector<double> bids = {-kInf, -2.0, -kInf, -1.5, -kInf};
+  const auto r = crcw_max_race(bids, 2);
+  EXPECT_EQ(r.winner, 3u);
+  EXPECT_EQ(r.initially_active, 2u);
+}
+
+TEST(CrcwMaxRace, SingleActiveProcessorOneRound) {
+  const std::vector<double> bids = {-kInf, -kInf, -0.25, -kInf};
+  const auto r = crcw_max_race(bids, 3);
+  EXPECT_EQ(r.winner, 2u);
+  EXPECT_EQ(r.rounds, 1u);  // the lone processor writes once and stabilizes
+}
+
+TEST(CrcwMaxRace, RejectsEmptyAndAllInactive) {
+  EXPECT_THROW((void)crcw_max_race({}, 1), InvalidArgumentError);
+  const std::vector<double> none = {-kInf, -kInf};
+  EXPECT_THROW((void)crcw_max_race(none, 1), InvalidArgumentError);
+  const std::vector<double> nan = {std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)crcw_max_race(nan, 1), InvalidArgumentError);
+}
+
+TEST(CrcwMaxRace, RoundsBoundedByActiveCount) {
+  // Rounds can never exceed k (every round at least one processor retires
+  // since s becomes the max of the written values).
+  std::vector<double> bids(64);
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    bids[i] = -static_cast<double>(bids.size() - i);
+  }
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto r = crcw_max_race(bids, seed);
+    EXPECT_EQ(r.winner, bids.size() - 1);
+    EXPECT_LE(r.rounds, bids.size());
+    EXPECT_GE(r.rounds, 1u);
+  }
+}
+
+TEST(CrcwMaxRace, MeanRoundsIsLogarithmic) {
+  // Theorem 1: expected rounds = O(log k).  With random-uniform arbitration
+  // and random bid order, mean rounds over trials should stay well under
+  // 2*ceil(log2 k) + slack.  (The paper's harmonic argument actually gives
+  // ~ln k; we check the 2*log2 k + 4 envelope.)
+  rng::Xoshiro256StarStar gen(9);
+  for (std::size_t k : {2u, 8u, 64u, 512u}) {
+    stats::OnlineMoments rounds;
+    for (int trial = 0; trial < 300; ++trial) {
+      std::vector<double> bids(k);
+      for (auto& b : bids) b = rng::log_bid(gen, 1.0);
+      rounds.add(static_cast<double>(crcw_max_race(bids, 1000 + trial).rounds));
+    }
+    const double bound = 2.0 * std::ceil(std::log2(static_cast<double>(k))) + 4.0;
+    EXPECT_LT(rounds.mean(), bound) << "k=" << k;
+  }
+}
+
+TEST(CrcwBiddingSelection, SelectsProportionally) {
+  const std::vector<double> fitness = {0.0, 1.0, 3.0};
+  stats::SelectionHistogram hist(fitness.size());
+  for (int t = 0; t < 4000; ++t) {
+    hist.record(crcw_bidding_selection(fitness, 100 + t, 200 + t).winner);
+  }
+  EXPECT_EQ(hist.count(0), 0u);
+  const auto expected = core::exact_probabilities(fitness);
+  const auto gof = stats::chi_square_gof(hist, expected);
+  EXPECT_GT(gof.p_value, 1e-6);
+}
+
+TEST(CrcwBiddingSelection, InitiallyActiveEqualsNonzeroCount) {
+  const std::vector<double> fitness = {0, 2, 0, 0, 1, 0, 4};
+  const auto r = crcw_bidding_selection(fitness, 5, 6);
+  EXPECT_EQ(r.initially_active, 3u);
+}
+
+TEST(ErewTreeMax, FindsMaximumAndCountsLogRounds) {
+  std::vector<double> values = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto r = erew_tree_max(values);
+  EXPECT_EQ(r.winner, 5u);
+  EXPECT_EQ(r.rounds, 3u);  // log2(8)
+  EXPECT_GE(r.memory_cells, 2 * values.size());
+}
+
+TEST(ErewTreeMax, NonPowerOfTwoAndTies) {
+  std::vector<double> values = {7, 2, 7};  // tie: smallest index wins
+  const auto r = erew_tree_max(values);
+  EXPECT_EQ(r.winner, 0u);
+  EXPECT_EQ(r.rounds, 2u);  // padded to 4 leaves
+}
+
+TEST(ErewTreeMax, SingleElement) {
+  std::vector<double> values = {42.0};
+  const auto r = erew_tree_max(values);
+  EXPECT_EQ(r.winner, 0u);
+  EXPECT_EQ(r.rounds, 0u);
+}
+
+TEST(ErewPrefixSumSelection, SelectsProportionally) {
+  const std::vector<double> fitness = {1.0, 0.0, 2.0, 1.0};
+  stats::SelectionHistogram hist(fitness.size());
+  for (int t = 0; t < 4000; ++t) {
+    hist.record(erew_prefix_sum_selection(fitness, 900 + t).winner);
+  }
+  EXPECT_EQ(hist.count(1), 0u);
+  const auto gof = stats::chi_square_gof(hist, core::exact_probabilities(fitness));
+  EXPECT_GT(gof.p_value, 1e-6);
+}
+
+TEST(ErewPrefixSumSelection, RoundCountIsLogarithmic) {
+  for (std::size_t n : {4u, 16u, 64u, 256u}) {
+    std::vector<double> fitness(n, 1.0);
+    const auto r = erew_prefix_sum_selection(fitness, 11);
+    // 2 log2 n (scan) + log2 n (broadcast) + constant.
+    const double log_n = std::log2(static_cast<double>(n));
+    EXPECT_LE(r.rounds, static_cast<std::uint64_t>(3 * log_n + 6)) << "n=" << n;
+    EXPECT_GE(r.rounds, static_cast<std::uint64_t>(2 * log_n)) << "n=" << n;
+    // Memory is O(n), in contrast to the race's O(1).
+    EXPECT_GE(r.memory_cells, n);
+  }
+}
+
+TEST(ErewPrefixSumSelection, SingleCity) {
+  const std::vector<double> fitness = {5.0};
+  const auto r = erew_prefix_sum_selection(fitness, 3);
+  EXPECT_EQ(r.winner, 0u);
+}
+
+TEST(ErewPrefixSumSelection, NeverSelectsZeroFitness) {
+  const std::vector<double> fitness = {0.0, 1.0, 0.0, 1.0, 0.0};
+  for (int t = 0; t < 500; ++t) {
+    const auto r = erew_prefix_sum_selection(fitness, 70000 + t);
+    EXPECT_TRUE(r.winner == 1 || r.winner == 3) << "winner " << r.winner;
+  }
+}
+
+}  // namespace
+}  // namespace lrb::pram

@@ -1,0 +1,90 @@
+// Validation of the *proof mechanics* of Theorem 1, not just its endpoint:
+// the paper argues (a) the active set never grows, (b) an iteration is a
+// "success" (active set at least halves) with probability >= 1/2, and
+// (c) ceil(log2 k) successes end the race — hence O(log k) expected rounds.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pram/programs.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+#include "stats/online.hpp"
+
+namespace lrb::pram {
+namespace {
+
+RaceResult run_race(std::size_t k, std::uint64_t seed) {
+  rng::Xoshiro256StarStar gen(seed);
+  std::vector<double> bids(k);
+  for (auto& b : bids) b = rng::log_bid(gen, 1.0);
+  return crcw_max_race(bids, seed + 1);
+}
+
+TEST(SuccessIterations, TrajectoryIsRecordedAndMonotone) {
+  const auto r = run_race(256, 42);
+  ASSERT_EQ(r.active_per_round.size(), r.rounds);
+  EXPECT_EQ(r.active_per_round.front(), 256u);  // all k active in round 1
+  for (std::size_t i = 1; i < r.active_per_round.size(); ++i) {
+    // The active set never grows, and shrinks by >= 1 per round (the
+    // written winner retires itself at minimum).
+    EXPECT_LT(r.active_per_round[i], r.active_per_round[i - 1]) << "round " << i;
+  }
+}
+
+TEST(SuccessIterations, SuccessCountBoundedByLog2KPlusOne) {
+  // (c): each success at least halves a set that starts at k, and the last
+  // active processor still needs one final (always-successful) round, so a
+  // race contains at most ceil(log2 k) + 1 success iterations.  (The
+  // paper's "up to ceil(log2 k) successes" counts down to one survivor;
+  // the +1 is that survivor's own retirement round.)
+  for (std::size_t k : {4u, 32u, 256u, 2048u}) {
+    const auto bound = static_cast<std::size_t>(
+        std::ceil(std::log2(static_cast<double>(k)))) + 1;
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+      const auto r = run_race(k, 1000 * k + seed);
+      EXPECT_LE(r.success_rounds(), bound) << "k=" << k << " seed=" << seed;
+      EXPECT_GE(r.success_rounds(), 1u);  // the final round always succeeds
+    }
+  }
+}
+
+TEST(SuccessIterations, SuccessProbabilityAtLeastHalf) {
+  // (b): across many races, the fraction of iterations that are successes
+  // must be >= 1/2 (the paper's core lemma).  The uniform random winner
+  // makes the post-round active count uniform on 0..m-1, so the true
+  // success probability is ~ (m/2 + 1)/m > 1/2; test with slack.
+  std::uint64_t successes = 0, iterations = 0;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    const auto r = run_race(128, 7000 + seed);
+    successes += r.success_rounds();
+    iterations += r.rounds;
+  }
+  const double rate =
+      static_cast<double>(successes) / static_cast<double>(iterations);
+  EXPECT_GE(rate, 0.45) << successes << "/" << iterations;
+}
+
+TEST(SuccessIterations, ExpectedRoundsMatchesHarmonicPrediction) {
+  // With a uniformly random winner among writers, the active count after a
+  // round with m actives is the number of bids above a uniformly random
+  // active bid, so E[rounds] ~ H_k (harmonic).  Check within 25%.
+  for (std::size_t k : {64u, 512u}) {
+    stats::OnlineMoments rounds;
+    for (std::uint64_t seed = 0; seed < 300; ++seed) {
+      rounds.add(static_cast<double>(run_race(k, 31000 + seed).rounds));
+    }
+    const double h_k = std::log(static_cast<double>(k)) + 0.5772;
+    EXPECT_NEAR(rounds.mean(), h_k, 0.25 * h_k) << "k=" << k;
+  }
+}
+
+TEST(SuccessIterations, SingleProcessorTrajectory) {
+  const auto r = run_race(1, 5);
+  ASSERT_EQ(r.active_per_round.size(), 1u);
+  EXPECT_EQ(r.active_per_round[0], 1u);
+  EXPECT_EQ(r.success_rounds(), 1u);
+}
+
+}  // namespace
+}  // namespace lrb::pram

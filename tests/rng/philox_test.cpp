@@ -1,0 +1,87 @@
+#include "rng/philox.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace lrb::rng {
+namespace {
+
+// Known-answer tests from the Random123 distribution's kat_vectors file
+// (philox4x32, 10 rounds).
+TEST(Philox, KnownAnswerZero) {
+  const auto out = philox4x32_10({0, 0, 0, 0}, {0, 0});
+  EXPECT_EQ(out.lane[0], 0x6627e8d5u);
+  EXPECT_EQ(out.lane[1], 0xe169c58du);
+  EXPECT_EQ(out.lane[2], 0xbc57ac4cu);
+  EXPECT_EQ(out.lane[3], 0x9b00dbd8u);
+}
+
+TEST(Philox, KnownAnswerAllOnes) {
+  const auto out = philox4x32_10({0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu},
+                                 {0xffffffffu, 0xffffffffu});
+  EXPECT_EQ(out.lane[0], 0x408f276du);
+  EXPECT_EQ(out.lane[1], 0x41c83b0eu);
+  EXPECT_EQ(out.lane[2], 0xa20bc7c6u);
+  EXPECT_EQ(out.lane[3], 0x6d5451fdu);
+}
+
+TEST(Philox, KnownAnswerPiDigits) {
+  const auto out = philox4x32_10({0x243f6a88u, 0x85a308d3u, 0x13198a2eu, 0x03707344u},
+                                 {0xa4093822u, 0x299f31d0u});
+  EXPECT_EQ(out.lane[0], 0xd16cfe09u);
+  EXPECT_EQ(out.lane[1], 0x94fdccebu);
+  EXPECT_EQ(out.lane[2], 0x5001e420u);
+  EXPECT_EQ(out.lane[3], 0x24126ea1u);
+}
+
+TEST(Philox, StatelessIsPure) {
+  const auto a = philox_u64_at(42, 7, 3);
+  const auto b = philox_u64_at(42, 7, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(philox_u64_at(42, 8, 3), a);
+  EXPECT_NE(philox_u64_at(43, 7, 3), a);
+  EXPECT_NE(philox_u64_at(42, 7, 4), a);
+}
+
+TEST(Philox, EngineMatchesStatelessBlocks) {
+  PhiloxRng gen(1234, 5);
+  for (std::uint64_t c = 0; c < 100; ++c) {
+    const auto block = philox_block_at(1234, c, 5);
+    EXPECT_EQ(gen(), block.u64_lo());
+    EXPECT_EQ(gen(), block.u64_hi());
+  }
+}
+
+TEST(Philox, SeekPositionsExactly) {
+  for (std::uint64_t target : {0ull, 1ull, 2ull, 3ull, 17ull, 1000ull, 1001ull}) {
+    PhiloxRng seq(9, 0);
+    for (std::uint64_t i = 0; i < target; ++i) (void)seq();
+    PhiloxRng jumped(9, 0);
+    jumped.seek(target);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(jumped(), seq()) << "target " << target << " offset " << i;
+    }
+  }
+}
+
+TEST(Philox, StreamsAreDisjointInWindows) {
+  std::set<std::uint64_t> all;
+  std::size_t total = 0;
+  for (std::uint64_t stream = 0; stream < 8; ++stream) {
+    PhiloxRng gen(31337, stream);
+    for (int i = 0; i < 4096; ++i) all.insert(gen());
+    total += 4096;
+  }
+  EXPECT_EQ(all.size(), total);
+}
+
+TEST(Philox, DiscardMatchesManualAdvance) {
+  PhiloxRng a(4, 2), b(4, 2);
+  for (int i = 0; i < 101; ++i) (void)a();
+  b.discard(101);
+  EXPECT_EQ(a(), b());
+}
+
+}  // namespace
+}  // namespace lrb::rng

@@ -1,0 +1,70 @@
+#include "rng/seed.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace lrb::rng {
+namespace {
+
+TEST(SeedSequence, ChildrenAreDeterministic) {
+  SeedSequence a(42), b(42);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.child(i), b.child(i));
+  }
+}
+
+TEST(SeedSequence, ChildrenAreDistinct) {
+  SeedSequence seq(7);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(seq.child(i)).second) << "duplicate child " << i;
+  }
+}
+
+TEST(SeedSequence, DifferentMastersDiverge) {
+  SeedSequence a(1), b(2);
+  int collisions = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (a.child(i) == b.child(i)) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(SeedSequence, LabeledChildrenDifferFromIndexed) {
+  SeedSequence seq(9);
+  EXPECT_NE(seq.child("workload", 0), seq.child(0));
+  EXPECT_NE(seq.child("workload", 0), seq.child("selector", 0));
+  EXPECT_EQ(seq.child("workload", 3), seq.child("workload", 3));
+}
+
+TEST(SeedSequence, SubsequenceIsolation) {
+  SeedSequence seq(11);
+  const SeedSequence sub0 = seq.subsequence(0);
+  const SeedSequence sub1 = seq.subsequence(1);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(sub0.child(i));
+    seen.insert(sub1.child(i));
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(SeedSequence, ChildrenVectorMatchesChildCalls) {
+  SeedSequence seq(13);
+  const auto kids = seq.children(32);
+  ASSERT_EQ(kids.size(), 32u);
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    EXPECT_EQ(kids[i], seq.child(i));
+  }
+}
+
+TEST(Fnv1a64, KnownValues) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+}  // namespace
+}  // namespace lrb::rng

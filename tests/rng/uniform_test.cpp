@@ -1,0 +1,151 @@
+#include "rng/uniform.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/xoshiro256.hpp"
+#include "stats/gof.hpp"
+#include "stats/online.hpp"
+
+namespace lrb::rng {
+namespace {
+
+// A degenerate "engine" that returns a scripted sequence; lets us hit the
+// exact boundary outputs.
+class ScriptedEngine {
+ public:
+  using result_type = std::uint64_t;
+  explicit ScriptedEngine(std::vector<std::uint64_t> vals)
+      : vals_(std::move(vals)) {}
+  result_type operator()() { return vals_[idx_++ % vals_.size()]; }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+ private:
+  std::vector<std::uint64_t> vals_;
+  std::size_t idx_ = 0;
+};
+
+TEST(Uniform, ClosedOpenRange) {
+  ScriptedEngine lo({0ull}), hi({~0ull});
+  EXPECT_DOUBLE_EQ(u01_closed_open(lo), 0.0);          // includes 0
+  EXPECT_LT(u01_closed_open(hi), 1.0);                 // excludes 1
+  EXPECT_GT(u01_closed_open(hi), 1.0 - 1e-15);
+}
+
+TEST(Uniform, OpenClosedRange) {
+  ScriptedEngine lo({0ull}), hi({~0ull});
+  const double min_val = u01_open_closed(lo);
+  EXPECT_GT(min_val, 0.0);                             // excludes 0
+  EXPECT_DOUBLE_EQ(u01_open_closed(hi), 1.0);          // includes 1
+  EXPECT_TRUE(std::isfinite(std::log(min_val)));       // log always finite
+}
+
+TEST(Uniform, OpenOpenRange) {
+  ScriptedEngine lo({0ull}), hi({~0ull});
+  const double a = u01_open_open(lo);
+  const double b = u01_open_open(hi);
+  EXPECT_GT(a, 0.0);
+  EXPECT_LT(b, 1.0);
+}
+
+TEST(Uniform, ClosedOpenIsUniform) {
+  Xoshiro256StarStar gen(1);
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = u01_closed_open(gen);
+  const auto ks = stats::ks_uniform01(std::move(samples));
+  EXPECT_GT(ks.p_value, 1e-6);
+}
+
+TEST(UniformBelow, BoundsRespected) {
+  Xoshiro256StarStar gen(2);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(uniform_below(gen, bound), bound);
+    }
+  }
+}
+
+TEST(UniformBelow, DegenerateBoundReturnsZero) {
+  Xoshiro256StarStar gen(3);
+  EXPECT_EQ(uniform_below(gen, 0), 0u);
+  EXPECT_EQ(uniform_below(gen, 1), 0u);
+}
+
+TEST(UniformBelow, ApproximatelyUniformChiSquare) {
+  Xoshiro256StarStar gen(4);
+  constexpr std::uint64_t kBound = 7;
+  std::vector<std::uint64_t> counts(kBound, 0);
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) ++counts[uniform_below(gen, kBound)];
+  const std::vector<double> expected(kBound, 1.0 / kBound);
+  const auto gof = stats::chi_square_gof(counts, expected);
+  EXPECT_GT(gof.p_value, 1e-6);
+}
+
+TEST(Exponential, MeanAndVariance) {
+  Xoshiro256StarStar gen(5);
+  constexpr double kLambda = 2.5;
+  stats::OnlineMoments m;
+  for (int i = 0; i < 200000; ++i) m.add(exponential(gen, kLambda));
+  EXPECT_NEAR(m.mean(), 1.0 / kLambda, 0.01);
+  EXPECT_NEAR(m.variance(), 1.0 / (kLambda * kLambda), 0.02);
+  EXPECT_GE(m.min(), 0.0);
+}
+
+TEST(Gumbel, MeanIsEulerMascheroni) {
+  Xoshiro256StarStar gen(6);
+  stats::OnlineMoments m;
+  for (int i = 0; i < 200000; ++i) m.add(gumbel(gen));
+  EXPECT_NEAR(m.mean(), 0.5772156649, 0.02);
+  // Var = pi^2/6.
+  EXPECT_NEAR(m.variance(), 1.6449340668, 0.05);
+}
+
+TEST(LogBid, IsNonPositiveAndFinite) {
+  Xoshiro256StarStar gen(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double r = log_bid(gen, 3.0);
+    EXPECT_LE(r, 0.0);
+    EXPECT_TRUE(std::isfinite(r));
+  }
+}
+
+TEST(LogBid, NegatedIsExponentialWithFitnessRate) {
+  Xoshiro256StarStar gen(8);
+  constexpr double kFitness = 4.0;
+  stats::OnlineMoments m;
+  for (int i = 0; i < 200000; ++i) m.add(-log_bid(gen, kFitness));
+  EXPECT_NEAR(m.mean(), 1.0 / kFitness, 0.005);
+}
+
+TEST(LogBidFromUniform, MatchesFormula) {
+  EXPECT_DOUBLE_EQ(log_bid_from_uniform(1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(log_bid_from_uniform(std::exp(-3.0), 1.5), -2.0);
+}
+
+TEST(EsKey, InUnitIntervalAndMonotoneInWeight) {
+  // For a fixed u, larger weight gives a larger key u^(1/w).
+  const double u = 0.3;
+  double prev = 0.0;
+  for (double w : {0.5, 1.0, 2.0, 8.0}) {
+    ScriptedEngine g({static_cast<std::uint64_t>(u * 0x1p64)});
+    const double key = es_key(g, w);
+    EXPECT_GT(key, 0.0);
+    EXPECT_LE(key, 1.0);
+    EXPECT_GT(key, prev);
+    prev = key;
+  }
+}
+
+TEST(IndependentDraw, ScalesWithFitness) {
+  ScriptedEngine hi({~0ull});
+  EXPECT_NEAR(independent_draw(hi, 5.0), 5.0, 1e-12);
+  ScriptedEngine lo({0ull});
+  EXPECT_DOUBLE_EQ(independent_draw(lo, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace lrb::rng

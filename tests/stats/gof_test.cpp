@@ -1,0 +1,152 @@
+#include "stats/gof.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::stats {
+namespace {
+
+TEST(ChiSquareGof, AcceptsFairDie) {
+  rng::Xoshiro256StarStar gen(1);
+  std::vector<std::uint64_t> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) ++counts[rng::uniform_below(gen, 6)];
+  const std::vector<double> expected(6, 1.0 / 6.0);
+  const auto r = chi_square_gof(counts, expected);
+  EXPECT_GT(r.p_value, 1e-4);
+  EXPECT_EQ(r.cells_used, 6u);
+  EXPECT_DOUBLE_EQ(r.dof, 5.0);
+  EXPECT_TRUE(r.consistent_with_model());
+}
+
+TEST(ChiSquareGof, RejectsLoadedDie) {
+  // A die that never shows 6 against a fair model.
+  std::vector<std::uint64_t> counts = {12000, 12000, 12000, 12000, 12000, 0};
+  const std::vector<double> expected(6, 1.0 / 6.0);
+  const auto r = chi_square_gof(counts, expected);
+  EXPECT_LT(r.p_value, 1e-10);
+  EXPECT_FALSE(r.consistent_with_model());
+}
+
+TEST(ChiSquareGof, ZeroProbabilityCellWithObservationsRejects) {
+  std::vector<std::uint64_t> counts = {10, 90, 1};
+  const std::vector<double> expected = {0.1, 0.9, 0.0};
+  const auto r = chi_square_gof(counts, expected);
+  EXPECT_EQ(r.p_value, 0.0);
+}
+
+TEST(ChiSquareGof, ZeroProbabilityCellWithoutObservationsDropped) {
+  std::vector<std::uint64_t> counts = {5000, 5000, 0};
+  const std::vector<double> expected = {0.5, 0.5, 0.0};
+  const auto r = chi_square_gof(counts, expected);
+  EXPECT_GT(r.p_value, 1e-4);
+  EXPECT_EQ(r.cells_dropped, 1u);
+  EXPECT_EQ(r.cells_used, 2u);
+}
+
+TEST(ChiSquareGof, PoolsSparseCells) {
+  // 100 tiny-probability cells pooled into one.
+  std::vector<std::uint64_t> counts(102, 0);
+  std::vector<double> expected(102, 0.0);
+  counts[0] = 500;
+  counts[1] = 480;
+  expected[0] = 0.5;
+  expected[1] = 0.48;
+  for (int i = 2; i < 102; ++i) {
+    expected[i] = 0.02 / 100.0;
+  }
+  counts[50] = 20;  // all pooled mass lands in a few cells
+  const auto r = chi_square_gof(counts, expected, 5.0);
+  EXPECT_EQ(r.cells_used, 3u);  // two big cells + pooled remainder
+  EXPECT_GT(r.p_value, 1e-6);
+}
+
+TEST(ChiSquareGof, ThrowsOnDegenerateInput) {
+  EXPECT_THROW(
+      (void)chi_square_gof(std::vector<std::uint64_t>{},
+                           std::vector<double>{}),
+      lrb::InvalidArgumentError);
+  EXPECT_THROW((void)chi_square_gof(std::vector<std::uint64_t>{1, 2},
+                                    std::vector<double>{1.0}),
+               lrb::InvalidArgumentError);
+  EXPECT_THROW((void)chi_square_gof(std::vector<std::uint64_t>{0, 0},
+                                    std::vector<double>{0.5, 0.5}),
+               lrb::InvalidArgumentError);
+}
+
+TEST(TotalVariation, BasicProperties) {
+  const std::vector<double> p = {0.5, 0.5};
+  const std::vector<double> q = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(total_variation(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(total_variation(p, q), 0.5);
+  EXPECT_DOUBLE_EQ(total_variation(q, p), 0.5);  // symmetric
+}
+
+TEST(KlDivergence, BasicProperties) {
+  const std::vector<double> p = {0.5, 0.5};
+  const std::vector<double> q = {0.9, 0.1};
+  EXPECT_DOUBLE_EQ(kl_divergence(p, p), 0.0);
+  EXPECT_GT(kl_divergence(p, q), 0.0);
+  // p_i = 0 contributes nothing even if q_i = 0.
+  const std::vector<double> p0 = {1.0, 0.0};
+  const std::vector<double> q0 = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(kl_divergence(p0, q0), 0.0);
+  // q_i = 0 where p_i > 0 is an error.
+  EXPECT_THROW((void)kl_divergence(q, p0), lrb::InvalidArgumentError);
+}
+
+TEST(WilsonInterval, CoversTrueProportion) {
+  // Empirical coverage check: 500 binomial experiments at p=0.3.
+  rng::Xoshiro256StarStar gen(5);
+  constexpr double kP = 0.3;
+  constexpr int kTrials = 2000;
+  int covered = 0, experiments = 500;
+  for (int e = 0; e < experiments; ++e) {
+    std::uint64_t successes = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      successes += rng::u01_closed_open(gen) < kP;
+    }
+    if (wilson_interval(successes, kTrials, 0.99).contains(kP)) ++covered;
+  }
+  // 99% nominal coverage; allow generous slack.
+  EXPECT_GE(covered, static_cast<int>(0.97 * experiments));
+}
+
+TEST(WilsonInterval, EdgeCounts) {
+  const auto zero = wilson_interval(0, 100, 0.95);
+  EXPECT_DOUBLE_EQ(zero.low, 0.0);
+  EXPECT_GT(zero.high, 0.0);
+  const auto all = wilson_interval(100, 100, 0.95);
+  EXPECT_DOUBLE_EQ(all.high, 1.0);
+  EXPECT_LT(all.low, 1.0);
+  EXPECT_THROW((void)wilson_interval(5, 0), lrb::InvalidArgumentError);
+  EXPECT_THROW((void)wilson_interval(5, 4), lrb::InvalidArgumentError);
+}
+
+TEST(KsUniform01, AcceptsUniform) {
+  rng::Xoshiro256StarStar gen(6);
+  std::vector<double> samples(10000);
+  for (auto& s : samples) s = rng::u01_closed_open(gen);
+  EXPECT_GT(ks_uniform01(std::move(samples)).p_value, 1e-5);
+}
+
+TEST(KsUniform01, RejectsSquaredUniform) {
+  rng::Xoshiro256StarStar gen(7);
+  std::vector<double> samples(10000);
+  for (auto& s : samples) {
+    const double u = rng::u01_closed_open(gen);
+    s = u * u;  // Beta(1/2)-ish, clearly not uniform
+  }
+  EXPECT_LT(ks_uniform01(std::move(samples)).p_value, 1e-10);
+}
+
+TEST(KsUniform01, RejectsEmpty) {
+  EXPECT_THROW((void)ks_uniform01({}), lrb::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace lrb::stats

@@ -1,0 +1,57 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lrb::stats {
+namespace {
+
+TEST(SelectionHistogram, RecordsAndCounts) {
+  SelectionHistogram h(3);
+  h.record(0);
+  h.record(2);
+  h.record(2);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.count(2), 2u);
+}
+
+TEST(SelectionHistogram, FrequenciesNormalize) {
+  SelectionHistogram h(2);
+  for (int i = 0; i < 3; ++i) h.record(0);
+  h.record(1);
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.frequency(1), 0.25);
+  const auto fs = h.frequencies();
+  EXPECT_DOUBLE_EQ(fs[0] + fs[1], 1.0);
+}
+
+TEST(SelectionHistogram, EmptyFrequenciesAreZero) {
+  SelectionHistogram h(2);
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.0);
+  EXPECT_EQ(h.frequencies(), (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(SelectionHistogram, OutOfRangeThrows) {
+  SelectionHistogram h(2);
+  EXPECT_THROW(h.record(2), lrb::InvalidArgumentError);
+  EXPECT_THROW((void)h.count(5), lrb::InvalidArgumentError);
+  EXPECT_THROW((void)h.frequency(2), lrb::InvalidArgumentError);
+}
+
+TEST(SelectionHistogram, MergeAccumulates) {
+  SelectionHistogram a(3), b(3);
+  a.record(0);
+  b.record(1);
+  b.record(1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(1), 2u);
+  SelectionHistogram c(4);
+  EXPECT_THROW(a.merge(c), lrb::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace lrb::stats

@@ -1,0 +1,74 @@
+#include "stats/online.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::stats {
+namespace {
+
+TEST(OnlineMoments, KnownSmallSample) {
+  OnlineMoments m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.add(x);
+  EXPECT_EQ(m.count(), 8u);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+}
+
+TEST(OnlineMoments, EmptyAndSingle) {
+  OnlineMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  m.add(3.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.sem(), 0.0);
+}
+
+TEST(OnlineMoments, MergeMatchesSequential) {
+  rng::Xoshiro256StarStar gen(3);
+  OnlineMoments full, a, b;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng::u01_closed_open(gen) * 10.0 - 5.0;
+    full.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), full.count());
+  EXPECT_NEAR(a.mean(), full.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), full.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), full.min());
+  EXPECT_DOUBLE_EQ(a.max(), full.max());
+}
+
+TEST(OnlineMoments, MergeWithEmpty) {
+  OnlineMoments a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  OnlineMoments b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(OnlineMoments, SemShrinksWithSamples) {
+  rng::Xoshiro256StarStar gen(4);
+  OnlineMoments small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng::u01_closed_open(gen));
+  for (int i = 0; i < 100000; ++i) large.add(rng::u01_closed_open(gen));
+  EXPECT_GT(small.sem(), large.sem());
+  // SEM of uniform(0,1) with n=1e5: sqrt(1/12)/sqrt(1e5) ~ 9.1e-4.
+  EXPECT_NEAR(large.sem(), std::sqrt(1.0 / 12.0) / std::sqrt(1e5), 2e-4);
+}
+
+}  // namespace
+}  // namespace lrb::stats

@@ -1,0 +1,98 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lrb::stats {
+namespace {
+
+TEST(GammaP, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << "x=" << x;
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(GammaPQ, Complementary) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0, 100.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaP, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(gamma_p(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(2.0, 0.0), 1.0);
+  EXPECT_NEAR(gamma_p(2.0, 1000.0), 1.0, 1e-12);
+}
+
+TEST(GammaP, RejectsBadDomain) {
+  EXPECT_THROW((void)gamma_p(0.0, 1.0), lrb::InvalidArgumentError);
+  EXPECT_THROW((void)gamma_p(-1.0, 1.0), lrb::InvalidArgumentError);
+  EXPECT_THROW((void)gamma_p(1.0, -0.5), lrb::InvalidArgumentError);
+}
+
+TEST(ChiSquareSf, MatchesKnownQuantiles) {
+  // Chi-square with 1 dof: Pr[X >= 3.841] ~ 0.05.
+  EXPECT_NEAR(chi_square_sf(3.841, 1), 0.05, 1e-3);
+  // 10 dof: Pr[X >= 18.307] ~ 0.05.
+  EXPECT_NEAR(chi_square_sf(18.307, 10), 0.05, 1e-3);
+  // 2 dof: SF(x) = exp(-x/2).
+  for (double x : {1.0, 4.0, 9.0}) {
+    EXPECT_NEAR(chi_square_sf(x, 2), std::exp(-x / 2), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(chi_square_sf(0.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(chi_square_sf(-1.0, 5), 1.0);
+}
+
+TEST(NormalQuantile, MatchesKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963985, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.999), 3.090232306, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.8413447461), 1.0, 1e-7);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.2, 0.5, 0.7, 0.99, 0.9999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, RejectsBoundary) {
+  EXPECT_THROW((void)normal_quantile(0.0), lrb::InvalidArgumentError);
+  EXPECT_THROW((void)normal_quantile(1.0), lrb::InvalidArgumentError);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447461, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.1586552539, 1e-9);
+}
+
+TEST(KolmogorovSf, KnownValues) {
+  // Q(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(kolmogorov_sf(1.36), 0.0491, 2e-3);
+  EXPECT_DOUBLE_EQ(kolmogorov_sf(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kolmogorov_sf(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(kolmogorov_sf(10.0), 0.0);
+  // Monotone decreasing.
+  double prev = 1.0;
+  for (double x = 0.1; x < 3.0; x += 0.1) {
+    const double q = kolmogorov_sf(x);
+    EXPECT_LE(q, prev + 1e-15);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace lrb::stats

@@ -1,0 +1,178 @@
+// lrb — command-line roulette wheel selection.
+//
+// Subcommands (weights come from positional arguments or stdin, one per
+// line; `-` forces stdin):
+//
+//   lrb select   [--draws=1] [--selector=bidding] [--seed=...] w0 w1 ...
+//       draw indices with the chosen algorithm; with --histogram prints
+//       the empirical frequency table instead of raw indices.
+//   lrb sample   --m=K [--seed=...] w0 w1 ...
+//       K distinct indices, weighted without replacement.
+//   lrb shuffle  [--seed=...] w0 w1 ...
+//       full weighted permutation of the positive-weight indices.
+//   lrb validate [--draws=100000] [--selector=bidding] [--seed=...] w0 ...
+//       chi-square the selector's empirical distribution against F_i.
+//   lrb race     [--trials=200] [--seed=...] w0 w1 ...
+//       PRAM race round statistics for these weights (Theorem 1 view).
+//   lrb list
+//       available selector algorithms.
+//
+// Exit status: 0 on success (validate: consistent), 1 on inconsistency,
+// 2 on usage errors.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lrb.hpp"
+
+namespace {
+
+std::vector<double> read_weights(const lrb::CliArgs& args) {
+  std::vector<double> weights;
+  bool from_stdin = args.positionals().size() <= 1;
+  for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+    const std::string& tok = args.positionals()[i];
+    if (tok == "-") {
+      from_stdin = true;
+      continue;
+    }
+    weights.push_back(std::stod(tok));
+  }
+  if (from_stdin && weights.empty()) {
+    double w;
+    while (std::cin >> w) weights.push_back(w);
+  }
+  return weights;
+}
+
+int cmd_list() {
+  lrb::Table table({"name", "exact", "parallel", "prebuilds", "description"});
+  table.set_align(0, lrb::Align::kLeft);
+  table.set_align(4, lrb::Align::kLeft);
+  for (const auto kind : lrb::core::all_selector_kinds()) {
+    const auto& info = lrb::core::selector_info(kind);
+    table.add_row({std::string(info.name), info.exact ? "yes" : "NO",
+                   info.parallel ? "yes" : "no", info.prebuilds ? "yes" : "no",
+                   std::string(info.description)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_select(const lrb::CliArgs& args, const std::vector<double>& weights) {
+  const auto kind =
+      lrb::core::parse_selector_kind(args.get_string("selector", "bidding"));
+  const std::uint64_t draws = args.get_u64("draws", 1);
+  auto selector =
+      lrb::core::make_selector(kind, weights, args.get_u64("seed", 1));
+  if (args.get_bool("histogram", false)) {
+    lrb::stats::SelectionHistogram hist(weights.size());
+    for (std::uint64_t t = 0; t < draws; ++t) hist.record(selector->select());
+    lrb::Table table({"index", "weight", "F_i", "observed"});
+    const auto exact = lrb::core::exact_probabilities(weights);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      table.add_row({std::to_string(i), lrb::format_fixed(weights[i], 4),
+                     lrb::format_fixed(exact[i], 6),
+                     lrb::format_fixed(hist.frequency(i), 6)});
+    }
+    table.print(std::cout);
+  } else {
+    for (std::uint64_t t = 0; t < draws; ++t) {
+      std::printf("%zu\n", selector->select());
+    }
+  }
+  return 0;
+}
+
+int cmd_sample(const lrb::CliArgs& args, const std::vector<double>& weights) {
+  const std::size_t m = args.get_u64("m", 1);
+  const auto sample = lrb::core::sample_without_replacement(
+      weights, m, args.get_u64("seed", 1));
+  for (std::size_t i : sample) std::printf("%zu\n", i);
+  return 0;
+}
+
+int cmd_shuffle(const lrb::CliArgs& args, const std::vector<double>& weights) {
+  const auto order =
+      lrb::core::weighted_shuffle(weights, args.get_u64("seed", 1));
+  for (std::size_t i : order) std::printf("%zu\n", i);
+  return 0;
+}
+
+int cmd_validate(const lrb::CliArgs& args, const std::vector<double>& weights) {
+  const auto kind =
+      lrb::core::parse_selector_kind(args.get_string("selector", "bidding"));
+  const std::uint64_t draws = args.get_u64("draws", 100000);
+  auto selector =
+      lrb::core::make_selector(kind, weights, args.get_u64("seed", 1));
+  lrb::stats::SelectionHistogram hist(weights.size());
+  for (std::uint64_t t = 0; t < draws; ++t) hist.record(selector->select());
+  const auto exact = lrb::core::exact_probabilities(weights);
+  const auto gof = lrb::stats::chi_square_gof(hist, exact);
+  const bool ok = gof.consistent_with_model(1e-4);
+  std::printf("selector=%s draws=%llu chi2=%.3f dof=%.0f p=%.6f tv=%.6f -> %s\n",
+              std::string(lrb::core::to_string(kind)).c_str(),
+              static_cast<unsigned long long>(draws), gof.statistic, gof.dof,
+              gof.p_value,
+              lrb::stats::total_variation(hist.frequencies(), exact),
+              ok ? "CONSISTENT" : "INCONSISTENT");
+  return ok ? 0 : 1;
+}
+
+int cmd_race(const lrb::CliArgs& args, const std::vector<double>& weights) {
+  const std::uint64_t trials = args.get_u64("trials", 200);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  lrb::stats::OnlineMoments rounds;
+  lrb::stats::SelectionHistogram hist(weights.size());
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const auto r =
+        lrb::pram::crcw_bidding_selection(weights, seed + 2 * t, seed + 2 * t + 1);
+    rounds.add(static_cast<double>(r.rounds));
+    hist.record(r.winner);
+  }
+  const std::size_t k = lrb::count_nonzero(weights);
+  std::printf("n=%zu k=%zu trials=%llu\n", weights.size(), k,
+              static_cast<unsigned long long>(trials));
+  std::printf("race rounds: mean=%.2f sd=%.2f min=%.0f max=%.0f "
+              "(Theorem 1 envelope 2*ceil(log2 k) = %.0f)\n",
+              rounds.mean(), rounds.stddev(), rounds.min(), rounds.max(),
+              k <= 1 ? 1.0 : 2.0 * std::ceil(std::log2(static_cast<double>(k))));
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: lrb <select|sample|shuffle|validate|race|list> "
+               "[options] [weights... | -]\n"
+               "run `lrb list` to see the selector algorithms.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const lrb::CliArgs args(argc, argv);
+    if (args.positionals().empty()) {
+      usage();
+      return 2;
+    }
+    const std::string& cmd = args.positionals()[0];
+    if (cmd == "list") return cmd_list();
+    const auto weights = read_weights(args);
+    if (weights.empty()) {
+      std::fprintf(stderr, "lrb: no weights given (args or stdin)\n");
+      return 2;
+    }
+    if (cmd == "select") return cmd_select(args, weights);
+    if (cmd == "sample") return cmd_sample(args, weights);
+    if (cmd == "shuffle") return cmd_shuffle(args, weights);
+    if (cmd == "validate") return cmd_validate(args, weights);
+    if (cmd == "race") return cmd_race(args, weights);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lrb: %s\n", e.what());
+    return 2;
+  }
+}
