@@ -31,20 +31,31 @@ int main(int argc, char** argv) {
   }
 
   lrb::Table table({"ranks P", "ceil(log2 P)", "bidding rounds",
-                    "bidding msgs", "bidding words", "prefix rounds",
-                    "prefix msgs", "prefix words"});
-  for (std::size_t p = 2; p <= 1024; p *= 4) {
+                    "bidding msgs", "bidding words", "bidding critpath",
+                    "prefix rounds", "prefix msgs", "prefix words",
+                    "prefix critpath"});
+  bool bidding_always_cheaper = true;
+  for (std::size_t p = 2; p <= 1024; p *= 2) {
     lrb::dist::ShardedFitness shards(fitness, p);
     const auto bid = lrb::dist::distributed_bidding(shards, 7);
     const auto pfx = lrb::dist::distributed_prefix_sum(shards, 7);
+    bidding_always_cheaper = bidding_always_cheaper &&
+                             bid.comm.messages < pfx.comm.messages &&
+                             bid.comm.critical_path_words <
+                                 pfx.comm.critical_path_words;
     table.add_row(
         {std::to_string(p),
          std::to_string(static_cast<unsigned>(std::ceil(std::log2(p)))),
          std::to_string(bid.comm.rounds), std::to_string(bid.comm.messages),
-         std::to_string(bid.comm.words), std::to_string(pfx.comm.rounds),
-         std::to_string(pfx.comm.messages), std::to_string(pfx.comm.words)});
+         std::to_string(bid.comm.words),
+         std::to_string(bid.comm.critical_path_words),
+         std::to_string(pfx.comm.rounds), std::to_string(pfx.comm.messages),
+         std::to_string(pfx.comm.words),
+         std::to_string(pfx.comm.critical_path_words)});
   }
   csv ? table.print_csv(std::cout) : table.print(std::cout);
+  std::printf("\nbidding cheaper on messages AND critical path at every P: %s\n",
+              bidding_always_cheaper ? "yes" : "NO");
 
   std::printf("\nreading: both are O(log P) rounds, but bidding needs one "
               "allreduce of a single (bid, rank) pair — the distributed "

@@ -1,0 +1,90 @@
+// Collective operations over the simulated message-passing machine.
+//
+// Every collective takes the per-rank local values (one entry per rank),
+// executes the real round-by-round dataflow of a classical algorithm, and
+// returns the per-rank results while charging a CommLedger.  Results are
+// exact — tests compare them against serial references — and the ledgers
+// are the numbers a real backend would pay:
+//
+//   collective            algorithm                rounds         messages
+//   ------------------    ---------------------    -----------    -----------
+//   allreduce_max/argmax  dissemination shifts     ceil(lg P)     P per round
+//   allreduce_sum         hypercube exchange       ceil(lg P)     P per round
+//                         (+fold/unfold rounds when P is not a power of two)
+//   exclusive_scan_sum    Hillis–Steele shifts     ceil(lg P)     P-2^r per rd
+//   reduce_sum            binomial tree to root    ceil(lg P)     P-1 total
+//   broadcast             binomial tree from root  ceil(lg P)     P-1 total
+//
+// The distributed selection story (dist/selection.hpp) is told entirely in
+// these primitives: logarithmic bidding is ONE allreduce_argmax of a 2-word
+// pair, while prefix-sum roulette needs the scan + reduce + broadcast
+// pipeline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dist/topology.hpp"
+
+namespace lrb::dist {
+
+/// A (value, index) pair reduced by allreduce_argmax.  Ties break toward the
+/// lower index, matching the serial selectors' "first maximum wins" rule.
+struct ArgMax {
+  double value = 0.0;
+  std::uint64_t index = 0;
+
+  friend constexpr bool operator==(const ArgMax&, const ArgMax&) = default;
+};
+
+/// Combine rule shared by allreduce_argmax and the serial references in
+/// tests: larger value wins; equal values keep the smaller index.
+[[nodiscard]] constexpr ArgMax argmax_combine(const ArgMax& a,
+                                              const ArgMax& b) noexcept {
+  if (a.value > b.value) return a;
+  if (b.value > a.value) return b;
+  return a.index <= b.index ? a : b;
+}
+
+/// Allreduce(max): after the call every rank holds max over all ranks.
+/// Dissemination algorithm — exactly ceil(log2 P) rounds for every P.
+[[nodiscard]] std::vector<double> allreduce_max(const Topology& topo,
+                                                std::span<const double> local,
+                                                CommLedger& ledger);
+
+/// Allreduce(argmax) over (value, index) pairs; 2 words per message.
+/// This is the whole communication cost of one distributed bidding draw.
+[[nodiscard]] std::vector<ArgMax> allreduce_argmax(const Topology& topo,
+                                                   std::span<const ArgMax> local,
+                                                   CommLedger& ledger);
+
+/// Allreduce(sum): hypercube exchange when P is a power of two
+/// (ceil(log2 P) rounds); otherwise fold-to-hypercube adds one round before
+/// and one after (floor(log2 P) + 2 <= ceil(log2 P) + 1 rounds).
+[[nodiscard]] std::vector<double> allreduce_sum(const Topology& topo,
+                                                std::span<const double> local,
+                                                CommLedger& ledger);
+
+/// Exclusive prefix sum over rank order: result[i] = sum of local[j], j < i
+/// (result[0] == 0).  Hillis–Steele shifts, ceil(log2 P) rounds.  The
+/// exclusive prefix is accumulated directly from received partials — no
+/// inclusive-minus-own subtraction — and matches the serial left fold up to
+/// floating-point associativity.
+[[nodiscard]] std::vector<double> exclusive_scan_sum(const Topology& topo,
+                                                     std::span<const double> local,
+                                                     CommLedger& ledger);
+
+/// Reduce(sum) to `root`: binomial tree, ceil(log2 P) rounds, P-1 messages.
+/// Returns the total as observed at the root.
+[[nodiscard]] double reduce_sum(const Topology& topo,
+                                std::span<const double> local, std::size_t root,
+                                CommLedger& ledger);
+
+/// Broadcast of one value from `root`: binomial tree, ceil(log2 P) rounds,
+/// P-1 messages.  Returns the per-rank received values (all equal).
+[[nodiscard]] std::vector<double> broadcast(const Topology& topo, double value,
+                                            std::size_t root,
+                                            CommLedger& ledger);
+
+}  // namespace lrb::dist

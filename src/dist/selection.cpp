@@ -1,0 +1,133 @@
+#include "dist/selection.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace lrb::dist {
+
+namespace {
+
+constexpr double kNoBid = -std::numeric_limits<double>::infinity();
+constexpr std::uint64_t kNoIndex = std::numeric_limits<std::uint64_t>::max();
+
+/// Updates may legally drive every entry to zero; a draw from that state is
+/// a user error and throws like every serial selector (common/math.hpp's
+/// checked_fitness_total), not an internal-invariant abort.
+void require_positive_total(const ShardedFitness& shards) {
+  LRB_REQUIRE(shards.total() > 0.0, InvalidFitnessError,
+              "distributed selection requires at least one positive fitness");
+}
+
+}  // namespace
+
+DrawResult distributed_bidding(const ShardedFitness& shards,
+                               const rng::SeedSequence& seeds) {
+  require_positive_total(shards);
+  const Topology& topo = shards.topology();
+  const std::size_t p = topo.ranks();
+
+  // Local sub-race on every rank: serial logarithmic bidding over the shard,
+  // decorrelated engine per rank, one uniform consumed per positive entry.
+  std::vector<ArgMax> local(p, ArgMax{kNoBid, kNoIndex});
+  for (std::size_t r = 0; r < p; ++r) {
+    rng::Xoshiro256StarStar gen(seeds.child(r));
+    const parallel::Range range = shards.shard_range(r);
+    const std::span<const double> shard = shards.shard(r);
+    ArgMax best{kNoBid, kNoIndex};
+    bool found = false;
+    for (std::size_t j = 0; j < shard.size(); ++j) {
+      if (shard[j] <= 0.0) continue;
+      const double bid = rng::log_bid(gen, shard[j]);
+      if (!found || bid > best.value) {
+        best = ArgMax{bid, static_cast<std::uint64_t>(range.begin + j)};
+        found = true;
+      }
+    }
+    local[r] = best;
+  }
+
+  // The entire communication bill: one argmax-allreduce of a 2-word pair.
+  DrawResult result;
+  const std::vector<ArgMax> winners = allreduce_argmax(topo, local, result.comm);
+  LRB_ASSERT(winners[0].value > kNoBid,
+             "positive total fitness implies at least one bid");
+  result.index = static_cast<std::size_t>(winners[0].index);
+  return result;
+}
+
+DrawResult distributed_bidding(const ShardedFitness& shards,
+                               std::uint64_t seed) {
+  return distributed_bidding(shards, rng::SeedSequence(seed));
+}
+
+DrawResult distributed_prefix_sum(const ShardedFitness& shards,
+                                  const rng::SeedSequence& seeds) {
+  require_positive_total(shards);
+  const Topology& topo = shards.topology();
+  const std::size_t p = topo.ranks();
+  DrawResult result;
+
+  // Shard sums are cached rank-locally (no communication).
+  std::vector<double> sums(p);
+  for (std::size_t r = 0; r < p; ++r) sums[r] = shards.shard_sum(r);
+
+  // 1. Exclusive scan: every rank learns the CDF offset of its shard.
+  const std::vector<double> offsets =
+      exclusive_scan_sum(topo, sums, result.comm);
+
+  // 2. Reduce the global total to the root, which draws the threshold
+  //    t = u * total, u ~ Uniform[0,1).
+  constexpr std::size_t kRoot = 0;
+  const double total = reduce_sum(topo, sums, kRoot, result.comm);
+  LRB_ASSERT(total > 0.0, "sharded fitness total must be positive");
+  rng::Xoshiro256StarStar gen(seeds.child("prefix-threshold"));
+  const double threshold = rng::u01_closed_open(gen) * total;
+
+  // 3. Broadcast the threshold so every rank can test ownership locally.
+  const std::vector<double> thresholds =
+      broadcast(topo, threshold, kRoot, result.comm);
+
+  // 4. Ownership test (rank-local): the owner is the non-empty rank whose
+  //    interval [offset, offset + sum) contains t.  The simulation resolves
+  //    it as "last non-empty rank with offset <= t", which is the same rank
+  //    in exact arithmetic and never gaps or double-claims under rounding.
+  std::size_t owner = kNoIndex;
+  for (std::size_t r = 0; r < p; ++r) {
+    if (sums[r] > 0.0 && offsets[r] <= thresholds[r]) owner = r;
+  }
+  LRB_ASSERT(owner != kNoIndex, "threshold below total implies an owner");
+
+  // Local inverse CDF on the owner: walk the shard until the running sum
+  // crosses t.  Zero-fitness cells add nothing and can never be selected.
+  const parallel::Range range = shards.shard_range(owner);
+  const std::span<const double> shard = shards.shard(owner);
+  double cumulative = offsets[owner];
+  std::uint64_t selected = kNoIndex;
+  for (std::size_t j = 0; j < shard.size(); ++j) {
+    if (shard[j] <= 0.0) continue;
+    cumulative += shard[j];
+    selected = static_cast<std::uint64_t>(range.begin + j);
+    if (cumulative > thresholds[owner]) break;
+  }
+  LRB_ASSERT(selected != kNoIndex, "owning shard holds a positive entry");
+
+  // 5. Publish the winner: a final argmax-allreduce (2-word pairs) gives
+  //    every rank the selected index, matching what bidding delivers.
+  std::vector<ArgMax> claim(p, ArgMax{kNoBid, kNoIndex});
+  claim[owner] = ArgMax{1.0, selected};
+  const std::vector<ArgMax> winners = allreduce_argmax(topo, claim, result.comm);
+  result.index = static_cast<std::size_t>(winners[0].index);
+  return result;
+}
+
+DrawResult distributed_prefix_sum(const ShardedFitness& shards,
+                                  std::uint64_t seed) {
+  return distributed_prefix_sum(shards, rng::SeedSequence(seed));
+}
+
+}  // namespace lrb::dist

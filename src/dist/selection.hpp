@@ -1,0 +1,64 @@
+// Distributed roulette wheel selection over sharded fitness vectors.
+//
+// This is the paper's Section III contrast replayed on a message-passing
+// machine.  Both algorithms select global index i with probability
+// F_i = f_i / sum f, and both finish in O(log P) communication rounds — but
+// their bills differ the same way the PRAM cell counts did:
+//
+//   * distributed_bidding — every rank runs the serial logarithmic-bidding
+//     sub-race over its own shard (pure local compute), then ONE
+//     allreduce_argmax of a 2-word (bid, global index) pair crowns the
+//     winner on every rank.  The distributed echo of the paper's "single
+//     O(1) shared cell".
+//
+//   * distributed_prefix_sum — the classical pipeline the paper's baseline
+//     implies: exclusive scan of shard sums (shard offsets), reduce of the
+//     global total to a root, root draws the threshold u * total, broadcast
+//     of the threshold, a local inverse-CDF walk on the owning rank, and a
+//     final argmax-allreduce to publish the winner everywhere (parity with
+//     bidding: every rank must learn the result).
+//
+// Exactness: bidding inherits select_bidding's proof — per-shard maxima of
+// independent log(u)/f_i bids are themselves exponential-race winners, and
+// the argmax over shards is the global race, so Pr[i] = F_i with no
+// approximation.  The prefix pipeline is the standard inverse-CDF argument.
+// Both are chi-square-validated in tests/dist/selection_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "dist/collectives.hpp"
+#include "dist/sharding.hpp"
+#include "dist/topology.hpp"
+#include "rng/seed.hpp"
+
+namespace lrb::dist {
+
+/// One distributed selection draw: the agreed winner plus the communication
+/// the draw cost.  `index` is identical on every rank by construction.
+struct DrawResult {
+  std::size_t index = 0;  ///< selected global index, known to all ranks
+  CommLedger comm;        ///< rounds/messages/words/critical path of the draw
+};
+
+/// Logarithmic random bidding over shards: local sub-race per rank, one
+/// argmax-allreduce.  Rank r draws its bids from engine seeds.child(r), so
+/// streams are decorrelated and a draw consumes exactly one uniform per
+/// positive local entry (as the serial selector does).
+[[nodiscard]] DrawResult distributed_bidding(const ShardedFitness& shards,
+                                             const rng::SeedSequence& seeds);
+
+/// Convenience overload seeding the sequence from a bare master seed.
+[[nodiscard]] DrawResult distributed_bidding(const ShardedFitness& shards,
+                                             std::uint64_t seed);
+
+/// Prefix-sum (inverse CDF) roulette over shards: scan + reduce + broadcast
+/// + local inverse-CDF + winner publication.  Same selection distribution,
+/// strictly larger communication bill — the point of experiment A9.
+[[nodiscard]] DrawResult distributed_prefix_sum(const ShardedFitness& shards,
+                                                const rng::SeedSequence& seeds);
+
+[[nodiscard]] DrawResult distributed_prefix_sum(const ShardedFitness& shards,
+                                                std::uint64_t seed);
+
+}  // namespace lrb::dist

@@ -1,0 +1,98 @@
+#include "dist/sharding.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace lrb::dist {
+
+ShardedFitness::ShardedFitness(std::span<const double> fitness,
+                               std::size_t ranks)
+    : topology_(ranks),
+      values_(fitness.begin(), fitness.end()),
+      shard_sums_(ranks, 0.0),
+      positive_counts_(ranks, 0) {
+  (void)checked_fitness_total(fitness);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    KahanSum sum;
+    for (double f : shard(r)) {
+      sum.add(f);
+      positive_counts_[r] += (f > 0.0);
+    }
+    shard_sums_[r] = sum.value();
+  }
+}
+
+parallel::Range ShardedFitness::shard_range(std::size_t rank) const {
+  LRB_REQUIRE(rank < ranks(), InvalidArgumentError,
+              "shard_range: rank out of range");
+  return parallel::partition_range(values_.size(), ranks(), rank);
+}
+
+std::span<const double> ShardedFitness::shard(std::size_t rank) const {
+  const parallel::Range r = shard_range(rank);
+  return std::span<const double>(values_).subspan(r.begin, r.size());
+}
+
+double ShardedFitness::shard_sum(std::size_t rank) const {
+  LRB_REQUIRE(rank < ranks(), InvalidArgumentError,
+              "shard_sum: rank out of range");
+  return shard_sums_[rank];
+}
+
+double ShardedFitness::total() const noexcept {
+  KahanSum sum;
+  for (double s : shard_sums_) sum.add(s);
+  return sum.value();
+}
+
+std::size_t ShardedFitness::owner(std::size_t index) const {
+  LRB_REQUIRE(index < values_.size(), InvalidArgumentError,
+              "owner: index out of range");
+  // Inverse of parallel::partition_range's split: the first n % P shards
+  // hold base+1 elements, the rest hold base.
+  const std::size_t n = values_.size();
+  const std::size_t p = ranks();
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  const std::size_t big_span = extra * (base + 1);
+  if (index < big_span) return index / (base + 1);
+  return extra + (index - big_span) / base;
+}
+
+double ShardedFitness::value(std::size_t index) const {
+  LRB_REQUIRE(index < values_.size(), InvalidArgumentError,
+              "value: index out of range");
+  return values_[index];
+}
+
+void ShardedFitness::update(std::size_t index, double fitness) {
+  LRB_REQUIRE(index < values_.size(), InvalidArgumentError,
+              "update: index out of range");
+  LRB_REQUIRE(std::isfinite(fitness), InvalidFitnessError,
+              "update: fitness must be finite (index " + std::to_string(index) +
+                  ")");
+  LRB_REQUIRE(fitness >= 0.0, InvalidFitnessError,
+              "update: fitness must be non-negative (index " +
+                  std::to_string(index) + ")");
+  const std::size_t rank = owner(index);
+  positive_counts_[rank] += (fitness > 0.0);
+  positive_counts_[rank] -= (values_[index] > 0.0);
+  shard_sums_[rank] += fitness - values_[index];
+  values_[index] = fitness;
+  // Delta maintenance leaves rounding residue (of either sign) when large
+  // and small entries cancel.  Keep the invariant "sum > 0 iff the shard
+  // holds a positive entry": an emptied shard snaps to exactly zero, and a
+  // non-empty shard whose cached sum degenerated is recomputed — O(shard),
+  // but only on pathological cancellation.
+  if (positive_counts_[rank] == 0) {
+    shard_sums_[rank] = 0.0;
+  } else if (shard_sums_[rank] <= 0.0) {
+    KahanSum sum;
+    for (double f : shard(rank)) sum.add(f);
+    shard_sums_[rank] = sum.value();
+  }
+}
+
+}  // namespace lrb::dist

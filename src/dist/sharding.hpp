@@ -1,0 +1,81 @@
+// Block-sharded fitness vectors: the data layout of distributed selection.
+//
+// The global fitness vector f_0..f_{n-1} is partitioned into P contiguous
+// blocks (sizes differing by at most one, via parallel::partition_range — the
+// same deterministic split the shared-memory paths use).  Each rank owns its
+// block plus a cached block sum, so the two quantities distributed selection
+// needs are local and O(1):
+//
+//   * a rank's shard span (for the local bidding sub-race / inverse CDF);
+//   * a rank's shard sum (the prefix-sum pipeline's scan input).
+//
+// Point updates are O(1): overwrite the cell, nudge the owning shard's sum by
+// the delta.  That is the distributed echo of the paper's core selling point —
+// logarithmic bidding needs no prebuilt global structure, so a fitness update
+// touches one rank and nothing else (contrast a distributed Fenwick tree or
+// alias table, which must rebuild or ship O(log n) updates).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dist/topology.hpp"
+#include "parallel/partition.hpp"
+
+namespace lrb::dist {
+
+/// A fitness vector block-partitioned over the ranks of a Topology.
+///
+/// Simulation note: one process holds all shards, but every accessor is
+/// phrased rank-locally so the selection algorithms in dist/selection.cpp
+/// only ever touch data a real rank would own.
+class ShardedFitness {
+ public:
+  /// Copies `fitness` (validated: finite, non-negative, positive total) and
+  /// partitions it over `ranks` blocks.  `ranks` may exceed the vector
+  /// length; trailing ranks then own empty shards.
+  ShardedFitness(std::span<const double> fitness, std::size_t ranks);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] std::size_t ranks() const noexcept { return topology_.ranks(); }
+  /// Global vector length n.
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  /// The half-open global index range owned by `rank`.
+  [[nodiscard]] parallel::Range shard_range(std::size_t rank) const;
+
+  /// The fitness values owned by `rank` (possibly empty).
+  [[nodiscard]] std::span<const double> shard(std::size_t rank) const;
+
+  /// Cached sum of `rank`'s shard — O(1), maintained across updates.
+  /// Guaranteed positive iff the shard holds a positive entry: an emptied
+  /// shard reports exactly 0.0 (no rounding residue), so ownership tests
+  /// downstream never select a shard with nothing to select.
+  [[nodiscard]] double shard_sum(std::size_t rank) const;
+
+  /// Sum of all shard sums.  Bookkeeping convenience for tests and sanity
+  /// checks; the selection algorithms recompute the total on the wire so the
+  /// ledgers stay honest.
+  [[nodiscard]] double total() const noexcept;
+
+  /// The rank owning global index `index`.
+  [[nodiscard]] std::size_t owner(std::size_t index) const;
+
+  /// The current value at global index `index`.
+  [[nodiscard]] double value(std::size_t index) const;
+
+  /// O(1) point update: sets f_index to `fitness` (finite, non-negative) and
+  /// adjusts the owning shard's cached sum by the delta.  May drive the
+  /// global total to zero; the selection entry points then throw
+  /// InvalidFitnessError on the next draw, like every serial selector.
+  void update(std::size_t index, double fitness);
+
+ private:
+  Topology topology_;
+  std::vector<double> values_;
+  std::vector<double> shard_sums_;
+  std::vector<std::size_t> positive_counts_;
+};
+
+}  // namespace lrb::dist

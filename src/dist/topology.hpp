@@ -1,0 +1,108 @@
+// The simulated message-passing machine underneath lrb::dist.
+//
+// The paper contrasts selection algorithms on shared-memory PRAMs; at
+// production scale the fitness vector is sharded over P distributed ranks
+// and the interesting cost is communication, not cell count.  This header
+// models that machine just concretely enough to *meter* it:
+//
+//   * Topology — P ranks connected all-to-all, executing synchronous
+//     communication rounds.  Hypercube exchange, dissemination (circulant)
+//     shifts and binomial trees are all expressible; each needs
+//     ceil(log2 P) rounds (plus up to two fold/unfold rounds for
+//     non-power-of-two sum reductions).
+//   * CommLedger — the per-operation bill: synchronized rounds, total
+//     point-to-point messages, total 64-bit words moved, and the words
+//     received along the longest dependency chain (critical path).
+//
+// The collectives in dist/collectives.hpp execute real dataflow over this
+// model (results are exact, tests compare them to serial references) while
+// charging the ledger, so benchmarks report the communication a real MPI
+// backend would pay without needing one in the build.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace lrb::dist {
+
+/// Communication bill of one collective (or one whole selection draw).
+///
+/// Units: `rounds` are barrier-synchronized communication steps in which
+/// every rank sends at most one message; `words` are 64-bit payload words
+/// (a double or an index counts 1, a (bid, index) pair counts 2);
+/// `critical_path_words` sums the payload received along the longest
+/// sender->receiver dependency chain — the latency-bound term that survives
+/// even when all P messages of a round fly in parallel.
+struct CommLedger {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  std::uint64_t critical_path_words = 0;
+
+  /// Charges one synchronous round carrying `message_count` point-to-point
+  /// messages of `words_per_message` payload words each.
+  constexpr void charge_round(std::uint64_t message_count,
+                              std::uint64_t words_per_message) noexcept {
+    rounds += 1;
+    messages += message_count;
+    words += message_count * words_per_message;
+    if (message_count > 0) critical_path_words += words_per_message;
+  }
+
+  /// Accumulates another ledger (sequential composition of collectives).
+  constexpr CommLedger& operator+=(const CommLedger& other) noexcept {
+    rounds += other.rounds;
+    messages += other.messages;
+    words += other.words;
+    critical_path_words += other.critical_path_words;
+    return *this;
+  }
+
+  friend constexpr bool operator==(const CommLedger&,
+                                   const CommLedger&) = default;
+};
+
+/// P ranks executing synchronous rounds.  Pure topology arithmetic; the
+/// dataflow lives in dist/collectives.cpp.
+class Topology {
+ public:
+  explicit Topology(std::size_t ranks) : ranks_(ranks) {
+    LRB_REQUIRE(ranks >= 1, InvalidArgumentError,
+                "Topology requires at least one rank");
+  }
+
+  [[nodiscard]] std::size_t ranks() const noexcept { return ranks_; }
+
+  /// ceil(log2 P): the round count of dissemination collectives and binomial
+  /// trees, and the lower bound for any P-rank reduction.
+  [[nodiscard]] std::uint32_t log_rounds() const noexcept {
+    return ceil_log2(static_cast<std::uint64_t>(ranks_));
+  }
+
+  /// True when P is a power of two (hypercube exchange needs no fold).
+  [[nodiscard]] bool is_hypercube() const noexcept {
+    return is_pow2(static_cast<std::uint64_t>(ranks_));
+  }
+
+  /// Dissemination (circulant) shift: in round r, rank i sends to
+  /// (i + 2^r) mod P.  After ceil(log2 P) rounds every rank has heard,
+  /// directly or transitively, from every other — the basis of the
+  /// idempotent allreduces (max, argmax).
+  [[nodiscard]] std::size_t dissemination_target(std::size_t rank,
+                                                 std::uint32_t round) const noexcept {
+    return (rank + (std::size_t{1} << round)) % ranks_;
+  }
+
+  /// Hypercube partner i XOR 2^bit (only meaningful when is_hypercube()).
+  [[nodiscard]] std::size_t hypercube_partner(std::size_t rank,
+                                              std::uint32_t bit) const noexcept {
+    return rank ^ (std::size_t{1} << bit);
+  }
+
+ private:
+  std::size_t ranks_;
+};
+
+}  // namespace lrb::dist

@@ -40,6 +40,8 @@
 #include "core/without_replacement.hpp"
 #include "dist/collectives.hpp"
 #include "dist/selection.hpp"
+#include "dist/sharding.hpp"
+#include "dist/topology.hpp"
 #include "parallel/atomic_max.hpp"
 #include "parallel/barrier.hpp"
 #include "parallel/prefix_sum.hpp"

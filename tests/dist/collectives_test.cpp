@@ -1,0 +1,225 @@
+// Collectives over the simulated message-passing machine: results must equal
+// serial references, and the ledgers must match the ceil(log2 P) round
+// bounds the machine model promises.
+#include "dist/collectives.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+#include "dist/topology.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+using lrb::ceil_log2;
+using lrb::dist::ArgMax;
+using lrb::dist::CommLedger;
+using lrb::dist::Topology;
+
+// Rank counts covering 1, powers of two, and awkward in-between values.
+const std::vector<std::size_t> kRankCounts = {1, 2, 3, 4, 5, 7, 8,
+                                              13, 16, 31, 32, 100, 128};
+
+std::vector<double> random_values(std::size_t p, std::uint64_t seed) {
+  lrb::rng::Xoshiro256StarStar gen(seed);
+  std::vector<double> vals(p);
+  for (double& v : vals) v = lrb::rng::u01_closed_open(gen) * 10.0 - 2.0;
+  return vals;
+}
+
+TEST(Topology, RequiresAtLeastOneRank) {
+  EXPECT_THROW(Topology(0), lrb::InvalidArgumentError);
+  EXPECT_EQ(Topology(1).log_rounds(), 0u);
+  EXPECT_EQ(Topology(2).log_rounds(), 1u);
+  EXPECT_EQ(Topology(1024).log_rounds(), 10u);
+  EXPECT_EQ(Topology(1000).log_rounds(), 10u);
+}
+
+TEST(CommLedger, ChargeAndMerge) {
+  CommLedger a;
+  a.charge_round(8, 2);
+  EXPECT_EQ(a.rounds, 1u);
+  EXPECT_EQ(a.messages, 8u);
+  EXPECT_EQ(a.words, 16u);
+  EXPECT_EQ(a.critical_path_words, 2u);
+  CommLedger b;
+  b.charge_round(0, 5);  // empty round: no message on the critical path
+  EXPECT_EQ(b.critical_path_words, 0u);
+  a += b;
+  EXPECT_EQ(a.rounds, 2u);
+  EXPECT_EQ(a.messages, 8u);
+}
+
+TEST(AllreduceMax, MatchesSerialReferenceOnAllRanks) {
+  for (std::size_t p : kRankCounts) {
+    const Topology topo(p);
+    const auto local = random_values(p, 7 * p + 1);
+    CommLedger ledger;
+    const auto result = lrb::dist::allreduce_max(topo, local, ledger);
+    const double expected = *std::max_element(local.begin(), local.end());
+    ASSERT_EQ(result.size(), p);
+    for (std::size_t r = 0; r < p; ++r) {
+      EXPECT_EQ(result[r], expected) << "p=" << p << " rank=" << r;
+    }
+  }
+}
+
+TEST(AllreduceMax, LedgerMatchesDisseminationBounds) {
+  for (std::size_t p : kRankCounts) {
+    const Topology topo(p);
+    const auto local = random_values(p, p);
+    CommLedger ledger;
+    (void)lrb::dist::allreduce_max(topo, local, ledger);
+    const std::uint64_t rounds = ceil_log2(p);
+    EXPECT_EQ(ledger.rounds, rounds) << "p=" << p;
+    EXPECT_EQ(ledger.messages, rounds * p) << "p=" << p;
+    EXPECT_EQ(ledger.words, rounds * p) << "p=" << p;
+    EXPECT_EQ(ledger.critical_path_words, rounds) << "p=" << p;
+  }
+}
+
+TEST(AllreduceArgmax, MatchesSerialReferenceAndBreaksTiesLow) {
+  for (std::size_t p : kRankCounts) {
+    const Topology topo(p);
+    const auto values = random_values(p, 31 * p + 5);
+    std::vector<ArgMax> local(p);
+    for (std::size_t r = 0; r < p; ++r) {
+      local[r] = ArgMax{values[r], static_cast<std::uint64_t>(r * 10)};
+    }
+    ArgMax expected = local[0];
+    for (const ArgMax& candidate : local) {
+      expected = lrb::dist::argmax_combine(expected, candidate);
+    }
+    CommLedger ledger;
+    const auto result = lrb::dist::allreduce_argmax(topo, local, ledger);
+    for (std::size_t r = 0; r < p; ++r) {
+      EXPECT_EQ(result[r], expected) << "p=" << p << " rank=" << r;
+    }
+    // 2-word pairs double the words but not the messages.
+    EXPECT_EQ(ledger.rounds, ceil_log2(p));
+    EXPECT_EQ(ledger.words, 2 * ledger.messages);
+    EXPECT_EQ(ledger.critical_path_words, 2 * ceil_log2(p));
+  }
+}
+
+TEST(AllreduceArgmax, EqualValuesKeepLowestIndex) {
+  const Topology topo(8);
+  std::vector<ArgMax> local(8, ArgMax{1.0, 0});
+  for (std::size_t r = 0; r < 8; ++r) local[r].index = 70 - r;
+  CommLedger ledger;
+  const auto result = lrb::dist::allreduce_argmax(topo, local, ledger);
+  for (const ArgMax& w : result) EXPECT_EQ(w.index, 63u);
+}
+
+TEST(AllreduceSum, MatchesSerialReferenceOnAllRanks) {
+  for (std::size_t p : kRankCounts) {
+    const Topology topo(p);
+    const auto local = random_values(p, 101 * p + 3);
+    const double expected = lrb::accurate_sum(local);
+    CommLedger ledger;
+    const auto result = lrb::dist::allreduce_sum(topo, local, ledger);
+    for (std::size_t r = 0; r < p; ++r) {
+      EXPECT_TRUE(lrb::is_close(result[r], expected, 1e-12, 1e-12))
+          << "p=" << p << " rank=" << r << " got " << result[r] << " want "
+          << expected;
+    }
+  }
+}
+
+TEST(AllreduceSum, LedgerMatchesHypercubeBounds) {
+  for (std::size_t p : kRankCounts) {
+    const Topology topo(p);
+    const auto local = random_values(p, p + 9);
+    CommLedger ledger;
+    (void)lrb::dist::allreduce_sum(topo, local, ledger);
+    if (topo.is_hypercube()) {
+      // Pure recursive doubling: exactly ceil(log2 P) rounds of P messages.
+      EXPECT_EQ(ledger.rounds, ceil_log2(p)) << "p=" << p;
+      EXPECT_EQ(ledger.messages, ceil_log2(p) * p) << "p=" << p;
+    } else {
+      // Fold + hypercube + unfold: floor(log2 P) + 2 == ceil(log2 P) + 1.
+      EXPECT_EQ(ledger.rounds, ceil_log2(p) + 1) << "p=" << p;
+      EXPECT_LE(ledger.messages, (ceil_log2(p) + 1) * p) << "p=" << p;
+    }
+  }
+}
+
+TEST(ExclusiveScanSum, MatchesSerialLeftFold) {
+  for (std::size_t p : kRankCounts) {
+    const Topology topo(p);
+    const auto local = random_values(p, 13 * p + 2);
+    CommLedger ledger;
+    const auto result = lrb::dist::exclusive_scan_sum(topo, local, ledger);
+    double running = 0.0;
+    for (std::size_t r = 0; r < p; ++r) {
+      EXPECT_TRUE(lrb::is_close(result[r], running, 1e-12, 1e-12))
+          << "p=" << p << " rank=" << r;
+      running += local[r];
+    }
+    EXPECT_EQ(result[0], 0.0);
+    EXPECT_EQ(ledger.rounds, ceil_log2(p)) << "p=" << p;
+    // Round at shift d carries P-d messages.
+    std::uint64_t expected_messages = 0;
+    for (std::size_t shift = 1; shift < p; shift <<= 1) {
+      expected_messages += p - shift;
+    }
+    EXPECT_EQ(ledger.messages, expected_messages) << "p=" << p;
+  }
+}
+
+TEST(ReduceSum, MatchesSerialReferenceForEveryRoot) {
+  for (std::size_t p : kRankCounts) {
+    const Topology topo(p);
+    const auto local = random_values(p, 3 * p + 11);
+    const double expected = lrb::accurate_sum(local);
+    for (std::size_t root = 0; root < p; root += (p > 4 ? p / 3 : 1)) {
+      CommLedger ledger;
+      const double total = lrb::dist::reduce_sum(topo, local, root, ledger);
+      EXPECT_TRUE(lrb::is_close(total, expected, 1e-12, 1e-12))
+          << "p=" << p << " root=" << root;
+      // Binomial tree: ceil(log2 P) rounds, P-1 messages in total.
+      EXPECT_EQ(ledger.rounds, ceil_log2(p));
+      EXPECT_EQ(ledger.messages, p - 1);
+      EXPECT_EQ(ledger.critical_path_words, ceil_log2(p));
+    }
+  }
+}
+
+TEST(Broadcast, DeliversToEveryRankFromEveryRoot) {
+  for (std::size_t p : kRankCounts) {
+    const Topology topo(p);
+    for (std::size_t root = 0; root < p; root += (p > 4 ? p / 3 : 1)) {
+      CommLedger ledger;
+      const auto result = lrb::dist::broadcast(topo, 42.5, root, ledger);
+      for (std::size_t r = 0; r < p; ++r) {
+        EXPECT_EQ(result[r], 42.5) << "p=" << p << " root=" << root;
+      }
+      EXPECT_EQ(ledger.rounds, ceil_log2(p));
+      EXPECT_EQ(ledger.messages, p - 1);
+    }
+  }
+}
+
+TEST(Collectives, RejectWrongArityInput) {
+  const Topology topo(4);
+  CommLedger ledger;
+  const std::vector<double> wrong(3, 1.0);
+  EXPECT_THROW((void)lrb::dist::allreduce_sum(topo, wrong, ledger),
+               lrb::InvalidArgumentError);
+  EXPECT_THROW((void)lrb::dist::allreduce_max(topo, wrong, ledger),
+               lrb::InvalidArgumentError);
+  EXPECT_THROW((void)lrb::dist::exclusive_scan_sum(topo, wrong, ledger),
+               lrb::InvalidArgumentError);
+  EXPECT_THROW((void)lrb::dist::reduce_sum(topo, wrong, 0, ledger),
+               lrb::InvalidArgumentError);
+  EXPECT_THROW((void)lrb::dist::broadcast(topo, 1.0, 9, ledger),
+               lrb::InvalidArgumentError);
+}
+
+}  // namespace

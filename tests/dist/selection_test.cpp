@@ -1,0 +1,231 @@
+// Distributed selection: sharding invariants, exactness of both algorithms
+// (chi-square against F_i), and the communication claim of experiment A9 —
+// bidding's ledger is strictly cheaper than the prefix-sum pipeline's.
+#include "dist/selection.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+#include "common/math.hpp"
+#include "dist/sharding.hpp"
+#include "rng/seed.hpp"
+
+namespace {
+
+using lrb::dist::CommLedger;
+using lrb::dist::DrawResult;
+using lrb::dist::ShardedFitness;
+
+TEST(ShardedFitness, PartitionCoversVectorAndCachesSums) {
+  const std::vector<double> fitness = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (std::size_t p : {1u, 2u, 3u, 7u, 10u, 16u}) {
+    const ShardedFitness shards(fitness, p);
+    EXPECT_EQ(shards.ranks(), p);
+    EXPECT_EQ(shards.size(), fitness.size());
+    std::size_t covered = 0;
+    double total = 0.0;
+    for (std::size_t r = 0; r < p; ++r) {
+      const auto range = shards.shard_range(r);
+      EXPECT_EQ(range.begin, covered) << "p=" << p << " rank=" << r;
+      covered = range.end;
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        EXPECT_EQ(shards.owner(i), r) << "p=" << p << " index=" << i;
+      }
+      double sum = 0.0;
+      for (double f : shards.shard(r)) sum += f;
+      EXPECT_TRUE(lrb::is_close(shards.shard_sum(r), sum, 1e-12, 1e-12));
+      total += sum;
+    }
+    EXPECT_EQ(covered, fitness.size());
+    EXPECT_TRUE(lrb::is_close(shards.total(), total, 1e-12, 1e-12));
+  }
+}
+
+TEST(ShardedFitness, PointUpdateIsAppliedAndSumsTrack) {
+  const std::vector<double> fitness = {1, 2, 3, 4, 5, 6, 7, 8};
+  ShardedFitness shards(fitness, 3);
+  shards.update(0, 10.0);
+  shards.update(7, 0.0);
+  EXPECT_EQ(shards.value(0), 10.0);
+  EXPECT_EQ(shards.value(7), 0.0);
+  for (std::size_t r = 0; r < shards.ranks(); ++r) {
+    double sum = 0.0;
+    for (double f : shards.shard(r)) sum += f;
+    EXPECT_TRUE(lrb::is_close(shards.shard_sum(r), sum, 1e-9, 1e-12));
+  }
+  EXPECT_THROW(shards.update(8, 1.0), lrb::InvalidArgumentError);
+  EXPECT_THROW(shards.update(0, -1.0), lrb::InvalidFitnessError);
+}
+
+TEST(ShardedFitness, EmptiedShardSnapsToExactZero) {
+  // Large/small cancellation leaves rounding residue under naive delta
+  // maintenance; an emptied shard must report exactly 0.0 so the prefix
+  // pipeline's ownership test can never pick a shard with nothing in it.
+  const std::vector<double> fitness = {1e16, 3.0, 1.0, 1.0};
+  ShardedFitness shards(fitness, 2);  // shard 0 = {1e16, 3}, shard 1 = {1, 1}
+  shards.update(0, 0.0);
+  shards.update(1, 0.0);
+  EXPECT_EQ(shards.shard_sum(0), 0.0);
+  // Draws stay valid (shard 1 is still positive) and never pick shard 0.
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    EXPECT_GE(lrb::dist::distributed_prefix_sum(shards, seed).index, 2u);
+    EXPECT_GE(lrb::dist::distributed_bidding(shards, seed).index, 2u);
+  }
+}
+
+TEST(Selection, AllZeroFitnessAfterUpdatesThrowsTypedError) {
+  // update() may legally drive the whole vector to zero; the next draw must
+  // throw the same typed error the serial selectors do, not abort.
+  const std::vector<double> fitness = {1.0, 2.0, 3.0};
+  ShardedFitness shards(fitness, 2);
+  for (std::size_t i = 0; i < fitness.size(); ++i) shards.update(i, 0.0);
+  EXPECT_EQ(shards.total(), 0.0);
+  EXPECT_THROW((void)lrb::dist::distributed_bidding(shards, 1),
+               lrb::InvalidFitnessError);
+  EXPECT_THROW((void)lrb::dist::distributed_prefix_sum(shards, 1),
+               lrb::InvalidFitnessError);
+}
+
+TEST(ShardedFitness, RejectsInvalidFitness) {
+  EXPECT_THROW(ShardedFitness(std::vector<double>{}, 4),
+               lrb::InvalidFitnessError);
+  EXPECT_THROW(ShardedFitness(std::vector<double>{0.0, 0.0}, 2),
+               lrb::InvalidFitnessError);
+  EXPECT_THROW(ShardedFitness(std::vector<double>{1.0, -1.0}, 2),
+               lrb::InvalidFitnessError);
+}
+
+TEST(DistributedBidding, IsDeterministicPerSeed) {
+  const std::vector<double> fitness = {0, 1, 2, 3, 4, 5};
+  const ShardedFitness shards(fitness, 4);
+  const DrawResult a = lrb::dist::distributed_bidding(shards, 99);
+  const DrawResult b = lrb::dist::distributed_bidding(shards, 99);
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.comm, b.comm);
+}
+
+TEST(DistributedBidding, NeverSelectsZeroFitnessEvenWithEmptyShards) {
+  // More ranks than entries: trailing shards are empty; zero cells never win.
+  const std::vector<double> fitness = {0, 0, 5, 0};
+  const ShardedFitness shards(fitness, 8);
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    EXPECT_EQ(lrb::dist::distributed_bidding(shards, seed).index, 2u);
+    EXPECT_EQ(lrb::dist::distributed_prefix_sum(shards, seed).index, 2u);
+  }
+}
+
+// The tentpole guarantee: distributed bidding selects index i with exactly
+// probability F_i for every rank count — same distribution as the serial
+// selector, chi-square-checked over the canonical fitness shapes.
+TEST(DistributedBidding, ChiSquareMatchesExactProbabilities) {
+  constexpr std::uint64_t kDraws = 30000;
+  for (const auto& shape : lrb::testing::canonical_fitness_cases()) {
+    for (std::size_t p : {2u, 5u, 8u}) {
+      const ShardedFitness shards(shape.fitness, p);
+      const lrb::rng::SeedSequence seeds(0x9e3779b97f4a7c15ULL ^ p);
+      std::uint64_t draw = 0;
+      const auto hist =
+          lrb::testing::collect(shape.fitness.size(), kDraws, [&] {
+            return lrb::dist::distributed_bidding(shards,
+                                                  seeds.subsequence(draw++))
+                .index;
+          });
+      SCOPED_TRACE(std::string(shape.name) + " p=" + std::to_string(p));
+      lrb::testing::expect_matches_roulette(hist, shape.fitness);
+    }
+  }
+}
+
+TEST(DistributedPrefixSum, ChiSquareMatchesExactProbabilities) {
+  constexpr std::uint64_t kDraws = 30000;
+  for (const auto& shape : lrb::testing::canonical_fitness_cases()) {
+    for (std::size_t p : {2u, 5u, 8u}) {
+      const ShardedFitness shards(shape.fitness, p);
+      const lrb::rng::SeedSequence seeds(0x853c49e6748fea9bULL ^ p);
+      std::uint64_t draw = 0;
+      const auto hist =
+          lrb::testing::collect(shape.fitness.size(), kDraws, [&] {
+            return lrb::dist::distributed_prefix_sum(shards,
+                                                     seeds.subsequence(draw++))
+                .index;
+          });
+      SCOPED_TRACE(std::string(shape.name) + " p=" + std::to_string(p));
+      lrb::testing::expect_matches_roulette(hist, shape.fitness);
+    }
+  }
+}
+
+TEST(DistributedBidding, ManyRanksStillExact) {
+  const std::vector<double> fitness = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const ShardedFitness shards(fitness, 64);
+  const lrb::rng::SeedSequence seeds(20240228);
+  std::uint64_t draw = 0;
+  const auto hist = lrb::testing::collect(fitness.size(), 20000, [&] {
+    return lrb::dist::distributed_bidding(shards, seeds.subsequence(draw++))
+        .index;
+  });
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+TEST(SelectionAfterUpdates, BiddingTracksTheNewDistribution) {
+  std::vector<double> fitness(32, 1.0);
+  ShardedFitness shards(fitness, 6);
+  // Reshape the vector through O(1) point updates, then re-validate.
+  shards.update(3, 25.0);
+  shards.update(17, 0.0);
+  shards.update(31, 8.0);
+  fitness[3] = 25.0;
+  fitness[17] = 0.0;
+  fitness[31] = 8.0;
+  const lrb::rng::SeedSequence seeds(424242);
+  std::uint64_t draw = 0;
+  const auto hist = lrb::testing::collect(fitness.size(), 30000, [&] {
+    return lrb::dist::distributed_bidding(shards, seeds.subsequence(draw++))
+        .index;
+  });
+  lrb::testing::expect_matches_roulette(hist, fitness);
+}
+
+// Experiment A9's claim, as a hard invariant: for every rank count, the
+// prefix-sum pipeline pays strictly more than bidding on every ledger axis.
+TEST(CommunicationLedgers, BiddingIsCheaperThanPrefixSumForAllRankCounts) {
+  std::vector<double> fitness(4096);
+  for (std::size_t i = 0; i < fitness.size(); i += 3) {
+    fitness[i] = 1.0 + static_cast<double>(i % 17);
+  }
+  for (std::size_t p = 2; p <= 1024; p *= 2) {
+    const ShardedFitness shards(fitness, p);
+    const DrawResult bid = lrb::dist::distributed_bidding(shards, 7);
+    const DrawResult pfx = lrb::dist::distributed_prefix_sum(shards, 7);
+    SCOPED_TRACE("p=" + std::to_string(p));
+    // Bidding: exactly one dissemination allreduce of 2-word pairs.
+    EXPECT_EQ(bid.comm.rounds, lrb::ceil_log2(p));
+    EXPECT_EQ(bid.comm.messages, lrb::ceil_log2(p) * p);
+    EXPECT_EQ(bid.comm.critical_path_words, 2 * lrb::ceil_log2(p));
+    // The pipeline pays at least scan + reduce + broadcast on top.
+    EXPECT_LT(bid.comm.messages, pfx.comm.messages);
+    EXPECT_LT(bid.comm.rounds, pfx.comm.rounds);
+    EXPECT_LT(bid.comm.words, pfx.comm.words);
+    EXPECT_LT(bid.comm.critical_path_words, pfx.comm.critical_path_words);
+  }
+}
+
+// Odd (non-power-of-two) rank counts keep both the exactness and the
+// cheaper-bidding ordering.
+TEST(CommunicationLedgers, OddRankCountsPreserveTheOrdering) {
+  std::vector<double> fitness(999, 0.5);
+  for (std::size_t p : {3u, 5u, 11u, 63u, 100u, 999u}) {
+    const ShardedFitness shards(fitness, p);
+    const DrawResult bid = lrb::dist::distributed_bidding(shards, 13);
+    const DrawResult pfx = lrb::dist::distributed_prefix_sum(shards, 13);
+    SCOPED_TRACE("p=" + std::to_string(p));
+    EXPECT_EQ(bid.comm.rounds, lrb::ceil_log2(p));
+    EXPECT_LT(bid.comm.messages, pfx.comm.messages);
+    EXPECT_LT(bid.comm.words, pfx.comm.words);
+  }
+}
+
+}  // namespace
