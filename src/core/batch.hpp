@@ -1,11 +1,11 @@
 // Batched selection: m independent draws (with replacement) from one
 // fitness vector, with the strategy chosen by batch size.
 //
-//   m small : repeated serial bidding — no build cost, O(m k) total
+//   m small : one DrawManyKernel build + m O(k) filtered bidding passes
 //   m large : one alias-table build + m O(1) draws — O(n + m)
 //
 // batch_select() picks the strategy from the measured crossover
-// (m >= kAliasCrossover * n / max(k,1)); both produce exact roulette
+// (bidding while m * k < n / kAliasCrossover); both produce exact roulette
 // marginals and the choice only affects speed.  A deterministic
 // counter-based variant serves replay workloads.
 #pragma once
@@ -16,6 +16,7 @@
 
 #include "common/math.hpp"
 #include "core/alias_table.hpp"
+#include "core/draw_many.hpp"
 #include "core/logarithmic_bidding.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/philox.hpp"
@@ -26,39 +27,57 @@ namespace lrb::core {
 /// Strategy for a batch of draws.
 enum class BatchStrategy {
   kAuto,     ///< pick by crossover heuristic
-  kBidding,  ///< m passes of serial bidding
+  kBidding,  ///< one DrawManyKernel, m filtered bidding passes
   kAlias,    ///< build alias table once, then m O(1) draws
 };
 
-/// Measured crossover factor: alias build (~2n) amortizes once the batch
-/// does more than ~1/4 that much bidding work.
-inline constexpr double kAliasCrossover = 0.25;
+/// Measured crossover factor: bidding wins while m * k < n / kAliasCrossover.
+/// Re-measured for the draw_many kernel (tools/bench_json, n in {1e4, 1e6} x
+/// dense/sparse): the kernel cut per-item bidding cost ~3.5x, but it also
+/// introduced a once-per-batch build comparable to the alias build, so the
+/// break-even lands near m * k = 2n on every config (dense break-evens pull
+/// slightly lower, sparse slightly higher) — hence 0.5, replacing the seed's
+/// 0.25 that was calibrated against the unbatched select_bidding() loop.
+inline constexpr double kAliasCrossover = 0.5;
+
+/// The kAuto decision, exposed so tooling (tools/bench_json) reports the
+/// exact strategy batch_select would pick: bidding while the batch's
+/// m * k bidding work stays under n / kAliasCrossover, alias beyond.
+[[nodiscard]] inline BatchStrategy resolve_batch_strategy(
+    std::span<const double> fitness, std::size_t m) noexcept {
+  const std::size_t k = count_nonzero(fitness);
+  const double bidding_work = static_cast<double>(m) * static_cast<double>(k);
+  const double alias_work =
+      static_cast<double>(fitness.size()) / kAliasCrossover;
+  return bidding_work < alias_work ? BatchStrategy::kBidding
+                                   : BatchStrategy::kAlias;
+}
 
 /// Draws `m` indices with replacement; out.size() == m.
+///
+/// Validation runs once per batch (the kernel/alias build), never per draw —
+/// the m draws themselves are free of O(n) revalidation passes.
 template <rng::Engine64 G>
 std::vector<std::size_t> batch_select(std::span<const double> fitness,
                                       std::size_t m, G&& gen,
                                       BatchStrategy strategy = BatchStrategy::kAuto) {
-  (void)checked_fitness_total(fitness);
   std::vector<std::size_t> out;
-  out.reserve(m);
-  if (m == 0) return out;
+  if (m == 0) {
+    (void)checked_fitness_total(fitness);  // same error surface as m > 0
+    return out;
+  }
 
   if (strategy == BatchStrategy::kAuto) {
-    const std::size_t k = count_nonzero(fitness);
-    const double bidding_work = static_cast<double>(m) * static_cast<double>(k);
-    const double alias_work =
-        static_cast<double>(fitness.size()) / kAliasCrossover;
-    strategy = bidding_work < alias_work ? BatchStrategy::kBidding
-                                         : BatchStrategy::kAlias;
+    strategy = resolve_batch_strategy(fitness, m);
   }
 
   if (strategy == BatchStrategy::kBidding) {
-    for (std::size_t t = 0; t < m; ++t) {
-      out.push_back(select_bidding(fitness, gen));
-    }
+    DrawManyKernel kernel(fitness);  // validates once for the whole batch
+    kernel.draw_into(m, gen, out);
   } else {
+    (void)checked_fitness_total(fitness);
     const AliasTable table(fitness);
+    out.reserve(m);
     for (std::size_t t = 0; t < m; ++t) {
       out.push_back(table.select(gen));
     }

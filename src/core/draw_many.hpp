@@ -1,0 +1,165 @@
+// Batched logarithmic bidding: the multi-draw hot path.
+//
+// GA/ACO generations draw a whole population (m = hundreds..thousands) from
+// one fitness vector, and a loop of select_bidding() calls pays, per draw,
+// a full O(n) validation pass, a zero-skip branch per item, one std::log
+// and one divide per positive item.  DrawManyKernel hoists everything that
+// is loop-invariant out of the m draws:
+//
+//   * validation runs once per batch (not once per draw);
+//   * the positive-fitness indices are packed into an active set once, so
+//     the per-draw loop touches exactly k items with no zero-test branch;
+//   * reciprocals 1/f_i are cached, so the filter below is one FMA per item;
+//   * uniforms are filled a block at a time (rng::fill_u01_open_closed) and
+//     all scratch is reused across the whole batch — zero per-draw
+//     allocation.
+//
+// The kernel's actual speedup comes from a record-breaking filter: since
+// log(u) <= u - 1, every item's bid log(u_i)/f_i is bounded above by
+// (u_i - 1) * (1/f_i) — one FMA, no log.  The running maximum of m
+// exponential-race bids is beaten only O(log k) expected times per draw, so
+// almost every item fails the cheap bound test and the expensive log runs
+// only for the rare candidates that might actually win.  The filter is
+// slackened by a relative margin (kGateRelax) that strictly dominates the
+// rounding error of the FMA bound, so it never discards a true winner:
+// the produced indices and the engine state match a loop of
+// select_bidding() calls exactly (same uniforms, in the same order, same
+// log(u)/f bid arithmetic, same first-maximum-wins tie rule).
+//
+// batch_select() (core/batch.hpp) routes its bidding strategy through this
+// kernel; lrb::dist packs per-shard draw_scored() winners into batched
+// allreduces (dist/selection.cpp).
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "rng/uniform.hpp"
+
+namespace lrb::core {
+
+class DrawManyKernel {
+ public:
+  /// Winner of one draw with its actual bid — what a distributed rank ships
+  /// into an argmax-allreduce.
+  struct Scored {
+    double bid = -std::numeric_limits<double>::infinity();
+    std::size_t index = 0;
+  };
+
+  /// Validates once (same error surface as every selector: finite,
+  /// non-negative, positive total) and packs the active set + reciprocals.
+  /// O(n); every subsequent draw is O(k) with k = active_count().
+  explicit DrawManyKernel(std::span<const double> fitness) {
+    (void)checked_fitness_total(fitness);
+    active_.reserve(fitness.size());
+    for (std::size_t i = 0; i < fitness.size(); ++i) {
+      if (fitness[i] > 0.0) active_.push_back(i);
+    }
+    f_.reserve(active_.size());
+    inv_f_.reserve(active_.size());
+    for (std::size_t i : active_) {
+      f_.push_back(fitness[i]);
+      // 1/f rounds to +inf for subnormal f, which would poison the bound
+      // pass with NaN/-inf; DBL_MAX <= 1/f still over-approximates the bid
+      // (the bound only needs any multiplier >= the true reciprocal), so
+      // clamping keeps every ub finite and the filter exact.
+      const double inv = 1.0 / fitness[i];
+      inv_f_.push_back(std::isfinite(inv) ? inv
+                                          : std::numeric_limits<double>::max());
+    }
+    size_ = fitness.size();
+    u_.resize(kBlock);
+    ub_.resize(kBlock);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Number of positive-fitness items ("k" in the paper's Theorem 1).
+  [[nodiscard]] std::size_t active_count() const noexcept { return active_.size(); }
+
+  /// One draw; consumes exactly active_count() engine steps.
+  template <rng::Engine64 G>
+  [[nodiscard]] std::size_t draw_one(G&& gen) {
+    return draw_scored(gen).index;
+  }
+
+  /// One draw reporting the winning bid (for distributed sub-races).
+  template <rng::Engine64 G>
+  [[nodiscard]] Scored draw_scored(G&& gen) {
+    const std::size_t k = f_.size();
+    double best = -std::numeric_limits<double>::infinity();
+    double gate = -std::numeric_limits<double>::infinity();
+    std::size_t best_pos = 0;
+    bool found = false;
+    for (std::size_t start = 0; start < k; start += kBlock) {
+      const std::size_t len = std::min(kBlock, k - start);
+      rng::fill_u01_open_closed(gen, std::span<double>(u_.data(), len));
+      // Branch-light bound pass: bid <= (u - 1) * (1/f) because
+      // log(u) <= u - 1 and 1/f > 0.  One FMA + max per item, vectorizable.
+      double block_max = -std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < len; ++j) {
+        const double ub = (u_[j] - 1.0) * inv_f_[start + j];
+        ub_[j] = ub;
+        if (ub > block_max) block_max = ub;
+      }
+      // Whole block provably loses?  Skip its logs.  (While !found we must
+      // visit every item so the first-install rule matches select_bidding.)
+      if (found && !(block_max > gate)) continue;
+      for (std::size_t j = 0; j < len; ++j) {
+        if (found && !(ub_[j] > gate)) continue;
+        // Exact bid, identical arithmetic to rng::log_bid: log(u)/f.
+        const double bid = std::log(u_[j]) / f_[start + j];
+        if (!found || bid > best) {
+          best = bid;
+          best_pos = start + j;
+          found = true;
+          // Slack the gate slightly below best: the 1e-12 relative margin
+          // strictly dominates the O(ulp) rounding of the FMA bound, so a
+          // skipped item's true bid is provably < best.
+          gate = best < 0.0 ? best * kGateRelax : best;
+        }
+      }
+    }
+    LRB_ASSERT(found, "positive total fitness implies at least one bid");
+    return Scored{best, active_[best_pos]};
+  }
+
+  /// Appends m draws to `out`; consumes exactly m * active_count() engine
+  /// steps — the same bill as m select_bidding() calls.
+  template <rng::Engine64 G>
+  void draw_into(std::size_t m, G&& gen, std::vector<std::size_t>& out) {
+    out.reserve(out.size() + m);
+    for (std::size_t t = 0; t < m; ++t) out.push_back(draw_one(gen));
+  }
+
+ private:
+  /// Uniform/bound scratch granularity: 2 x 2 KiB, resident in L1.
+  static constexpr std::size_t kBlock = 256;
+  /// Gate slack (see draw_scored); ~1e-12 relative, >> 4 ulp.
+  static constexpr double kGateRelax = 1.0 + 1e-12;
+
+  std::size_t size_ = 0;
+  std::vector<std::size_t> active_;    // original indices of positive items
+  std::vector<double> f_;              // fitness, packed over the active set
+  std::vector<double> inv_f_;          // cached reciprocals for the bound
+  std::vector<double> u_;              // per-block uniforms (scratch)
+  std::vector<double> ub_;             // per-block bid upper bounds (scratch)
+};
+
+/// m batched draws with replacement; exact roulette marginals, and the
+/// returned indices (plus the engine state afterwards) match m consecutive
+/// select_bidding() calls.
+template <rng::Engine64 G>
+[[nodiscard]] std::vector<std::size_t> draw_many(std::span<const double> fitness,
+                                                 std::size_t m, G&& gen) {
+  DrawManyKernel kernel(fitness);
+  std::vector<std::size_t> out;
+  kernel.draw_into(m, gen, out);
+  return out;
+}
+
+}  // namespace lrb::core

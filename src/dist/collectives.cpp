@@ -51,6 +51,33 @@ std::vector<ArgMax> allreduce_argmax(const Topology& topo,
       [](const ArgMax& a, const ArgMax& b) { return argmax_combine(a, b); });
 }
 
+std::vector<std::vector<ArgMax>> allreduce_argmax_batch(
+    const Topology& topo, std::span<const std::vector<ArgMax>> local,
+    CommLedger& ledger) {
+  const std::size_t p = topo.ranks();
+  LRB_REQUIRE(local.size() == p, InvalidArgumentError,
+              "collective input must have one entry per rank");
+  const std::size_t batch = local.empty() ? 0 : local.front().size();
+  LRB_REQUIRE(batch >= 1, InvalidArgumentError,
+              "batched argmax allreduce needs at least one pair per rank");
+  for (const std::vector<ArgMax>& pairs : local) {
+    LRB_REQUIRE(pairs.size() == batch, InvalidArgumentError,
+                "batched argmax allreduce needs equal batch sizes per rank");
+  }
+  // Element-wise argmax is still idempotent and commutative, so the whole
+  // batch rides the same dissemination schedule as a single pair — only the
+  // message payload grows, to 2B words.
+  return dissemination_allreduce<std::vector<ArgMax>>(
+      topo, local, /*words_per_message=*/2 * batch, ledger,
+      [](const std::vector<ArgMax>& a, const std::vector<ArgMax>& b) {
+        std::vector<ArgMax> combined(a.size());
+        for (std::size_t t = 0; t < a.size(); ++t) {
+          combined[t] = argmax_combine(a[t], b[t]);
+        }
+        return combined;
+      });
+}
+
 std::vector<double> allreduce_sum(const Topology& topo,
                                   std::span<const double> local,
                                   CommLedger& ledger) {

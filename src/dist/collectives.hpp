@@ -59,6 +59,18 @@ struct ArgMax {
                                                    std::span<const ArgMax> local,
                                                    CommLedger& ledger);
 
+/// Batched allreduce(argmax): B independent argmax races resolved by ONE
+/// dissemination exchange of B-pair (2B-word) messages.  local[r] holds rank
+/// r's B (value, index) pairs; afterwards every rank knows all B winners.
+///
+/// The round count is ceil(log2 P) for the whole batch — not per draw — so
+/// the latency bill of a selection draw amortizes to ceil(log2 P)/B rounds
+/// while the total words moved stay exactly B times the single-draw cost.
+/// This is the communication backbone of distributed_bidding_batch.
+[[nodiscard]] std::vector<std::vector<ArgMax>> allreduce_argmax_batch(
+    const Topology& topo, std::span<const std::vector<ArgMax>> local,
+    CommLedger& ledger);
+
 /// Allreduce(sum): hypercube exchange when P is a power of two
 /// (ceil(log2 P) rounds); otherwise fold-to-hypercube adds one round before
 /// and one after (floor(log2 P) + 2 <= ceil(log2 P) + 1 rounds).

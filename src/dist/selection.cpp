@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/draw_many.hpp"
 #include "rng/uniform.hpp"
 #include "rng/xoshiro256.hpp"
 
@@ -27,42 +28,63 @@ void require_positive_total(const ShardedFitness& shards) {
 
 DrawResult distributed_bidding(const ShardedFitness& shards,
                                const rng::SeedSequence& seeds) {
-  require_positive_total(shards);
-  const Topology& topo = shards.topology();
-  const std::size_t p = topo.ranks();
-
-  // Local sub-race on every rank: serial logarithmic bidding over the shard,
-  // decorrelated engine per rank, one uniform consumed per positive entry.
-  std::vector<ArgMax> local(p, ArgMax{kNoBid, kNoIndex});
-  for (std::size_t r = 0; r < p; ++r) {
-    rng::Xoshiro256StarStar gen(seeds.child(r));
-    const parallel::Range range = shards.shard_range(r);
-    const std::span<const double> shard = shards.shard(r);
-    ArgMax best{kNoBid, kNoIndex};
-    bool found = false;
-    for (std::size_t j = 0; j < shard.size(); ++j) {
-      if (shard[j] <= 0.0) continue;
-      const double bid = rng::log_bid(gen, shard[j]);
-      if (!found || bid > best.value) {
-        best = ArgMax{bid, static_cast<std::uint64_t>(range.begin + j)};
-        found = true;
-      }
-    }
-    local[r] = best;
-  }
-
-  // The entire communication bill: one argmax-allreduce of a 2-word pair.
-  DrawResult result;
-  const std::vector<ArgMax> winners = allreduce_argmax(topo, local, result.comm);
-  LRB_ASSERT(winners[0].value > kNoBid,
-             "positive total fitness implies at least one bid");
-  result.index = static_cast<std::size_t>(winners[0].index);
-  return result;
+  // The single draw is the B == 1 case of the batched path: the local
+  // sub-races consume the same uniforms in the same order, and a 1-pair
+  // batched allreduce charges exactly what allreduce_argmax does.
+  BatchDrawResult batch = distributed_bidding_batch(shards, 1, seeds);
+  return DrawResult{batch.indices.front(), batch.comm};
 }
 
 DrawResult distributed_bidding(const ShardedFitness& shards,
                                std::uint64_t seed) {
   return distributed_bidding(shards, rng::SeedSequence(seed));
+}
+
+BatchDrawResult distributed_bidding_batch(const ShardedFitness& shards,
+                                          std::size_t batch,
+                                          const rng::SeedSequence& seeds) {
+  require_positive_total(shards);
+  LRB_REQUIRE(batch >= 1, InvalidArgumentError,
+              "distributed_bidding_batch requires batch >= 1");
+  const Topology& topo = shards.topology();
+  const std::size_t p = topo.ranks();
+
+  // B local sub-races on every rank: one DrawManyKernel per shard (active
+  // set + reciprocals built once, validation hoisted out of the B draws),
+  // decorrelated engine per rank, exactly B uniforms consumed per positive
+  // local entry.  Ranks with nothing positive to bid ship kNoBid pairs.
+  std::vector<std::vector<ArgMax>> local(
+      p, std::vector<ArgMax>(batch, ArgMax{kNoBid, kNoIndex}));
+  for (std::size_t r = 0; r < p; ++r) {
+    if (!(shards.shard_sum(r) > 0.0)) continue;
+    rng::Xoshiro256StarStar gen(seeds.child(r));
+    const parallel::Range range = shards.shard_range(r);
+    core::DrawManyKernel kernel(shards.shard(r));
+    for (std::size_t t = 0; t < batch; ++t) {
+      const core::DrawManyKernel::Scored won = kernel.draw_scored(gen);
+      local[r][t] =
+          ArgMax{won.bid, static_cast<std::uint64_t>(range.begin + won.index)};
+    }
+  }
+
+  // The entire communication bill: ONE batched argmax-allreduce of B-pair
+  // messages — ceil(log2 P) rounds for the whole batch.
+  BatchDrawResult result;
+  const std::vector<std::vector<ArgMax>> winners =
+      allreduce_argmax_batch(topo, local, result.comm);
+  result.indices.resize(batch);
+  for (std::size_t t = 0; t < batch; ++t) {
+    LRB_ASSERT(winners[0][t].value > kNoBid,
+               "positive total fitness implies at least one bid per draw");
+    result.indices[t] = static_cast<std::size_t>(winners[0][t].index);
+  }
+  return result;
+}
+
+BatchDrawResult distributed_bidding_batch(const ShardedFitness& shards,
+                                          std::size_t batch,
+                                          std::uint64_t seed) {
+  return distributed_bidding_batch(shards, batch, rng::SeedSequence(seed));
 }
 
 DrawResult distributed_prefix_sum(const ShardedFitness& shards,

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "dist/collectives.hpp"
 #include "dist/sharding.hpp"
@@ -41,6 +42,15 @@ struct DrawResult {
   CommLedger comm;        ///< rounds/messages/words/critical path of the draw
 };
 
+/// A batch of B distributed selection draws that shared ONE batched
+/// argmax-allreduce.  indices[t] is draw t's winner, identical on every
+/// rank; `comm` is the bill of the whole batch — ceil(log2 P) rounds total,
+/// i.e. ceil(log2 P)/B rounds per draw.
+struct BatchDrawResult {
+  std::vector<std::size_t> indices;  ///< B selected global indices
+  CommLedger comm;                   ///< bill of the whole batch
+};
+
 /// Logarithmic random bidding over shards: local sub-race per rank, one
 /// argmax-allreduce.  Rank r draws its bids from engine seeds.child(r), so
 /// streams are decorrelated and a draw consumes exactly one uniform per
@@ -51,6 +61,24 @@ struct DrawResult {
 /// Convenience overload seeding the sequence from a bare master seed.
 [[nodiscard]] DrawResult distributed_bidding(const ShardedFitness& shards,
                                              std::uint64_t seed);
+
+/// B batched bidding draws (B >= 1), with replacement, amortizing the
+/// allreduce round latency: every rank runs B local sub-races over its
+/// shard (one core::DrawManyKernel, B filtered O(k_r) passes, consuming
+/// exactly B uniforms per positive local entry from engine seeds.child(r)),
+/// then all B (bid, index) winners ride ONE allreduce_argmax_batch of
+/// 2B-word messages.
+///
+/// Joint distribution: the B draws are independent, each exactly
+/// F_i-distributed (chi-square-validated in tests/dist/).  With batch == 1
+/// this reproduces distributed_bidding bit for bit — same winner, same
+/// ledger.
+[[nodiscard]] BatchDrawResult distributed_bidding_batch(
+    const ShardedFitness& shards, std::size_t batch,
+    const rng::SeedSequence& seeds);
+
+[[nodiscard]] BatchDrawResult distributed_bidding_batch(
+    const ShardedFitness& shards, std::size_t batch, std::uint64_t seed);
 
 /// Prefix-sum (inverse CDF) roulette over shards: scan + reduce + broadcast
 /// + local inverse-CDF + winner publication.  Same selection distribution,

@@ -31,6 +31,7 @@
 #include "core/batch.hpp"
 #include "core/cdf_selector.hpp"
 #include "core/deterministic.hpp"
+#include "core/draw_many.hpp"
 #include "core/fenwick_selector.hpp"
 #include "core/fitness.hpp"
 #include "core/logarithmic_bidding.hpp"

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <limits>
 #include <random>
+#include <span>
 
 namespace lrb::rng {
 
@@ -35,6 +36,16 @@ template <Engine64 G>
 template <Engine64 G>
 [[nodiscard]] double u01_open_closed(G&& gen) noexcept {
   return static_cast<double>((gen() >> 11) + 1) * 0x1.0p-53;
+}
+
+/// Bulk fill of (0,1] uniforms — one engine step per element, in element
+/// order, so a filled block consumes exactly out.size() draws and matches a
+/// loop of u01_open_closed() calls bit for bit.  The batched selection
+/// kernels (core/draw_many.hpp) fill a block at a time so the bid loop that
+/// follows is free of RNG calls and vectorizer-friendly.
+template <Engine64 G>
+void fill_u01_open_closed(G&& gen, std::span<double> out) noexcept {
+  for (double& x : out) x = u01_open_closed(gen);
 }
 
 /// Uniform on (0,1) — both endpoints excluded.

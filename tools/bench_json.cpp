@@ -1,0 +1,315 @@
+// bench_json — the repo's perf trajectory, as a machine-readable artifact.
+//
+// Runs the two sweeps the batched hot path is accountable for and emits one
+// JSON document (schema "lrb-bench-selection/v1", default BENCH_selection.json)
+// that future PRs can regress against:
+//
+//   * serial_draw_many — n in {1e4, 1e6} x {dense, sparse} x m: ns/draw of a
+//     loop of m select_bidding() calls vs one draw_many() batch vs one
+//     alias-table build + m O(1) draws, plus the break-even batch size the
+//     crossover heuristic in core/batch.hpp is calibrated from;
+//   * distributed_batch — P in 2..1024 x B: the CommLedger of ONE
+//     distributed_bidding_batch(B) against B independent prefix-sum draws —
+//     rounds per draw amortize as ceil(log2 P)/B while words stay B x the
+//     single-draw bill.
+//
+// The full run (default) also enforces the acceptance invariants — draw_many
+// >= 2x the serial loop at n = 1e6, m = 1024 dense; the batch ledger exactly
+// ceil(log2 P) rounds and cheaper than B x prefix-sum on every axis at every
+// P — and exits non-zero when a regression broke them.  --quick shrinks every
+// dimension to smoke-test scale (seconds; used by CTest and the bench-smoke
+// CI job) and skips only the timing-based assertions.
+//
+// Usage: bench_json [--quick] [--reps=3] [--out=BENCH_selection.json]
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "core/alias_table.hpp"
+#include "core/batch.hpp"
+#include "core/draw_many.hpp"
+#include "core/logarithmic_bidding.hpp"
+#include "dist/selection.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON emitter: enough structure for nested objects/arrays, nothing
+// the container doesn't already have.
+class Json {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array(const std::string& key) { item(); out_ += quote(key) + ":["; fresh_ = true; }
+  void end_array() { out_ += ']'; fresh_ = false; }
+  void begin_object(const std::string& key) { item(); out_ += quote(key) + ":{"; fresh_ = true; }
+
+  void field(const std::string& key, const std::string& value) {
+    item();
+    out_ += quote(key) + ":" + quote(value);
+  }
+  void field(const std::string& key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const std::string& key, double value) {
+    item();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    out_ += quote(key) + ":" + buf;
+  }
+  void field(const std::string& key, std::uint64_t value) {
+    item();
+    out_ += quote(key) + ":" + std::to_string(value);
+  }
+  void field(const std::string& key, bool value) {
+    item();
+    out_ += quote(key) + ":" + (value ? "true" : "false");
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  static std::string quote(const std::string& s) { return "\"" + s + "\""; }
+  void item() {
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+  }
+  void open(char c) {
+    item();
+    out_ += c;
+    fresh_ = true;
+  }
+  void close(char c) {
+    out_ += c;
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Serial sweep.
+
+std::vector<double> make_fitness(std::size_t n, bool dense) {
+  std::vector<double> fitness(n, 0.0);
+  for (std::size_t i = 0; i < n; i += dense ? 1 : 10) {
+    fitness[i] = 1.0 + static_cast<double>(i % 17);
+  }
+  return fitness;
+}
+
+volatile std::size_t g_sink = 0;  // keeps the timed loops honest
+
+/// Best-of-reps ns/draw of `m_timed` select_bidding() calls.
+double time_serial_loop(const std::vector<double>& fitness, std::size_t m_timed,
+                        int reps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    lrb::rng::Xoshiro256StarStar gen(1000 + static_cast<std::uint64_t>(rep));
+    const lrb::WallTimer timer;
+    std::size_t sink = 0;
+    for (std::size_t t = 0; t < m_timed; ++t) {
+      sink ^= lrb::core::select_bidding(fitness, gen);
+    }
+    best = std::min(best, timer.elapsed_seconds());
+    g_sink = g_sink ^ sink;
+  }
+  return best * 1e9 / static_cast<double>(m_timed);
+}
+
+/// Best-of-reps ns/draw of one draw_many() batch (kernel build included).
+double time_draw_many(const std::vector<double>& fitness, std::size_t m,
+                      int reps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    lrb::rng::Xoshiro256StarStar gen(2000 + static_cast<std::uint64_t>(rep));
+    const lrb::WallTimer timer;
+    const auto batch = lrb::core::draw_many(fitness, m, gen);
+    best = std::min(best, timer.elapsed_seconds());
+    g_sink = g_sink ^ batch.back();
+  }
+  return best * 1e9 / static_cast<double>(m);
+}
+
+/// Best-of-reps ns/draw of one alias build + m O(1) draws.
+double time_alias(const std::vector<double>& fitness, std::size_t m, int reps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    lrb::rng::Xoshiro256StarStar gen(3000 + static_cast<std::uint64_t>(rep));
+    const lrb::WallTimer timer;
+    const lrb::core::AliasTable table(fitness);
+    std::size_t sink = 0;
+    for (std::size_t t = 0; t < m; ++t) sink ^= table.select(gen);
+    best = std::min(best, timer.elapsed_seconds());
+    g_sink = g_sink ^ sink;
+  }
+  return best * 1e9 / static_cast<double>(m);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lrb::CliArgs args(argc, argv);
+  const bool quick = args.get_bool("quick", false);
+  const int reps = static_cast<int>(args.get_u64("reps", quick ? 1 : 3));
+  const std::string out_path =
+      args.get_string("out", "BENCH_selection.json", "LRB_BENCH_OUT");
+
+  const std::vector<std::size_t> ns =
+      quick ? std::vector<std::size_t>{1'000, 10'000}
+            : std::vector<std::size_t>{10'000, 1'000'000};
+  const std::vector<std::size_t> ms = quick ? std::vector<std::size_t>{4, 16}
+                                            : std::vector<std::size_t>{16, 128, 1024};
+  const std::size_t p_max = quick ? 64 : 1024;
+  const std::vector<std::size_t> batches =
+      quick ? std::vector<std::size_t>{1, 8}
+            : std::vector<std::size_t>{1, 16, 256};
+  const std::size_t dist_n = quick ? 2'000 : 100'000;
+
+  bool speedup_target_met = true;
+  bool batched_cheaper_everywhere = true;
+  bool rounds_exact_everywhere = true;
+  double headline_speedup = 0.0;
+
+  Json json;
+  json.begin_object();
+  json.field("schema", "lrb-bench-selection/v1");
+  json.field("generated_by", "tools/bench_json");
+  json.begin_object("config");
+  json.field("quick", quick);
+  json.field("reps", static_cast<std::uint64_t>(reps));
+  json.field("dist_n", dist_n);
+  json.end_object();
+
+  // -------------------------------------------------------------- serial --
+  std::printf("serial draw_many sweep (reps=%d)...\n", reps);
+  json.begin_array("serial_draw_many");
+  for (std::size_t n : ns) {
+    for (bool dense : {true, false}) {
+      const std::vector<double> fitness = make_fitness(n, dense);
+      for (std::size_t m : ms) {
+        // The serial baseline is O(n) per draw; timing all m draws of the
+        // big configs would take minutes for no extra signal, so it is
+        // timed over a capped draw count and reported per draw.
+        const std::size_t serial_timed = std::min<std::size_t>(m, quick ? 4 : 32);
+        const double serial_ns = time_serial_loop(fitness, serial_timed, reps);
+        const double many_ns = time_draw_many(fitness, m, reps);
+        const double alias_ns = time_alias(fitness, m, reps);
+        const double speedup = serial_ns / many_ns;
+
+        json.begin_object();
+        json.field("n", n);
+        json.field("density", dense ? "dense" : "sparse_10pct");
+        json.field("m", m);
+        json.field("serial_draws_timed", serial_timed);
+        json.field("serial_ns_per_draw", serial_ns);
+        json.field("draw_many_ns_per_draw", many_ns);
+        json.field("alias_ns_per_draw", alias_ns);
+        json.field("draw_many_speedup_vs_serial", speedup);
+        json.field("auto_strategy_picks",
+                   lrb::core::resolve_batch_strategy(fitness, m) ==
+                           lrb::core::BatchStrategy::kBidding
+                       ? "bidding"
+                       : "alias");
+        json.end_object();
+
+        std::printf("  n=%-8zu %-12s m=%-5zu serial=%9.1f ns/draw  "
+                    "draw_many=%9.1f ns/draw  alias=%9.1f ns/draw  "
+                    "speedup=%.2fx\n",
+                    n, dense ? "dense" : "sparse", m, serial_ns, many_ns,
+                    alias_ns, speedup);
+
+        if (!quick && n == 1'000'000 && dense && m == 1024) {
+          headline_speedup = speedup;
+          if (speedup < 2.0) speedup_target_met = false;
+        }
+      }
+    }
+  }
+  json.end_array();
+
+  // --------------------------------------------------------- distributed --
+  std::printf("distributed batch sweep (n=%zu, P=2..%zu)...\n", dist_n, p_max);
+  const std::vector<double> dist_fitness = make_fitness(dist_n, false);
+  json.begin_array("distributed_batch");
+  for (std::size_t p = 2; p <= p_max; p *= 2) {
+    const lrb::dist::ShardedFitness shards(dist_fitness, p);
+    const auto pfx = lrb::dist::distributed_prefix_sum(shards, 7);
+    const std::uint64_t lg = lrb::ceil_log2(p);
+    for (std::size_t b : batches) {
+      const auto batch = lrb::dist::distributed_bidding_batch(shards, b, 7);
+      const bool rounds_exact = batch.comm.rounds == lg;
+      const bool cheaper =
+          batch.comm.rounds < b * pfx.comm.rounds &&
+          batch.comm.messages < b * pfx.comm.messages &&
+          batch.comm.words < b * pfx.comm.words &&
+          batch.comm.critical_path_words < b * pfx.comm.critical_path_words;
+      rounds_exact_everywhere = rounds_exact_everywhere && rounds_exact;
+      batched_cheaper_everywhere = batched_cheaper_everywhere && cheaper;
+
+      json.begin_object();
+      json.field("p", p);
+      json.field("batch", b);
+      json.field("rounds", batch.comm.rounds);
+      json.field("rounds_per_draw",
+                 static_cast<double>(batch.comm.rounds) / static_cast<double>(b));
+      json.field("messages", batch.comm.messages);
+      json.field("words", batch.comm.words);
+      json.field("critical_path_words", batch.comm.critical_path_words);
+      json.field("prefix_rounds_times_b", b * pfx.comm.rounds);
+      json.field("prefix_messages_times_b", b * pfx.comm.messages);
+      json.field("prefix_words_times_b", b * pfx.comm.words);
+      json.field("prefix_critical_path_words_times_b",
+                 b * pfx.comm.critical_path_words);
+      json.field("rounds_equal_ceil_log2_p", rounds_exact);
+      json.field("cheaper_than_b_prefix_all_axes", cheaper);
+      json.end_object();
+    }
+  }
+  json.end_array();
+
+  // ---------------------------------------------------------- invariants --
+  json.begin_object("invariants");
+  if (!quick) {
+    json.field("draw_many_speedup_n1e6_m1024_dense", headline_speedup);
+    json.field("speedup_target_2x_met", speedup_target_met);
+  }
+  json.field("batch_rounds_equal_ceil_log2_p_everywhere",
+             rounds_exact_everywhere);
+  json.field("batched_cheaper_than_b_prefix_everywhere",
+             batched_cheaper_everywhere);
+  json.end_object();
+  json.end_object();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str() << "\n";
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!rounds_exact_everywhere || !batched_cheaper_everywhere) {
+    std::fprintf(stderr, "bench_json: batched ledger invariant VIOLATED\n");
+    return 1;
+  }
+  if (!quick && !speedup_target_met) {
+    std::fprintf(stderr,
+                 "bench_json: draw_many speedup target (>= 2x at n=1e6, "
+                 "m=1024 dense) MISSED: %.2fx\n",
+                 headline_speedup);
+    return 1;
+  }
+  return 0;
+}
