@@ -1,66 +1,34 @@
 #include "core/batch.hpp"
 
-#include <limits>
-
 #include "core/deterministic.hpp"
 
 namespace lrb::core {
 
-namespace {
-
-/// Winner of draw t over [begin, end) with counter-based bids.
-struct Best {
-  double bid = -std::numeric_limits<double>::infinity();
-  std::size_t index = 0;
-  bool found = false;
-};
-
-Best best_in_range(std::span<const double> fitness, std::uint64_t seed,
-                   std::uint64_t t, std::size_t begin, std::size_t end) {
-  Best best;
-  for (std::size_t i = begin; i < end; ++i) {
-    if (fitness[i] <= 0.0) continue;
-    const std::uint64_t raw = rng::philox_u64_at(seed, t, i);
-    const double u = static_cast<double>((raw >> 11) + 1) * 0x1.0p-53;
-    const double bid = rng::log_bid_from_uniform(u, fitness[i]);
-    if (!best.found || bid > best.bid) {
-      best.bid = bid;
-      best.index = i;
-      best.found = true;
-    }
-  }
-  return best;
-}
-
-}  // namespace
-
 std::vector<std::size_t> batch_select_deterministic(
     std::span<const double> fitness, std::size_t m, std::uint64_t seed) {
-  (void)checked_fitness_total(fitness);
+  // One kernel build (validation + active set + reciprocals) serves all m
+  // draws; the filtered pass inside is bit-identical to the unfiltered scan
+  // (see DeterministicDrawKernel), so this reroute changed the speed of the
+  // deterministic batch, not a single selected index.
+  const DeterministicDrawKernel kernel(fitness);
   std::vector<std::size_t> out;
   out.reserve(m);
-  for (std::uint64_t t = 0; t < m; ++t) {
-    const Best b = best_in_range(fitness, seed, t, 0, fitness.size());
-    LRB_ASSERT(b.found, "positive total fitness implies a winner");
-    out.push_back(b.index);
-  }
+  for (std::uint64_t t = 0; t < m; ++t) out.push_back(kernel.draw_one(seed, t));
   return out;
 }
 
 std::vector<std::size_t> batch_select_deterministic(
     parallel::ThreadPool& pool, std::span<const double> fitness, std::size_t m,
     std::uint64_t seed) {
-  (void)checked_fitness_total(fitness);
+  const DeterministicDrawKernel kernel(fitness);
   std::vector<std::size_t> out(m);
   if (m == 0) return out;
-  // Parallelize over draws (not items): each draw is independent and the
-  // per-draw winner is a pure function of (seed, t), so any partition of
-  // draws across lanes yields the identical batch.
+  // Parallelize over draws (not items): draw_scored is a const pure function
+  // of (seed, t), so any partition of draws across lanes yields the
+  // identical batch — one shared kernel, no per-lane state.
   pool.parallel_for(m, [&](parallel::Range r, std::size_t) {
     for (std::uint64_t t = r.begin; t < r.end; ++t) {
-      const Best b = best_in_range(fitness, seed, t, 0, fitness.size());
-      LRB_ASSERT(b.found, "positive total fitness implies a winner");
-      out[t] = b.index;
+      out[t] = kernel.draw_one(seed, t);
     }
   });
   return out;

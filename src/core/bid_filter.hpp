@@ -1,0 +1,46 @@
+// The record-breaking bid filter shared by the batched selection kernels.
+//
+// Both multi-draw kernels (DrawManyKernel in draw_many.hpp, stream uniforms;
+// DeterministicDrawKernel in deterministic.hpp, counter-based uniforms) skip
+// almost every std::log with the same bound: since log(u) <= u - 1 and
+// 1/f > 0, an item's bid log(u)/f is bounded above by (u - 1) * (1/f) — one
+// FMA — and the running maximum of an exponential race is beaten only
+// O(log k) expected times per draw.  The filter is exact only because of two
+// numerical guards, and THIS header is their single proof site:
+//
+//   * the gate is slackened by a relative margin (kGateRelax) that strictly
+//     dominates the O(ulp) rounding of the FMA bound, so a skipped item's
+//     true bid is provably below the current best — the filter can skip
+//     work, never change a winner;
+//   * 1/f rounds to +inf for subnormal f, which would poison the bound pass
+//     with NaN/-inf; clamping to DBL_MAX (<= the true 1/f) still
+//     over-approximates the bid — (u - 1) <= 0, so a SMALLER multiplier
+//     yields a bound closer to 0 — keeping every bound finite and the
+//     filter exact.
+//
+// Keeping the constant and both guards here means a future retuning cannot
+// silently leave the two kernels with different skip criteria.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace lrb::core::bid_filter {
+
+/// Gate slack: ~1e-12 relative, >> 4 ulp of the bound arithmetic.
+inline constexpr double kGateRelax = 1.0 + 1e-12;
+
+/// The gate for a current best bid (bids are <= 0): slightly below best, so
+/// the bound's rounding error can never skip a potential record-breaker.
+[[nodiscard]] constexpr double gate_below(double best) noexcept {
+  return best < 0.0 ? best * kGateRelax : best;
+}
+
+/// The cached multiplier for the bound pass: 1/f, clamped to DBL_MAX when
+/// the reciprocal overflows (subnormal f).
+[[nodiscard]] inline double bound_reciprocal(double fitness) noexcept {
+  const double inv = 1.0 / fitness;
+  return std::isfinite(inv) ? inv : std::numeric_limits<double>::max();
+}
+
+}  // namespace lrb::core::bid_filter

@@ -12,14 +12,16 @@
 // (~2x the throughput cost of the xoshiro path; measured in A3/A4 benches).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
 
 #include "common/math.hpp"
+#include "core/bid_filter.hpp"
 #include "parallel/thread_pool.hpp"
-#include "rng/philox.hpp"
+#include "rng/deterministic_bid.hpp"
 #include "rng/uniform.hpp"
 
 namespace lrb::core {
@@ -65,9 +67,7 @@ class DeterministicBidder {
   /// and distribution checks hit this directly).
   [[nodiscard]] double bid_for(std::uint64_t t, std::size_t item,
                                double fitness) const noexcept {
-    const std::uint64_t raw = rng::philox_u64_at(seed_, t, item);
-    const double u = static_cast<double>((raw >> 11) + 1) * 0x1.0p-53;  // (0,1]
-    return rng::log_bid_from_uniform(u, fitness);
+    return rng::deterministic_bid(seed_, t, item, fitness);
   }
 
  private:
@@ -95,6 +95,97 @@ class DeterministicBidder {
 
   std::uint64_t seed_;
   std::uint64_t draw_ = 0;
+};
+
+/// The deterministic twin of DrawManyKernel (core/draw_many.hpp): a filtered
+/// multi-draw pass over one fitness block with counter-based bids.
+///
+/// Construction hoists everything loop-invariant out of the draws exactly as
+/// the stream kernel does — validation once per batch, positive-fitness
+/// indices packed into an active set (a draw touches k items with no
+/// zero-test branch), reciprocals 1/f cached for the bound pass.  Each draw
+/// must still pay one Philox block per active item (the bid is DEFINED as a
+/// function of (seed, t, i), so no evaluation can be skipped), but the
+/// record-breaking filter log(u) <= u - 1 skips almost every std::log: the
+/// running maximum is beaten only O(log k) expected times per draw, and the
+/// shared numerical guards (core/bid_filter.hpp) guarantee the filter can
+/// skip work but never change a winner, so the result is bit-identical to
+/// the unfiltered scan DeterministicBidder performs (tested in
+/// tests/core/deterministic_test.cpp).
+///
+/// `index_base` shifts the item ids: a kernel over a shard [base, base + len)
+/// bids with the GLOBAL Philox stream (seed, t, base + j) and reports global
+/// indices, which is precisely what makes dist::distributed_bidding_
+/// deterministic partition-invariant — the bid of global item i is the same
+/// no matter which rank owns it.  draw_scored() is const and allocation-free,
+/// so one kernel serves any number of threads.
+class DeterministicDrawKernel {
+ public:
+  /// Winner of one draw with its actual bid — what a distributed rank ships
+  /// into an argmax-allreduce.
+  struct Scored {
+    double bid = -std::numeric_limits<double>::infinity();
+    std::uint64_t index = 0;  ///< global index (index_base + block position)
+  };
+
+  /// Validates once (finite, non-negative, positive total — the uniform
+  /// selector error surface) and packs the active set.  O(n) build; every
+  /// draw is O(k) with k = active_count().
+  explicit DeterministicDrawKernel(std::span<const double> fitness,
+                                   std::uint64_t index_base = 0) {
+    (void)checked_fitness_total(fitness);
+    active_.reserve(fitness.size());
+    for (std::size_t i = 0; i < fitness.size(); ++i) {
+      if (!(fitness[i] > 0.0)) continue;
+      active_.push_back(index_base + i);
+      f_.push_back(fitness[i]);
+      inv_f_.push_back(bid_filter::bound_reciprocal(fitness[i]));
+    }
+    size_ = fitness.size();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Number of positive-fitness items ("k" in the paper's Theorem 1).
+  [[nodiscard]] std::size_t active_count() const noexcept { return active_.size(); }
+
+  /// Winner of draw `t`: argmax over the active set of the counter-based
+  /// bids rng::deterministic_bid(seed, t, global index, f).  Pure function
+  /// of (seed, t, fitness block) — thread-safe, no state advanced.
+  [[nodiscard]] Scored draw_scored(std::uint64_t seed, std::uint64_t t) const {
+    const std::size_t k = f_.size();
+    double best = -std::numeric_limits<double>::infinity();
+    double gate = -std::numeric_limits<double>::infinity();
+    std::size_t best_pos = 0;
+    bool found = false;
+    for (std::size_t pos = 0; pos < k; ++pos) {
+      const double u = rng::deterministic_uniform(seed, t, active_[pos]);
+      // bid <= (u - 1) * (1/f) because log(u) <= u - 1 and 1/f > 0; one FMA
+      // decides whether the std::log is worth paying.  (While !found every
+      // item is visited, matching the unfiltered first-install rule.)
+      if (found && !((u - 1.0) * inv_f_[pos] > gate)) continue;
+      // Exact bid, identical arithmetic to rng::deterministic_bid: log(u)/f.
+      const double bid = std::log(u) / f_[pos];
+      if (!found || bid > best) {
+        best = bid;
+        best_pos = pos;
+        found = true;
+        gate = bid_filter::gate_below(best);
+      }
+    }
+    LRB_ASSERT(found, "positive total fitness implies at least one bid");
+    return Scored{best, active_[best_pos]};
+  }
+
+  /// Winner index only (serial/parallel batch selection).
+  [[nodiscard]] std::size_t draw_one(std::uint64_t seed, std::uint64_t t) const {
+    return static_cast<std::size_t>(draw_scored(seed, t).index);
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> active_;  // global indices of positive items
+  std::vector<double> f_;              // fitness, packed over the active set
+  std::vector<double> inv_f_;          // cached reciprocals for the bound
 };
 
 }  // namespace lrb::core

@@ -20,8 +20,9 @@
 // exponential-race bids is beaten only O(log k) expected times per draw, so
 // almost every item fails the cheap bound test and the expensive log runs
 // only for the rare candidates that might actually win.  The filter is
-// slackened by a relative margin (kGateRelax) that strictly dominates the
-// rounding error of the FMA bound, so it never discards a true winner:
+// slackened by a relative margin (core/bid_filter.hpp, the shared proof
+// site) that strictly dominates the rounding error of the FMA bound, so it
+// never discards a true winner:
 // the produced indices and the engine state match a loop of
 // select_bidding() calls exactly (same uniforms, in the same order, same
 // log(u)/f bid arithmetic, same first-maximum-wins tie rule).
@@ -38,6 +39,7 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "core/bid_filter.hpp"
 #include "rng/uniform.hpp"
 
 namespace lrb::core {
@@ -64,13 +66,7 @@ class DrawManyKernel {
     inv_f_.reserve(active_.size());
     for (std::size_t i : active_) {
       f_.push_back(fitness[i]);
-      // 1/f rounds to +inf for subnormal f, which would poison the bound
-      // pass with NaN/-inf; DBL_MAX <= 1/f still over-approximates the bid
-      // (the bound only needs any multiplier >= the true reciprocal), so
-      // clamping keeps every ub finite and the filter exact.
-      const double inv = 1.0 / fitness[i];
-      inv_f_.push_back(std::isfinite(inv) ? inv
-                                          : std::numeric_limits<double>::max());
+      inv_f_.push_back(bid_filter::bound_reciprocal(fitness[i]));
     }
     size_ = fitness.size();
     u_.resize(kBlock);
@@ -117,10 +113,7 @@ class DrawManyKernel {
           best = bid;
           best_pos = start + j;
           found = true;
-          // Slack the gate slightly below best: the 1e-12 relative margin
-          // strictly dominates the O(ulp) rounding of the FMA bound, so a
-          // skipped item's true bid is provably < best.
-          gate = best < 0.0 ? best * kGateRelax : best;
+          gate = bid_filter::gate_below(best);
         }
       }
     }
@@ -139,8 +132,6 @@ class DrawManyKernel {
  private:
   /// Uniform/bound scratch granularity: 2 x 2 KiB, resident in L1.
   static constexpr std::size_t kBlock = 256;
-  /// Gate slack (see draw_scored); ~1e-12 relative, >> 4 ulp.
-  static constexpr double kGateRelax = 1.0 + 1e-12;
 
   std::size_t size_ = 0;
   std::vector<std::size_t> active_;    // original indices of positive items

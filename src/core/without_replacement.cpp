@@ -5,8 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
-#include "rng/philox.hpp"
-#include "rng/uniform.hpp"
+#include "rng/deterministic_bid.hpp"
 
 namespace lrb::core {
 
@@ -25,9 +24,10 @@ bool better(const Entry& a, const Entry& b) {
 }
 
 double bid_at(std::uint64_t seed, std::size_t index, double fitness) {
-  const std::uint64_t raw = rng::philox_u64_at(seed, /*counter=*/0, index);
-  const double u = static_cast<double>((raw >> 11) + 1) * 0x1.0p-53;  // (0,1]
-  return rng::log_bid_from_uniform(u, fitness);
+  // One whole-population race (draw id 0); the top-m of its bids IS the
+  // without-replacement sample.  Shares the single bits -> (0,1] -> log(u)/f
+  // definition with every other deterministic path.
+  return rng::deterministic_bid(seed, /*t=*/0, index, fitness);
 }
 
 /// Keeps the m best entries of a range in `heap` (min-heap on `better`).

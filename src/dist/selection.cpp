@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/deterministic.hpp"
 #include "core/draw_many.hpp"
 #include "rng/uniform.hpp"
 #include "rng/xoshiro256.hpp"
@@ -22,6 +24,47 @@ constexpr std::uint64_t kNoIndex = std::numeric_limits<std::uint64_t>::max();
 void require_positive_total(const ShardedFitness& shards) {
   LRB_REQUIRE(shards.total() > 0.0, InvalidFitnessError,
               "distributed selection requires at least one positive fitness");
+}
+
+/// The scaffolding both bidding batches share — validation, the p x B local
+/// sub-race matrix (ranks with nothing positive ship kNoBid pairs), ONE
+/// batched argmax-allreduce, winner extraction.  `fill_rank(r, rows)` fills
+/// rank r's B (bid, global index) pairs; the bid SOURCE (stream engine vs
+/// counter-based kernel) is the only thing the two paths do differently,
+/// which is also why their ledgers are identical by construction.
+template <typename FillRank>
+BatchDrawResult bidding_batch_scaffold(const ShardedFitness& shards,
+                                       std::size_t batch, const char* name,
+                                       FillRank&& fill_rank) {
+  require_positive_total(shards);
+  LRB_REQUIRE(batch >= 1, InvalidArgumentError,
+              std::string(name) + " requires batch >= 1");
+  const Topology& topo = shards.topology();
+  const std::size_t p = topo.ranks();
+
+  std::vector<std::vector<ArgMax>> local(
+      p, std::vector<ArgMax>(batch, ArgMax{kNoBid, kNoIndex}));
+  for (std::size_t r = 0; r < p; ++r) {
+    if (!(shards.shard_sum(r) > 0.0)) continue;
+    fill_rank(r, local[r]);
+  }
+
+  // The entire communication bill: ONE batched argmax-allreduce of B-pair
+  // messages — ceil(log2 P) rounds for the whole batch.
+  BatchDrawResult result;
+  const std::vector<std::vector<ArgMax>> winners =
+      allreduce_argmax_batch(topo, local, result.comm);
+  result.indices.resize(batch);
+  for (std::size_t t = 0; t < batch; ++t) {
+    // A real bid can legitimately BE -inf (log(u)/f overflows for subnormal
+    // f), so "did anyone bid" is judged by the index: bidding ranks ship a
+    // genuine global index, silent ranks ship kNoIndex, and the argmax tie
+    // rule (smaller index wins) lets a real -inf bid beat the sentinel.
+    LRB_ASSERT(winners[0][t].index != kNoIndex,
+               "positive total fitness implies at least one bid per draw");
+    result.indices[t] = static_cast<std::size_t>(winners[0][t].index);
+  }
+  return result;
 }
 
 }  // namespace
@@ -43,48 +86,74 @@ DrawResult distributed_bidding(const ShardedFitness& shards,
 BatchDrawResult distributed_bidding_batch(const ShardedFitness& shards,
                                           std::size_t batch,
                                           const rng::SeedSequence& seeds) {
-  require_positive_total(shards);
-  LRB_REQUIRE(batch >= 1, InvalidArgumentError,
-              "distributed_bidding_batch requires batch >= 1");
-  const Topology& topo = shards.topology();
-  const std::size_t p = topo.ranks();
-
   // B local sub-races on every rank: one DrawManyKernel per shard (active
   // set + reciprocals built once, validation hoisted out of the B draws),
   // decorrelated engine per rank, exactly B uniforms consumed per positive
-  // local entry.  Ranks with nothing positive to bid ship kNoBid pairs.
-  std::vector<std::vector<ArgMax>> local(
-      p, std::vector<ArgMax>(batch, ArgMax{kNoBid, kNoIndex}));
-  for (std::size_t r = 0; r < p; ++r) {
-    if (!(shards.shard_sum(r) > 0.0)) continue;
-    rng::Xoshiro256StarStar gen(seeds.child(r));
-    const parallel::Range range = shards.shard_range(r);
-    core::DrawManyKernel kernel(shards.shard(r));
-    for (std::size_t t = 0; t < batch; ++t) {
-      const core::DrawManyKernel::Scored won = kernel.draw_scored(gen);
-      local[r][t] =
-          ArgMax{won.bid, static_cast<std::uint64_t>(range.begin + won.index)};
-    }
-  }
-
-  // The entire communication bill: ONE batched argmax-allreduce of B-pair
-  // messages — ceil(log2 P) rounds for the whole batch.
-  BatchDrawResult result;
-  const std::vector<std::vector<ArgMax>> winners =
-      allreduce_argmax_batch(topo, local, result.comm);
-  result.indices.resize(batch);
-  for (std::size_t t = 0; t < batch; ++t) {
-    LRB_ASSERT(winners[0][t].value > kNoBid,
-               "positive total fitness implies at least one bid per draw");
-    result.indices[t] = static_cast<std::size_t>(winners[0][t].index);
-  }
-  return result;
+  // local entry.
+  return bidding_batch_scaffold(
+      shards, batch, "distributed_bidding_batch",
+      [&](std::size_t r, std::vector<ArgMax>& rows) {
+        rng::Xoshiro256StarStar gen(seeds.child(r));
+        const parallel::Range range = shards.shard_range(r);
+        core::DrawManyKernel kernel(shards.shard(r));
+        for (std::size_t t = 0; t < rows.size(); ++t) {
+          const core::DrawManyKernel::Scored won = kernel.draw_scored(gen);
+          rows[t] = ArgMax{won.bid,
+                           static_cast<std::uint64_t>(range.begin + won.index)};
+        }
+      });
 }
 
 BatchDrawResult distributed_bidding_batch(const ShardedFitness& shards,
                                           std::size_t batch,
                                           std::uint64_t seed) {
   return distributed_bidding_batch(shards, batch, rng::SeedSequence(seed));
+}
+
+DrawResult distributed_bidding_deterministic(const ShardedFitness& shards,
+                                             std::uint64_t seed,
+                                             std::uint64_t draw_id) {
+  BatchDrawResult batch =
+      distributed_bidding_deterministic_batch(shards, 1, seed, draw_id);
+  return DrawResult{batch.indices.front(), batch.comm};
+}
+
+BatchDrawResult distributed_bidding_deterministic_batch(
+    const ShardedFitness& shards, std::size_t batch, std::uint64_t seed,
+    std::uint64_t first_draw_id) {
+  // B local sub-races per rank with COUNTER-BASED bids: the kernel bids
+  // rng::deterministic_bid(seed, draw id, GLOBAL index, f) over its shard,
+  // so rank r's sub-race winner is the max over r's slice of the very same
+  // global bid table serial DeterministicBidder scans, and the argmax over
+  // shards reconstructs the serial argmax exactly — for any P and any
+  // partition (skipped all-zero ranks are absent from the serial scan too).
+  // Identical collective to the stream batch: the deterministic contract
+  // costs extra Philox compute, zero extra ledger.
+  return bidding_batch_scaffold(
+      shards, batch, "distributed_bidding_deterministic_batch",
+      [&](std::size_t r, std::vector<ArgMax>& rows) {
+        const parallel::Range range = shards.shard_range(r);
+        const core::DeterministicDrawKernel kernel(shards.shard(r), range.begin);
+        for (std::size_t t = 0; t < rows.size(); ++t) {
+          const core::DeterministicDrawKernel::Scored won =
+              kernel.draw_scored(seed, first_draw_id + t);
+          rows[t] = ArgMax{won.bid, won.index};
+        }
+      });
+}
+
+DrawResult DeterministicDistributedBidder::select(const ShardedFitness& shards) {
+  DrawResult result = distributed_bidding_deterministic(shards, seed_, draw_);
+  draw_ += 1;
+  return result;
+}
+
+BatchDrawResult DeterministicDistributedBidder::select_batch(
+    const ShardedFitness& shards, std::size_t batch) {
+  BatchDrawResult result =
+      distributed_bidding_deterministic_batch(shards, batch, seed_, draw_);
+  draw_ += batch;
+  return result;
 }
 
 DrawResult distributed_prefix_sum(const ShardedFitness& shards,
@@ -114,18 +183,49 @@ DrawResult distributed_prefix_sum(const ShardedFitness& shards,
   const std::vector<double> thresholds =
       broadcast(topo, threshold, kRoot, result.comm);
 
-  // 4. Ownership test (rank-local): the owner is the non-empty rank whose
-  //    interval [offset, offset + sum) contains t.  The simulation resolves
-  //    it as "last non-empty rank with offset <= t", which is the same rank
-  //    in exact arithmetic and never gaps or double-claims under rounding.
+  // 4. Ownership test + local inverse-CDF walk (both rank-local; the walk
+  //    runs only on the owner).  Extracted into prefix_sum_locate so the
+  //    threshold edges — t = 0 with leading zero cells, t exactly on a shard
+  //    boundary — are pinned by direct tests.  Every rank holds the same
+  //    broadcast threshold; the simulation evaluates the step once.
+  const PrefixLocation located = prefix_sum_locate(shards, offsets, thresholds[0]);
+
+  // 5. Publish the winner: a final argmax-allreduce (2-word pairs) gives
+  //    every rank the selected index, matching what bidding delivers.
+  std::vector<ArgMax> claim(p, ArgMax{kNoBid, kNoIndex});
+  claim[located.owner] = ArgMax{1.0, static_cast<std::uint64_t>(located.index)};
+  const std::vector<ArgMax> winners = allreduce_argmax(topo, claim, result.comm);
+  result.index = static_cast<std::size_t>(winners[0].index);
+  return result;
+}
+
+PrefixLocation prefix_sum_locate(const ShardedFitness& shards,
+                                 std::span<const double> offsets,
+                                 double threshold) {
+  const std::size_t p = shards.ranks();
+  LRB_REQUIRE(offsets.size() == p, InvalidArgumentError,
+              "prefix_sum_locate: one offset per rank required");
+  LRB_REQUIRE(threshold >= 0.0, InvalidArgumentError,
+              "prefix_sum_locate: threshold must be non-negative");
+
+  // Ownership: the owner is the non-empty rank whose interval
+  // [offset, offset + sum) contains the threshold.  Resolved as "LAST
+  // non-empty rank with offset <= threshold", which is the same rank in
+  // exact arithmetic and never gaps or double-claims under rounding: empty
+  // and all-zero shards (sum exactly 0.0 — sharding.cpp snaps them) can
+  // never own, and a threshold exactly on a shard boundary belongs to the
+  // rank STARTING there, matching the half-open intervals.
   std::size_t owner = kNoIndex;
   for (std::size_t r = 0; r < p; ++r) {
-    if (sums[r] > 0.0 && offsets[r] <= thresholds[r]) owner = r;
+    if (shards.shard_sum(r) > 0.0 && offsets[r] <= threshold) owner = r;
   }
   LRB_ASSERT(owner != kNoIndex, "threshold below total implies an owner");
 
   // Local inverse CDF on the owner: walk the shard until the running sum
-  // crosses t.  Zero-fitness cells add nothing and can never be selected.
+  // crosses the threshold.  Zero-fitness cells add nothing and never update
+  // `selected`, so no edge — t = 0, boundary hits, rounding overshoot past
+  // the shard's own mass — can select a zero-fitness index; overshoot
+  // saturates at the owner's last positive cell.
   const parallel::Range range = shards.shard_range(owner);
   const std::span<const double> shard = shards.shard(owner);
   double cumulative = offsets[owner];
@@ -134,17 +234,10 @@ DrawResult distributed_prefix_sum(const ShardedFitness& shards,
     if (shard[j] <= 0.0) continue;
     cumulative += shard[j];
     selected = static_cast<std::uint64_t>(range.begin + j);
-    if (cumulative > thresholds[owner]) break;
+    if (cumulative > threshold) break;
   }
   LRB_ASSERT(selected != kNoIndex, "owning shard holds a positive entry");
-
-  // 5. Publish the winner: a final argmax-allreduce (2-word pairs) gives
-  //    every rank the selected index, matching what bidding delivers.
-  std::vector<ArgMax> claim(p, ArgMax{kNoBid, kNoIndex});
-  claim[owner] = ArgMax{1.0, selected};
-  const std::vector<ArgMax> winners = allreduce_argmax(topo, claim, result.comm);
-  result.index = static_cast<std::size_t>(winners[0].index);
-  return result;
+  return PrefixLocation{owner, static_cast<std::size_t>(selected)};
 }
 
 DrawResult distributed_prefix_sum(const ShardedFitness& shards,

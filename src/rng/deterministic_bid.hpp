@@ -1,0 +1,51 @@
+// The counter-based deterministic bid: one definition for every machine.
+//
+// A stream-based bid (rng::log_bid) draws its uniform from whichever engine
+// happens to reach the item, so the winner of draw t depends on how the items
+// were divided over lanes or ranks.  The deterministic bid instead derives
+// the uniform for (draw t, item i) from a Philox4x32-10 block keyed by
+// (seed, t, i) — a pure function, so the argmax over any partition of the
+// items is the same winner: thread-count-, rank-count- and
+// partition-invariant by construction.
+//
+// Serial (core::DeterministicBidder), shared-memory parallel
+// (batch_select_deterministic), and distributed
+// (dist::distributed_bidding_deterministic) all funnel through this header,
+// which is what makes their bit-equality a structural fact rather than a
+// coincidence of three copies agreeing.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/philox.hpp"
+#include "rng/uniform.hpp"
+
+namespace lrb::rng {
+
+/// The raw 64 bits item `item` consumes in deterministic draw `t` of stream
+/// `seed`: Philox block (seed | counter = t, stream = item), low word.
+[[nodiscard]] constexpr std::uint64_t deterministic_bits(std::uint64_t seed,
+                                                         std::uint64_t t,
+                                                         std::uint64_t item) noexcept {
+  return philox_u64_at(seed, t, item);
+}
+
+/// The (0,1] uniform behind item `item`'s bid in draw `t` — the same
+/// bits -> double mapping every stream engine uses.
+[[nodiscard]] constexpr double deterministic_uniform(std::uint64_t seed,
+                                                     std::uint64_t t,
+                                                     std::uint64_t item) noexcept {
+  return u01_open_closed_from_bits(deterministic_bits(seed, t, item));
+}
+
+/// The logarithmic bid item `item` places in draw `t`: log(u)/fitness with
+/// u = deterministic_uniform(seed, t, item).  Identical arithmetic to
+/// rng::log_bid, so the deterministic race has exactly the same selection
+/// distribution — only the provenance of the uniform differs.
+[[nodiscard]] inline double deterministic_bid(std::uint64_t seed, std::uint64_t t,
+                                              std::uint64_t item,
+                                              double fitness) noexcept {
+  return log_bid_from_uniform(deterministic_uniform(seed, t, item), fitness);
+}
+
+}  // namespace lrb::rng

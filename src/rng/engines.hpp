@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "rng/deterministic_bid.hpp"
 #include "rng/mt19937_64.hpp"
 #include "rng/philox.hpp"
 #include "rng/seed.hpp"

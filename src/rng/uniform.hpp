@@ -31,11 +31,24 @@ template <Engine64 G>
   return static_cast<double>(gen() >> 11) * 0x1.0p-53;
 }
 
+/// THE bits -> (0,1] mapping: ((bits >> 11) + 1) * 2^-53, 53-bit resolution.
+///
+/// This is the library's single definition of the open-closed uniform.  Both
+/// the stream engines (u01_open_closed below) and the counter-based
+/// deterministic paths (rng::deterministic_bid, core::DeterministicBidder,
+/// core::DeterministicDrawKernel, sample_without_replacement) consume raw
+/// 64-bit words through this one function, so the replay contract — same
+/// bits, same double, same winner — cannot drift between call sites.
+/// Pinned bit-for-bit in tests/rng/uniform_test.cpp.
+[[nodiscard]] constexpr double u01_open_closed_from_bits(std::uint64_t bits) noexcept {
+  return static_cast<double>((bits >> 11) + 1) * 0x1.0p-53;
+}
+
 /// Uniform on (0,1], 53-bit resolution.  log(u01_open_closed()) is always
 /// finite; use this for bid generation.
 template <Engine64 G>
 [[nodiscard]] double u01_open_closed(G&& gen) noexcept {
-  return static_cast<double>((gen() >> 11) + 1) * 0x1.0p-53;
+  return u01_open_closed_from_bits(gen());
 }
 
 /// Bulk fill of (0,1] uniforms — one engine step per element, in element

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../testing.hpp"
+#include "core/deterministic.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace lrb::core {
@@ -57,6 +58,18 @@ TEST(BatchSelectDeterministic, ParallelMatchesSerialAnyLaneCount) {
     parallel::ThreadPool pool(lanes);
     EXPECT_EQ(batch_select_deterministic(pool, fitness, 500, 11), serial)
         << "lanes=" << lanes;
+  }
+}
+
+TEST(BatchSelectDeterministic, IsTheDeterministicBidderStreamDrawForDraw) {
+  // The batch is DEFINED as draws 0..m-1 of the counter-based stream, so it
+  // must equal a DeterministicBidder consuming the same draw ids — the pin
+  // that lets distributed ranks reproduce a serial batch bit for bit.
+  const std::vector<double> fitness = {1, 0, 2, 5, 0, 3, 0.5};
+  const auto batch = batch_select_deterministic(fitness, 200, 21);
+  DeterministicBidder bidder(21);
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    ASSERT_EQ(batch[t], bidder.select(fitness)) << "draw=" << t;
   }
 }
 

@@ -82,5 +82,74 @@ TEST(DeterministicBidder, ThrowsOnInvalidFitness) {
                InvalidFitnessError);
 }
 
+// ---------------------------------------------------------------------------
+// DeterministicDrawKernel: the filtered batch pass must be bit-identical to
+// the unfiltered scan the bidder performs — the log(u) <= u - 1 gate may only
+// skip work, never change a winner.
+
+TEST(DeterministicDrawKernel, FilteredDrawMatchesBidderBitForBit) {
+  std::vector<double> fitness(257);
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    fitness[i] = (i % 5 == 0) ? 0.0 : 0.1 + static_cast<double>((i * 13) % 31);
+  }
+  for (std::uint64_t seed : {0ull, 7ull, 0xdeadbeefULL}) {
+    const DeterministicDrawKernel kernel(fitness);
+    DeterministicBidder bidder(seed);
+    for (std::uint64_t t = 0; t < 300; ++t) {
+      const DeterministicDrawKernel::Scored won = kernel.draw_scored(seed, t);
+      const std::size_t expected = bidder.select(fitness);
+      ASSERT_EQ(won.index, expected) << "seed=" << seed << " draw=" << t;
+      // The reported bid is the exact winning bid, not an upper bound.
+      EXPECT_EQ(won.bid, bidder.bid_for(t, expected, fitness[expected]));
+    }
+  }
+}
+
+TEST(DeterministicDrawKernel, ExtremeFitnessScalesStayExact) {
+  // Subnormal-adjacent and huge values exercise the reciprocal clamp in the
+  // bound pass; the filter must still never discard the true winner.
+  const std::vector<double> fitness = {1e-300, 0, 2e-300, 1e300, 0, 5e-324,
+                                       3.0,    0, 1e308};
+  const DeterministicDrawKernel kernel(fitness);
+  DeterministicBidder bidder(99);
+  for (std::uint64_t t = 0; t < 500; ++t) {
+    ASSERT_EQ(kernel.draw_one(99, t), bidder.select(fitness)) << "draw=" << t;
+  }
+}
+
+TEST(DeterministicDrawKernel, IndexBaseShiftsBidsToTheGlobalStream) {
+  // A kernel over a sub-block with index_base must place exactly the bids
+  // the whole-vector kernel places for those global indices — the property
+  // that makes the distributed path partition-invariant.
+  const std::vector<double> fitness = {2, 0, 3, 1, 4, 0, 5, 2.5};
+  const DeterministicDrawKernel whole(fitness);
+  constexpr std::uint64_t kSeed = 17;
+  for (std::size_t split : {1u, 3u, 5u}) {
+    const std::span<const double> all(fitness);
+    const DeterministicDrawKernel left(all.subspan(0, split), 0);
+    const DeterministicDrawKernel right(all.subspan(split), split);
+    for (std::uint64_t t = 0; t < 200; ++t) {
+      const auto l = left.draw_scored(kSeed, t);
+      const auto r = right.draw_scored(kSeed, t);
+      const auto w = whole.draw_scored(kSeed, t);
+      // The better of the two half-races IS the whole race, bit for bit.
+      const auto best = l.bid >= r.bid ? l : r;
+      ASSERT_EQ(best.index, w.index) << "split=" << split << " draw=" << t;
+      ASSERT_EQ(best.bid, w.bid) << "split=" << split << " draw=" << t;
+    }
+  }
+}
+
+TEST(DeterministicDrawKernel, CountsAndValidation) {
+  const std::vector<double> fitness = {0, 1, 0, 2, 0};
+  const DeterministicDrawKernel kernel(fitness);
+  EXPECT_EQ(kernel.size(), 5u);
+  EXPECT_EQ(kernel.active_count(), 2u);
+  EXPECT_THROW(DeterministicDrawKernel(std::vector<double>{}),
+               InvalidFitnessError);
+  EXPECT_THROW(DeterministicDrawKernel(std::vector<double>{0.0, 0.0}),
+               InvalidFitnessError);
+}
+
 }  // namespace
 }  // namespace lrb::core

@@ -1,0 +1,267 @@
+// distributed_bidding_deterministic(_batch): the P-invariant replay contract.
+//
+// Four contracts under test: (1) bit-equality — the winner of draw t is the
+// SAME index at every rank count P in 1..1024 and every (block) partition,
+// and equals serial core::DeterministicBidder draw for draw; (2) the
+// seek/replay cursor — any interleaving of single and batched selects that
+// covers the same draw ids returns the same winners, and seek() repositions
+// exactly; (3) distribution — the deterministic race is still exactly
+// F_i-distributed (chi-square); (4) ledger parity — the deterministic batch
+// charges the identical CommLedger as the stream-based batch at every (P, B):
+// the P-invariance costs Philox compute, not one extra word on the wire.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testing.hpp"
+#include "common/math.hpp"
+#include "core/deterministic.hpp"
+#include "dist/selection.hpp"
+#include "dist/sharding.hpp"
+
+namespace {
+
+using lrb::core::DeterministicBidder;
+using lrb::dist::BatchDrawResult;
+using lrb::dist::DeterministicDistributedBidder;
+using lrb::dist::DrawResult;
+using lrb::dist::ShardedFitness;
+
+/// A fitness vector with zeros sprinkled in and a length (97) coprime to
+/// every tested rank count, so block partitions are uneven everywhere and
+/// shard boundaries fall on both zero and positive cells.
+std::vector<double> uneven_fitness(std::size_t n = 97) {
+  std::vector<double> fitness(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 4 == 1) continue;  // zero cells
+    fitness[i] = 0.25 + static_cast<double>((i * 7) % 23);
+  }
+  return fitness;
+}
+
+const std::vector<std::size_t> kRankSweep = {1, 2, 3, 7, 8, 64, 1024};
+
+// (1) The tentpole: same seed, same winners at every rank count — and the
+// winners are exactly the serial DeterministicBidder stream.
+TEST(DeterministicDistributed, PSweepBitIdenticalToSerialBidder) {
+  const std::vector<double> fitness = uneven_fitness();
+  constexpr std::uint64_t kSeed = 0xfeedface12345678ULL;
+  constexpr std::uint64_t kDraws = 32;
+
+  DeterministicBidder serial(kSeed);
+  std::vector<std::size_t> expected;
+  for (std::uint64_t t = 0; t < kDraws; ++t) {
+    expected.push_back(serial.select(fitness));
+  }
+
+  for (std::size_t p : kRankSweep) {
+    const ShardedFitness shards(fitness, p);
+    for (std::uint64_t t = 0; t < kDraws; ++t) {
+      const DrawResult draw =
+          lrb::dist::distributed_bidding_deterministic(shards, kSeed, t);
+      ASSERT_EQ(draw.index, expected[t]) << "p=" << p << " draw=" << t;
+    }
+  }
+}
+
+TEST(DeterministicDistributed, BatchMatchesSinglesAndSerialAtEveryP) {
+  const std::vector<double> fitness = uneven_fitness();
+  constexpr std::uint64_t kSeed = 42;
+  constexpr std::uint64_t kFirst = 5;
+  constexpr std::size_t kBatch = 16;
+
+  DeterministicBidder serial(kSeed);
+  serial.seek(kFirst);
+  std::vector<std::size_t> expected;
+  for (std::size_t t = 0; t < kBatch; ++t) expected.push_back(serial.select(fitness));
+
+  for (std::size_t p : kRankSweep) {
+    const ShardedFitness shards(fitness, p);
+    const BatchDrawResult batch =
+        lrb::dist::distributed_bidding_deterministic_batch(shards, kBatch,
+                                                           kSeed, kFirst);
+    SCOPED_TRACE("p=" + std::to_string(p));
+    EXPECT_EQ(batch.indices, expected);
+  }
+}
+
+// Partition invariance beyond block splits: growing the vector with trailing
+// zeros moves every shard boundary, yet the winners among the original items
+// are unchanged — the bid of global item i does not care who owns it.
+TEST(DeterministicDistributed, TrailingZeroPaddingNeverChangesWinners) {
+  const std::vector<double> fitness = uneven_fitness(60);
+  std::vector<double> padded = fitness;
+  padded.resize(97, 0.0);  // same positive items, different partitions
+  for (std::size_t p : {3u, 7u, 8u}) {
+    const ShardedFitness a(fitness, p);
+    const ShardedFitness b(padded, p);
+    for (std::uint64_t t = 0; t < 16; ++t) {
+      EXPECT_EQ(lrb::dist::distributed_bidding_deterministic(a, 9, t).index,
+                lrb::dist::distributed_bidding_deterministic(b, 9, t).index)
+          << "p=" << p << " draw=" << t;
+    }
+  }
+}
+
+// (2) Cursor: sequential selects consume draw ids 0,1,2,..., a batched
+// select covers the same ids as single selects, and seek() replays.
+TEST(DeterministicDistributed, CursorSeekReplayRoundTrip) {
+  const std::vector<double> fitness = uneven_fitness();
+  const ShardedFitness shards(fitness, 7);
+
+  DeterministicDistributedBidder cursor(1234);
+  EXPECT_EQ(cursor.next_draw_id(), 0u);
+  std::vector<std::size_t> first;
+  for (int t = 0; t < 20; ++t) first.push_back(cursor.select(shards).index);
+  EXPECT_EQ(cursor.next_draw_id(), 20u);
+
+  // Full replay.
+  cursor.seek(0);
+  for (int t = 0; t < 20; ++t) {
+    EXPECT_EQ(cursor.select(shards).index, first[t]) << "draw=" << t;
+  }
+
+  // Batched replay covers the same draw ids as the singles did.
+  cursor.seek(4);
+  const BatchDrawResult mid = cursor.select_batch(shards, 12);
+  EXPECT_EQ(cursor.next_draw_id(), 16u);
+  for (std::size_t t = 0; t < 12; ++t) {
+    EXPECT_EQ(mid.indices[t], first[4 + t]) << "draw=" << (4 + t);
+  }
+
+  // Random-access seek.
+  cursor.seek(17);
+  EXPECT_EQ(cursor.select(shards).index, first[17]);
+}
+
+TEST(DeterministicDistributed, CursorMatchesSerialBidderAcrossClusterResize) {
+  // The checkpoint-restart story: run 10 draws on a 3-rank "cluster",
+  // checkpoint (seed, next_draw_id), resume on 64 ranks — the stream
+  // continues exactly where the serial bidder is.
+  const std::vector<double> fitness = uneven_fitness();
+  DeterministicBidder serial(777);
+  std::vector<std::size_t> expected;
+  for (int t = 0; t < 24; ++t) expected.push_back(serial.select(fitness));
+
+  DeterministicDistributedBidder cursor(777);
+  const ShardedFitness small(fitness, 3);
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_EQ(cursor.select(small).index, expected[t]) << "draw=" << t;
+  }
+  DeterministicDistributedBidder resumed(cursor.seed());
+  resumed.seek(cursor.next_draw_id());
+  const ShardedFitness big(fitness, 64);
+  const BatchDrawResult rest = resumed.select_batch(big, 14);
+  for (std::size_t t = 0; t < 14; ++t) {
+    EXPECT_EQ(rest.indices[t], expected[10 + t]) << "draw=" << (10 + t);
+  }
+}
+
+// (3) Chi-square exactness: the counter-based race is still exactly
+// F_i-distributed at every rank count.
+TEST(DeterministicDistributed, ChiSquareMatchesExactProbabilities) {
+  constexpr std::uint64_t kDraws = 30000;
+  const std::vector<double> fitness = {0, 1, 2, 3, 4};
+  for (std::size_t p : {2u, 5u, 8u}) {
+    const ShardedFitness shards(fitness, p);
+    DeterministicDistributedBidder cursor(0x5eedULL + p);
+    const auto hist = lrb::testing::collect(fitness.size(), kDraws, [&] {
+      return cursor.select(shards).index;
+    });
+    SCOPED_TRACE("p=" + std::to_string(p));
+    lrb::testing::expect_matches_roulette(hist, fitness);
+  }
+}
+
+TEST(DeterministicDistributed, CanonicalShapesMatchRouletteBatched) {
+  constexpr std::size_t kBatch = 8;
+  constexpr std::uint64_t kBatches = 2500;
+  for (const auto& shape : lrb::testing::canonical_fitness_cases()) {
+    const ShardedFitness shards(shape.fitness, 5);
+    DeterministicDistributedBidder cursor(lrb::rng::fnv1a64(shape.name));
+    lrb::stats::SelectionHistogram hist(shape.fitness.size());
+    for (std::uint64_t rep = 0; rep < kBatches; ++rep) {
+      for (std::size_t i : cursor.select_batch(shards, kBatch).indices) {
+        hist.record(i);
+      }
+    }
+    SCOPED_TRACE(shape.name);
+    lrb::testing::expect_matches_roulette(hist, shape.fitness);
+  }
+}
+
+// (4) Ledger parity: the deterministic batch rides the identical collective,
+// so its CommLedger equals the stream-based batch's bill at every (P, B) —
+// and therefore inherits every amortization bound already proven for it.
+TEST(DeterministicDistributed, LedgerParityWithStreamBatchAtEveryPB) {
+  const std::vector<double> fitness = uneven_fitness(4096);
+  for (std::size_t p : kRankSweep) {
+    const ShardedFitness shards(fitness, p);
+    for (std::size_t b : {1u, 4u, 16u, 64u}) {
+      const BatchDrawResult stream =
+          lrb::dist::distributed_bidding_batch(shards, b, 7);
+      const BatchDrawResult det =
+          lrb::dist::distributed_bidding_deterministic_batch(shards, b, 7);
+      SCOPED_TRACE("p=" + std::to_string(p) + " b=" + std::to_string(b));
+      EXPECT_EQ(det.comm, stream.comm);
+      EXPECT_EQ(det.comm.rounds, lrb::ceil_log2(p));
+      EXPECT_EQ(det.comm.messages, lrb::ceil_log2(p) * p);
+      EXPECT_EQ(det.comm.words, 2 * b * lrb::ceil_log2(p) * p);
+      EXPECT_EQ(det.comm.critical_path_words, 2 * b * lrb::ceil_log2(p));
+    }
+  }
+}
+
+TEST(DeterministicDistributed, AllSubnormalFitnessStillMatchesSerial) {
+  // log(u)/f overflows to -inf for subnormal f, so every REAL bid can equal
+  // the no-bid sentinel value; the winner extraction must judge "did anyone
+  // bid" by index, not bid value, and still reproduce the serial stream
+  // (serial first-install picks the first positive item when all bids tie).
+  const std::vector<double> fitness = {0.0, 5e-324, 0.0, 5e-324, 1e-320};
+  DeterministicBidder serial(3);
+  for (std::size_t p : {1u, 2u, 3u, 5u}) {
+    const ShardedFitness shards(fitness, p);
+    for (std::uint64_t t = 0; t < 10; ++t) {
+      serial.seek(t);
+      EXPECT_EQ(lrb::dist::distributed_bidding_deterministic(shards, 3, t).index,
+                serial.select(fitness))
+          << "p=" << p << " draw=" << t;
+    }
+    // The stream path rides the same scaffold: it must not trip the no-bid
+    // assert either, and must land on a positive cell.
+    const BatchDrawResult stream =
+        lrb::dist::distributed_bidding_batch(shards, 4, 3);
+    for (std::size_t i : stream.indices) {
+      EXPECT_GT(fitness[i], 0.0) << "p=" << p;
+    }
+  }
+}
+
+TEST(DeterministicDistributed, EmptyAndZeroShardsNeverBid) {
+  // More ranks than entries: trailing shards empty, zero cells inert; the
+  // single positive index wins every draw at every draw id.
+  const std::vector<double> fitness = {0, 0, 5, 0};
+  const ShardedFitness shards(fitness, 8);
+  for (std::uint64_t t = 0; t < 50; ++t) {
+    EXPECT_EQ(lrb::dist::distributed_bidding_deterministic(shards, 3, t).index,
+              2u);
+  }
+}
+
+TEST(DeterministicDistributed, RejectsBadArguments) {
+  const ShardedFitness shards(std::vector<double>{1.0, 2.0}, 2);
+  EXPECT_THROW(
+      (void)lrb::dist::distributed_bidding_deterministic_batch(shards, 0, 1),
+      lrb::InvalidArgumentError);
+  ShardedFitness zeroed(std::vector<double>{1.0, 2.0}, 2);
+  zeroed.update(0, 0.0);
+  zeroed.update(1, 0.0);
+  EXPECT_THROW((void)lrb::dist::distributed_bidding_deterministic(zeroed, 1),
+               lrb::InvalidFitnessError);
+  EXPECT_THROW((void)DeterministicDistributedBidder(5).select(zeroed),
+               lrb::InvalidFitnessError);
+}
+
+}  // namespace

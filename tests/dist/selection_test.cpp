@@ -3,6 +3,7 @@
 // bidding's ledger is strictly cheaper than the prefix-sum pipeline's.
 #include "dist/selection.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -17,6 +18,7 @@ namespace {
 
 using lrb::dist::CommLedger;
 using lrb::dist::DrawResult;
+using lrb::dist::prefix_sum_locate;
 using lrb::dist::ShardedFitness;
 
 TEST(ShardedFitness, PartitionCoversVectorAndCachesSums) {
@@ -211,6 +213,131 @@ TEST(CommunicationLedgers, BiddingIsCheaperThanPrefixSumForAllRankCounts) {
     EXPECT_LT(bid.comm.words, pfx.comm.words);
     EXPECT_LT(bid.comm.critical_path_words, pfx.comm.critical_path_words);
   }
+}
+
+// ---------------------------------------------------------------------------
+// prefix_sum_locate edge pinning: the RNG cannot be steered onto the exact
+// threshold edges through the public draw entry points, so the extracted
+// ownership + inverse-CDF step is driven directly.  The rule under test:
+// owner = LAST non-empty rank with offset <= threshold, and the walk only
+// ever lands on positive-fitness cells.
+
+/// Exclusive prefix of the shard sums — what exclusive_scan_sum delivers.
+std::vector<double> shard_offsets(const ShardedFitness& shards) {
+  std::vector<double> offsets(shards.ranks(), 0.0);
+  double running = 0.0;
+  for (std::size_t r = 0; r < shards.ranks(); ++r) {
+    offsets[r] = running;
+    running += shards.shard_sum(r);
+  }
+  return offsets;
+}
+
+TEST(PrefixSumLocate, ThresholdZeroWithLeadingZeroCellsPicksFirstPositive) {
+  // u = 0 => threshold exactly 0.  Ranks 0 ({0,0}) and the zero cells at the
+  // head of rank 1 must be skipped: the first POSITIVE cell owns [0, 2).
+  const std::vector<double> fitness = {0, 0, 0, 2, 0, 3};
+  const ShardedFitness shards(fitness, 3);  // {0,0} {0,2} {0,3}
+  ASSERT_EQ(shards.shard_sum(0), 0.0);
+  const auto located = prefix_sum_locate(shards, shard_offsets(shards), 0.0);
+  EXPECT_EQ(located.index, 3u);
+  EXPECT_EQ(located.owner, 1u);  // the all-zero rank 0 can never own
+}
+
+TEST(PrefixSumLocate, ThresholdZeroOnAllPositiveWheelPicksFirstCell) {
+  const std::vector<double> fitness = {1, 2, 3, 4};
+  for (std::size_t p : {1u, 2u, 4u}) {
+    const ShardedFitness shards(fitness, p);
+    EXPECT_EQ(prefix_sum_locate(shards, shard_offsets(shards), 0.0).index, 0u)
+        << "p=" << p;
+  }
+}
+
+TEST(PrefixSumLocate, ThresholdExactlyOnShardBoundaryBelongsToNextShard) {
+  // Shards {1,1} and {2,4}: the boundary t = 2.0 is the START of rank 1's
+  // half-open interval [2, 8), so rank 1 owns it and its first cell wins;
+  // one ulp below the boundary still belongs to rank 0's last cell.
+  const std::vector<double> fitness = {1, 1, 2, 4};
+  const ShardedFitness shards(fitness, 2);
+  const std::vector<double> offsets = shard_offsets(shards);
+  ASSERT_EQ(offsets[1], 2.0);
+  const auto at = prefix_sum_locate(shards, offsets, 2.0);
+  EXPECT_EQ(at.index, 2u);
+  EXPECT_EQ(at.owner, 1u);
+  const auto below = prefix_sum_locate(shards, offsets, std::nextafter(2.0, 0.0));
+  EXPECT_EQ(below.index, 1u);
+  EXPECT_EQ(below.owner, 0u);
+}
+
+TEST(PrefixSumLocate, BoundaryThresholdSkipsNextShardsLeadingZeros) {
+  // The boundary-owning shard starts with a zero cell: the walk must land on
+  // its first POSITIVE cell, never on the zero at the boundary itself.
+  const std::vector<double> fitness = {1, 1, 0, 4};
+  const ShardedFitness shards(fitness, 2);  // {1,1} {0,4}
+  const std::vector<double> offsets = shard_offsets(shards);
+  ASSERT_EQ(offsets[1], 2.0);
+  EXPECT_EQ(prefix_sum_locate(shards, offsets, 2.0).index, 3u);
+}
+
+TEST(PrefixSumLocate, BoundaryIntoEmptyAndZeroShardsFallsThrough) {
+  // Threshold exactly at the offset shared by a zero shard and the positive
+  // shard after it: the zero shard can never own ("last NON-EMPTY rank"),
+  // so ownership falls through to the later rank with the same offset.
+  const std::vector<double> fitness = {2, 0, 0, 5, 0, 0};
+  const ShardedFitness shards(fitness, 3);  // {2,0} {0,5} {0,0}
+  const std::vector<double> offsets = shard_offsets(shards);
+  ASSERT_EQ(offsets[1], 2.0);
+  ASSERT_EQ(offsets[2], 7.0);
+  EXPECT_EQ(prefix_sum_locate(shards, offsets, 2.0).index, 3u);
+  // Rounding overshoot: a threshold at/past the last positive mass (possible
+  // when u*total rounds up) saturates at the last positive cell, never a
+  // zero-fitness index and never out of range.
+  EXPECT_EQ(prefix_sum_locate(shards, offsets, std::nextafter(7.0, 0.0)).index, 3u);
+  EXPECT_EQ(prefix_sum_locate(shards, offsets, 7.0).index, 3u);
+}
+
+TEST(PrefixSumLocate, SinglePositiveEntryWheelAlwaysPicksIt) {
+  const std::vector<double> fitness = {0, 0, 7, 0, 0};
+  for (std::size_t p : {1u, 2u, 3u, 5u, 8u}) {
+    const ShardedFitness shards(fitness, p);
+    const std::vector<double> offsets = shard_offsets(shards);
+    for (double t : {0.0, 1e-12, 3.5, std::nextafter(7.0, 0.0)}) {
+      EXPECT_EQ(prefix_sum_locate(shards, offsets, t).index, 2u)
+          << "p=" << p << " threshold=" << t;
+    }
+  }
+}
+
+TEST(PrefixSumLocate, EveryThresholdInEveryCellIntervalIsOwnedByThatCell) {
+  // Sweep thresholds through the interior and both edges of every positive
+  // cell's interval: the located index must be exactly that cell.
+  const std::vector<double> fitness = {0.5, 0, 1.5, 2, 0, 0.25, 3};
+  for (std::size_t p : {1u, 2u, 3u, 7u}) {
+    const ShardedFitness shards(fitness, p);
+    const std::vector<double> offsets = shard_offsets(shards);
+    double lo = 0.0;
+    for (std::size_t i = 0; i < fitness.size(); ++i) {
+      if (fitness[i] <= 0.0) continue;
+      const double hi = lo + fitness[i];
+      for (double t : {lo, (lo + hi) / 2, std::nextafter(hi, lo)}) {
+        const auto located = prefix_sum_locate(shards, offsets, t);
+        EXPECT_EQ(located.index, i) << "p=" << p << " threshold=" << t;
+        EXPECT_EQ(located.owner, shards.owner(i))
+            << "p=" << p << " threshold=" << t;
+      }
+      lo = hi;
+    }
+  }
+}
+
+TEST(PrefixSumLocate, RejectsBadArguments) {
+  const ShardedFitness shards(std::vector<double>{1.0, 2.0}, 2);
+  const std::vector<double> offsets = shard_offsets(shards);
+  EXPECT_THROW((void)prefix_sum_locate(shards, offsets, -0.5),
+               lrb::InvalidArgumentError);
+  EXPECT_THROW(
+      (void)prefix_sum_locate(shards, std::vector<double>{0.0}, 0.5),
+      lrb::InvalidArgumentError);
 }
 
 // Odd (non-power-of-two) rank counts keep both the exactness and the

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "rng/deterministic_bid.hpp"
+#include "rng/uniform.hpp"
+
 namespace lrb::rng {
 namespace {
 
@@ -81,6 +84,33 @@ TEST(Philox, DiscardMatchesManualAdvance) {
   for (int i = 0; i < 101; ++i) (void)a();
   b.discard(101);
   EXPECT_EQ(a(), b());
+}
+
+// rng::deterministic_bid is definitionally the composition of the three
+// pieces it extracted — Philox bits, the shared bits -> (0,1] mapping, and
+// log(u)/f — so the one shared definition cannot drift from its parts.
+TEST(DeterministicBid, IsExactlyTheComposedDefinition) {
+  for (std::uint64_t seed : {0ull, 42ull, ~0ull}) {
+    for (std::uint64_t t : {0ull, 1ull, 1000ull}) {
+      for (std::uint64_t item : {0ull, 7ull, 123456789ull}) {
+        const std::uint64_t bits = philox_u64_at(seed, t, item);
+        EXPECT_EQ(deterministic_bits(seed, t, item), bits);
+        const double u = u01_open_closed_from_bits(bits);
+        EXPECT_EQ(deterministic_uniform(seed, t, item), u);
+        EXPECT_EQ(deterministic_bid(seed, t, item, 2.5),
+                  log_bid_from_uniform(u, 2.5));
+        EXPECT_LE(deterministic_bid(seed, t, item, 2.5), 0.0);
+      }
+    }
+  }
+}
+
+TEST(DeterministicBid, PureAndSensitiveToEveryKeyComponent) {
+  const double base = deterministic_bid(1, 2, 3, 1.0);
+  EXPECT_EQ(deterministic_bid(1, 2, 3, 1.0), base);  // pure
+  EXPECT_NE(deterministic_bid(2, 2, 3, 1.0), base);  // seed matters
+  EXPECT_NE(deterministic_bid(1, 3, 3, 1.0), base);  // draw id matters
+  EXPECT_NE(deterministic_bid(1, 2, 4, 1.0), base);  // item matters
 }
 
 }  // namespace

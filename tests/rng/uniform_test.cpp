@@ -35,6 +35,34 @@ TEST(Uniform, ClosedOpenRange) {
   EXPECT_GT(u01_closed_open(hi), 1.0 - 1e-15);
 }
 
+// The bits -> (0,1] mapping is THE replay contract: every deterministic
+// path (serial, thread-parallel, distributed) derives its uniforms through
+// u01_open_closed_from_bits, so the exact doubles are pinned here — any
+// drift in the ((bits >> 11) + 1) * 2^-53 formula silently breaks
+// cross-version replay even if the distribution stays perfect.
+TEST(Uniform, FromBitsPinsTheExactMapping) {
+  // All-zero bits: the smallest representable draw, exactly 2^-53.
+  EXPECT_EQ(u01_open_closed_from_bits(0ull), 0x1.0p-53);
+  // 2^53 - 1: the top 53 bits are 2^42 - 1, mapping to exactly 2^-11.
+  EXPECT_EQ(u01_open_closed_from_bits((1ull << 53) - 1), 0x1.0p-11);
+  // All-one bits: the largest draw, exactly 1.0 (closed upper end).
+  EXPECT_EQ(u01_open_closed_from_bits(~0ull), 1.0);
+  // The low 11 bits are discarded: any garbage there maps identically.
+  EXPECT_EQ(u01_open_closed_from_bits(0x7FFull), u01_open_closed_from_bits(0ull));
+  // One step in the kept bits is one step of 2^-53.
+  EXPECT_EQ(u01_open_closed_from_bits(1ull << 11),
+            0x1.0p-53 + 0x1.0p-53);
+}
+
+TEST(Uniform, EngineOpenClosedRoutesThroughFromBits) {
+  // The engine path must consume exactly one 64-bit word and produce the
+  // same double the bits mapping does — no second definition to drift.
+  for (std::uint64_t bits : {0ull, 1ull << 11, 0x123456789abcdefull, ~0ull}) {
+    ScriptedEngine gen({bits});
+    EXPECT_EQ(u01_open_closed(gen), u01_open_closed_from_bits(bits));
+  }
+}
+
 TEST(Uniform, OpenClosedRange) {
   ScriptedEngine lo({0ull}), hi({~0ull});
   const double min_val = u01_open_closed(lo);

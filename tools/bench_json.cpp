@@ -1,24 +1,37 @@
 // bench_json — the repo's perf trajectory, as a machine-readable artifact.
 //
-// Runs the two sweeps the batched hot path is accountable for and emits one
-// JSON document (schema "lrb-bench-selection/v1", default BENCH_selection.json)
+// Runs the sweeps the batched hot path is accountable for and emits one JSON
+// document (schema "lrb-bench-selection/v2", default BENCH_selection.json)
 // that future PRs can regress against:
 //
 //   * serial_draw_many — n in {1e4, 1e6} x {dense, sparse} x m: ns/draw of a
 //     loop of m select_bidding() calls vs one draw_many() batch vs one
-//     alias-table build + m O(1) draws, plus the break-even batch size the
-//     crossover heuristic in core/batch.hpp is calibrated from;
+//     alias-table build + m O(1) draws vs the counter-based deterministic
+//     batch (batch_select_deterministic — the `deterministic` selector
+//     column, measuring the Philox premium over the xoshiro stream path),
+//     plus the break-even batch size the crossover heuristic in
+//     core/batch.hpp is calibrated from;
 //   * distributed_batch — P in 2..1024 x B: the CommLedger of ONE
 //     distributed_bidding_batch(B) against B independent prefix-sum draws —
 //     rounds per draw amortize as ceil(log2 P)/B while words stay B x the
-//     single-draw bill.
+//     single-draw bill — plus the deterministic batch's ledger, which must
+//     EQUAL the stream batch's (P-invariance costs compute, not words);
+//   * deterministic_parity — the P-invariance contract executed end to end:
+//     distributed_bidding_deterministic_batch winners at every P in the
+//     sweep compared bit-for-bit against serial core::DeterministicBidder.
 //
 // The full run (default) also enforces the acceptance invariants — draw_many
 // >= 2x the serial loop at n = 1e6, m = 1024 dense; the batch ledger exactly
 // ceil(log2 P) rounds and cheaper than B x prefix-sum on every axis at every
 // P — and exits non-zero when a regression broke them.  --quick shrinks every
 // dimension to smoke-test scale (seconds; used by CTest and the bench-smoke
-// CI job) and skips only the timing-based assertions.
+// CI job) and skips only the timing-based assertions: the ledger and
+// deterministic-parity invariants are exact and enforced in BOTH modes.
+//
+// Schema history: v2 adds serial columns deterministic_ns_per_draw /
+// deterministic_draws_timed / philox_cost_vs_draw_many, distributed columns
+// det_* + deterministic_ledger_equal_stream, and the deterministic_parity
+// array + invariants — purely additive over v1.
 //
 // Usage: bench_json [--quick] [--reps=3] [--out=BENCH_selection.json]
 #include <algorithm>
@@ -29,12 +42,14 @@
 #include <iostream>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/timer.hpp"
 #include "core/alias_table.hpp"
 #include "core/batch.hpp"
+#include "core/deterministic.hpp"
 #include "core/draw_many.hpp"
 #include "core/logarithmic_bidding.hpp"
 #include "dist/selection.hpp"
@@ -156,6 +171,24 @@ double time_alias(const std::vector<double>& fitness, std::size_t m, int reps) {
   return best * 1e9 / static_cast<double>(m);
 }
 
+/// Best-of-reps ns/draw of the counter-based deterministic batch
+/// (batch_select_deterministic) over `m_timed` draws.  Like the serial
+/// baseline it is O(k) Philox blocks per draw with no per-batch speed-up
+/// from m beyond the hoisted build, so it is timed over a capped draw count
+/// and reported per draw.
+double time_deterministic(const std::vector<double>& fitness,
+                          std::size_t m_timed, int reps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const lrb::WallTimer timer;
+    const auto batch = lrb::core::batch_select_deterministic(
+        fitness, m_timed, 4000 + static_cast<std::uint64_t>(rep));
+    best = std::min(best, timer.elapsed_seconds());
+    g_sink = g_sink ^ batch.back();
+  }
+  return best * 1e9 / static_cast<double>(m_timed);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,11 +212,14 @@ int main(int argc, char** argv) {
   bool speedup_target_met = true;
   bool batched_cheaper_everywhere = true;
   bool rounds_exact_everywhere = true;
+  bool det_ledger_parity_everywhere = true;
+  bool det_p_invariant_everywhere = true;
   double headline_speedup = 0.0;
+  double headline_philox_cost = 0.0;
 
   Json json;
   json.begin_object();
-  json.field("schema", "lrb-bench-selection/v1");
+  json.field("schema", "lrb-bench-selection/v2");
   json.field("generated_by", "tools/bench_json");
   json.begin_object("config");
   json.field("quick", quick);
@@ -197,15 +233,32 @@ int main(int argc, char** argv) {
   for (std::size_t n : ns) {
     for (bool dense : {true, false}) {
       const std::vector<double> fitness = make_fitness(n, dense);
+      // The serial and deterministic baselines are O(n)/O(k) per draw with
+      // no per-batch amortization beyond the build, so they are timed over a
+      // capped draw count and reported per draw — and since that cap, not m,
+      // fixes the measurement, each distinct cap is timed once per fitness
+      // shape rather than redone for every m.
+      std::vector<std::pair<std::size_t, std::pair<double, double>>> baseline;
       for (std::size_t m : ms) {
-        // The serial baseline is O(n) per draw; timing all m draws of the
-        // big configs would take minutes for no extra signal, so it is
-        // timed over a capped draw count and reported per draw.
         const std::size_t serial_timed = std::min<std::size_t>(m, quick ? 4 : 32);
-        const double serial_ns = time_serial_loop(fitness, serial_timed, reps);
+        auto cached = std::find_if(baseline.begin(), baseline.end(),
+                                   [&](const auto& e) { return e.first == serial_timed; });
+        if (cached == baseline.end()) {
+          cached = baseline.insert(
+              baseline.end(),
+              {serial_timed,
+               {time_serial_loop(fitness, serial_timed, reps),
+                time_deterministic(fitness, serial_timed, reps)}});
+        }
+        const double serial_ns = cached->second.first;
         const double many_ns = time_draw_many(fitness, m, reps);
         const double alias_ns = time_alias(fitness, m, reps);
+        // The deterministic column: O(k) Philox blocks per draw, capped like
+        // the serial baseline.  philox_cost_vs_draw_many is the price of the
+        // P-invariant replay contract relative to the stream hot path.
+        const double det_ns = cached->second.second;
         const double speedup = serial_ns / many_ns;
+        const double philox_cost = det_ns / many_ns;
 
         json.begin_object();
         json.field("n", n);
@@ -215,6 +268,9 @@ int main(int argc, char** argv) {
         json.field("serial_ns_per_draw", serial_ns);
         json.field("draw_many_ns_per_draw", many_ns);
         json.field("alias_ns_per_draw", alias_ns);
+        json.field("deterministic_draws_timed", serial_timed);
+        json.field("deterministic_ns_per_draw", det_ns);
+        json.field("philox_cost_vs_draw_many", philox_cost);
         json.field("draw_many_speedup_vs_serial", speedup);
         json.field("auto_strategy_picks",
                    lrb::core::resolve_batch_strategy(fitness, m) ==
@@ -225,12 +281,14 @@ int main(int argc, char** argv) {
 
         std::printf("  n=%-8zu %-12s m=%-5zu serial=%9.1f ns/draw  "
                     "draw_many=%9.1f ns/draw  alias=%9.1f ns/draw  "
-                    "speedup=%.2fx\n",
+                    "deterministic=%9.1f ns/draw  speedup=%.2fx  "
+                    "philox_cost=%.2fx\n",
                     n, dense ? "dense" : "sparse", m, serial_ns, many_ns,
-                    alias_ns, speedup);
+                    alias_ns, det_ns, speedup, philox_cost);
 
         if (!quick && n == 1'000'000 && dense && m == 1024) {
           headline_speedup = speedup;
+          headline_philox_cost = philox_cost;
           if (speedup < 2.0) speedup_target_met = false;
         }
       }
@@ -248,14 +306,20 @@ int main(int argc, char** argv) {
     const std::uint64_t lg = lrb::ceil_log2(p);
     for (std::size_t b : batches) {
       const auto batch = lrb::dist::distributed_bidding_batch(shards, b, 7);
+      const auto det =
+          lrb::dist::distributed_bidding_deterministic_batch(shards, b, 7);
       const bool rounds_exact = batch.comm.rounds == lg;
       const bool cheaper =
           batch.comm.rounds < b * pfx.comm.rounds &&
           batch.comm.messages < b * pfx.comm.messages &&
           batch.comm.words < b * pfx.comm.words &&
           batch.comm.critical_path_words < b * pfx.comm.critical_path_words;
+      // The deterministic batch rides the identical collective: its ledger
+      // must EQUAL the stream batch's on every axis, at every (P, B).
+      const bool det_parity = det.comm == batch.comm;
       rounds_exact_everywhere = rounds_exact_everywhere && rounds_exact;
       batched_cheaper_everywhere = batched_cheaper_everywhere && cheaper;
+      det_ledger_parity_everywhere = det_ledger_parity_everywhere && det_parity;
 
       json.begin_object();
       json.field("p", p);
@@ -271,23 +335,71 @@ int main(int argc, char** argv) {
       json.field("prefix_words_times_b", b * pfx.comm.words);
       json.field("prefix_critical_path_words_times_b",
                  b * pfx.comm.critical_path_words);
+      json.field("det_rounds", det.comm.rounds);
+      json.field("det_messages", det.comm.messages);
+      json.field("det_words", det.comm.words);
+      json.field("det_critical_path_words", det.comm.critical_path_words);
       json.field("rounds_equal_ceil_log2_p", rounds_exact);
       json.field("cheaper_than_b_prefix_all_axes", cheaper);
+      json.field("deterministic_ledger_equal_stream", det_parity);
       json.end_object();
     }
   }
   json.end_array();
+
+  // -------------------------------------------------- deterministic parity --
+  // The P-invariance contract, executed end to end: the same (seed, draw id)
+  // must crown the same winner at every rank count, and that winner is the
+  // serial core::DeterministicBidder's.  Exact, cheap, enforced in --quick
+  // too — this is the parity suite of the bench-smoke CI job.
+  {
+    const std::size_t parity_n = quick ? 500 : 10'000;
+    const std::size_t parity_draws = quick ? 8 : 64;
+    constexpr std::uint64_t kParitySeed = 0xc0ffee;
+    const std::vector<double> parity_fitness = make_fitness(parity_n, false);
+    std::printf("deterministic parity sweep (n=%zu, %zu draws/P)...\n",
+                parity_n, parity_draws);
+
+    lrb::core::DeterministicBidder serial(kParitySeed);
+    std::vector<std::size_t> expected;
+    for (std::size_t t = 0; t < parity_draws; ++t) {
+      expected.push_back(serial.select(parity_fitness));
+    }
+
+    json.begin_array("deterministic_parity");
+    for (std::size_t p : {1u, 2u, 3u, 7u, 8u, 64u, 1024u}) {
+      const lrb::dist::ShardedFitness shards(parity_fitness, p);
+      const auto det = lrb::dist::distributed_bidding_deterministic_batch(
+          shards, parity_draws, kParitySeed);
+      bool identical = det.indices.size() == expected.size();
+      for (std::size_t t = 0; identical && t < parity_draws; ++t) {
+        identical = det.indices[t] == expected[t];
+      }
+      det_p_invariant_everywhere = det_p_invariant_everywhere && identical;
+      json.begin_object();
+      json.field("p", static_cast<std::uint64_t>(p));
+      json.field("draws", static_cast<std::uint64_t>(parity_draws));
+      json.field("bit_identical_to_serial", identical);
+      json.end_object();
+    }
+    json.end_array();
+  }
 
   // ---------------------------------------------------------- invariants --
   json.begin_object("invariants");
   if (!quick) {
     json.field("draw_many_speedup_n1e6_m1024_dense", headline_speedup);
     json.field("speedup_target_2x_met", speedup_target_met);
+    json.field("philox_cost_n1e6_m1024_dense", headline_philox_cost);
   }
   json.field("batch_rounds_equal_ceil_log2_p_everywhere",
              rounds_exact_everywhere);
   json.field("batched_cheaper_than_b_prefix_everywhere",
              batched_cheaper_everywhere);
+  json.field("deterministic_ledger_parity_everywhere",
+             det_ledger_parity_everywhere);
+  json.field("deterministic_p_invariant_everywhere",
+             det_p_invariant_everywhere);
   json.end_object();
   json.end_object();
 
@@ -302,6 +414,18 @@ int main(int argc, char** argv) {
 
   if (!rounds_exact_everywhere || !batched_cheaper_everywhere) {
     std::fprintf(stderr, "bench_json: batched ledger invariant VIOLATED\n");
+    return 1;
+  }
+  if (!det_ledger_parity_everywhere) {
+    std::fprintf(stderr,
+                 "bench_json: deterministic ledger parity VIOLATED (the "
+                 "deterministic batch must bill exactly the stream batch)\n");
+    return 1;
+  }
+  if (!det_p_invariant_everywhere) {
+    std::fprintf(stderr,
+                 "bench_json: deterministic P-invariance VIOLATED (same seed "
+                 "must crown the serial winners at every rank count)\n");
     return 1;
   }
   if (!quick && !speedup_target_met) {
