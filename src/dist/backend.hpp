@@ -1,0 +1,129 @@
+// Pluggable communication backends: who actually moves the words.
+//
+// Every collective in dist/collectives.hpp is *specified* by the machine
+// model in dist/topology.hpp — a round schedule, a combine rule, and a
+// CommLedger bill.  The CommBackend interface separates that specification
+// from its execution:
+//
+//   * SimulatedBackend — one process embodies all P ranks and executes the
+//     round-by-round dataflow in memory.  This is the seed behavior, bit for
+//     bit: a default-constructed Topology routes here, so existing callers
+//     pay nothing and change nothing.
+//
+//   * MpiBackend (dist/mpi_backend.hpp, compiled only under LRB_WITH_MPI) —
+//     one process per rank, the same round schedules executed as real
+//     MPI_Sendrecv exchanges over MPI_COMM_WORLD.  Because both backends run
+//     the identical per-round combines in the identical order, their results
+//     are bit-for-bit equal and their ledgers are equal by construction —
+//     tools/mpi_parity re-proves both claims under mpirun on every CI run,
+//     cross-checking the ledger against PMPI call counters.
+//
+// Contract for the per-rank vectors: the free collectives take/return one
+// entry per rank (the simulation's global view).  A distributed backend uses
+// ONLY entry [r] of ranks r it owns (owns_rank) as this process's
+// contribution.  On return, idempotent allreduces (max, argmax, argmax_batch)
+// and broadcast fill every entry with the agreed value — identical on all
+// ranks and across backends.  For the non-idempotent collectives the entries
+// of ranks this process does not own are backend-defined: allreduce_sum and
+// reduce_sum promise only the calling process's own entry (and the root's
+// total, respectively); exclusive_scan_sum promises the full offset vector on
+// every process (MpiBackend allgathers it — see the note on the model bill in
+// mpi_backend.cpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dist/collectives.hpp"
+#include "dist/topology.hpp"
+
+namespace lrb::dist {
+
+/// Executes the model's collectives.  Implementations are stateless or
+/// immutable after construction (const methods), so one instance can be
+/// shared by every Topology in the process.
+class CommBackend {
+ public:
+  virtual ~CommBackend();
+
+  /// Stable identifier reported by tools ("simulated", "mpi") so benchmark
+  /// and parity JSON can never silently mix backends.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// True when this process computes rank `rank`'s local work (sub-races,
+  /// shard sums).  The simulation embodies every rank; an MPI process
+  /// embodies exactly one.  Selection scaffolds skip non-owned ranks, which
+  /// is what makes the per-rank compute O(n/P) on a real cluster.
+  [[nodiscard]] virtual bool owns_rank(std::size_t rank) const noexcept = 0;
+
+  // Collectives: the dataflow behind the free functions of the same names in
+  // dist/collectives.hpp (which validate arguments and dispatch here).  Each
+  // charges `ledger` the machine-model bill — identical across backends.
+  [[nodiscard]] virtual std::vector<double> allreduce_max(
+      const Topology& topo, std::span<const double> local,
+      CommLedger& ledger) const = 0;
+  [[nodiscard]] virtual std::vector<ArgMax> allreduce_argmax(
+      const Topology& topo, std::span<const ArgMax> local,
+      CommLedger& ledger) const = 0;
+  [[nodiscard]] virtual std::vector<std::vector<ArgMax>> allreduce_argmax_batch(
+      const Topology& topo, std::span<const std::vector<ArgMax>> local,
+      CommLedger& ledger) const = 0;
+  [[nodiscard]] virtual std::vector<double> allreduce_sum(
+      const Topology& topo, std::span<const double> local,
+      CommLedger& ledger) const = 0;
+  [[nodiscard]] virtual std::vector<double> exclusive_scan_sum(
+      const Topology& topo, std::span<const double> local,
+      CommLedger& ledger) const = 0;
+  [[nodiscard]] virtual double reduce_sum(const Topology& topo,
+                                          std::span<const double> local,
+                                          std::size_t root,
+                                          CommLedger& ledger) const = 0;
+  [[nodiscard]] virtual std::vector<double> broadcast(const Topology& topo,
+                                                      double value,
+                                                      std::size_t root,
+                                                      CommLedger& ledger) const = 0;
+};
+
+/// The in-memory machine: all P ranks in one process, the seed dataflow
+/// moved verbatim from collectives.cpp.  Stateless; a default-constructed
+/// Topology routes to the process-wide instance below.
+class SimulatedBackend final : public CommBackend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] bool owns_rank(std::size_t rank) const noexcept override;
+  [[nodiscard]] std::vector<double> allreduce_max(
+      const Topology& topo, std::span<const double> local,
+      CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<ArgMax> allreduce_argmax(
+      const Topology& topo, std::span<const ArgMax> local,
+      CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<std::vector<ArgMax>> allreduce_argmax_batch(
+      const Topology& topo, std::span<const std::vector<ArgMax>> local,
+      CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<double> allreduce_sum(
+      const Topology& topo, std::span<const double> local,
+      CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<double> exclusive_scan_sum(
+      const Topology& topo, std::span<const double> local,
+      CommLedger& ledger) const override;
+  [[nodiscard]] double reduce_sum(const Topology& topo,
+                                  std::span<const double> local,
+                                  std::size_t root,
+                                  CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<double> broadcast(const Topology& topo,
+                                              double value, std::size_t root,
+                                              CommLedger& ledger) const override;
+};
+
+/// The process-wide default backend — what Topology(ranks) without an
+/// explicit backend resolves to.
+[[nodiscard]] const CommBackend& simulated_backend() noexcept;
+
+/// A shareable SimulatedBackend handle for callers that want the backend
+/// explicit (tests, tools that report which backend produced their numbers).
+[[nodiscard]] std::shared_ptr<const CommBackend> make_simulated_backend();
+
+}  // namespace lrb::dist

@@ -1,36 +1,23 @@
+// The free collectives: argument validation shared by every backend, then
+// dispatch to the Topology's CommBackend.  The dataflow itself lives in
+// dist/backend.cpp (SimulatedBackend, the default) and dist/mpi_backend.cpp
+// (MpiBackend, under LRB_WITH_MPI).  Validating here — before dispatch —
+// guarantees both backends reject malformed input identically, which the
+// backend-dispatch tests pin.
 #include "dist/collectives.hpp"
 
 #include <vector>
 
 #include "common/error.hpp"
+#include "dist/backend.hpp"
 
 namespace lrb::dist {
 
 namespace {
 
-/// Dissemination allreduce for idempotent, commutative combines: in round r
-/// every rank ships its running value to (rank + 2^r) mod P.  After
-/// ceil(log2 P) rounds each rank has absorbed a window of 2^rounds >= P
-/// predecessors — overlap is harmless precisely because the combine is
-/// idempotent (max-like), which is why sum needs a different algorithm.
-template <typename T, typename Combine>
-std::vector<T> dissemination_allreduce(const Topology& topo,
-                                       std::span<const T> local,
-                                       std::uint64_t words_per_message,
-                                       CommLedger& ledger, Combine&& combine) {
-  const std::size_t p = topo.ranks();
-  LRB_REQUIRE(local.size() == p, InvalidArgumentError,
+void require_one_entry_per_rank(const Topology& topo, std::size_t entries) {
+  LRB_REQUIRE(entries == topo.ranks(), InvalidArgumentError,
               "collective input must have one entry per rank");
-  std::vector<T> current(local.begin(), local.end());
-  for (std::uint32_t r = 0; r < topo.log_rounds(); ++r) {
-    const std::vector<T> sent = current;  // values on the wire this round
-    for (std::size_t i = 0; i < p; ++i) {
-      const std::size_t to = topo.dissemination_target(i, r);
-      current[to] = combine(current[to], sent[i]);
-    }
-    ledger.charge_round(p, words_per_message);
-  }
-  return current;
 }
 
 }  // namespace
@@ -38,25 +25,21 @@ std::vector<T> dissemination_allreduce(const Topology& topo,
 std::vector<double> allreduce_max(const Topology& topo,
                                   std::span<const double> local,
                                   CommLedger& ledger) {
-  return dissemination_allreduce<double>(
-      topo, local, /*words_per_message=*/1, ledger,
-      [](double a, double b) { return a > b ? a : b; });
+  require_one_entry_per_rank(topo, local.size());
+  return topo.backend().allreduce_max(topo, local, ledger);
 }
 
 std::vector<ArgMax> allreduce_argmax(const Topology& topo,
                                      std::span<const ArgMax> local,
                                      CommLedger& ledger) {
-  return dissemination_allreduce<ArgMax>(
-      topo, local, /*words_per_message=*/2, ledger,
-      [](const ArgMax& a, const ArgMax& b) { return argmax_combine(a, b); });
+  require_one_entry_per_rank(topo, local.size());
+  return topo.backend().allreduce_argmax(topo, local, ledger);
 }
 
 std::vector<std::vector<ArgMax>> allreduce_argmax_batch(
     const Topology& topo, std::span<const std::vector<ArgMax>> local,
     CommLedger& ledger) {
-  const std::size_t p = topo.ranks();
-  LRB_REQUIRE(local.size() == p, InvalidArgumentError,
-              "collective input must have one entry per rank");
+  require_one_entry_per_rank(topo, local.size());
   const std::size_t batch = local.empty() ? 0 : local.front().size();
   LRB_REQUIRE(batch >= 1, InvalidArgumentError,
               "batched argmax allreduce needs at least one pair per rank");
@@ -64,118 +47,36 @@ std::vector<std::vector<ArgMax>> allreduce_argmax_batch(
     LRB_REQUIRE(pairs.size() == batch, InvalidArgumentError,
                 "batched argmax allreduce needs equal batch sizes per rank");
   }
-  // Element-wise argmax is still idempotent and commutative, so the whole
-  // batch rides the same dissemination schedule as a single pair — only the
-  // message payload grows, to 2B words.
-  return dissemination_allreduce<std::vector<ArgMax>>(
-      topo, local, /*words_per_message=*/2 * batch, ledger,
-      [](const std::vector<ArgMax>& a, const std::vector<ArgMax>& b) {
-        std::vector<ArgMax> combined(a.size());
-        for (std::size_t t = 0; t < a.size(); ++t) {
-          combined[t] = argmax_combine(a[t], b[t]);
-        }
-        return combined;
-      });
+  return topo.backend().allreduce_argmax_batch(topo, local, ledger);
 }
 
 std::vector<double> allreduce_sum(const Topology& topo,
                                   std::span<const double> local,
                                   CommLedger& ledger) {
-  const std::size_t p = topo.ranks();
-  LRB_REQUIRE(local.size() == p, InvalidArgumentError,
-              "collective input must have one entry per rank");
-  std::vector<double> current(local.begin(), local.end());
-  if (p == 1) return current;
-
-  // Fold the ranks above the largest power of two m into their partners, run
-  // the hypercube exchange on [0, m), then unfold.  When P is a power of two
-  // the fold/unfold rounds vanish and this is plain recursive doubling.
-  const std::size_t m = std::size_t{1} << floor_log2(p);
-  const std::size_t extra = p - m;
-  if (extra > 0) {
-    for (std::size_t i = m; i < p; ++i) current[i - m] += current[i];
-    ledger.charge_round(extra, 1);
-  }
-  for (std::uint32_t bit = 0; bit < floor_log2(p); ++bit) {
-    const std::vector<double> sent = current;
-    for (std::size_t i = 0; i < m; ++i) {
-      current[i] += sent[topo.hypercube_partner(i, bit)];
-    }
-    ledger.charge_round(m, 1);
-  }
-  if (extra > 0) {
-    for (std::size_t i = 0; i < extra; ++i) current[m + i] = current[i];
-    ledger.charge_round(extra, 1);
-  }
-  return current;
+  require_one_entry_per_rank(topo, local.size());
+  return topo.backend().allreduce_sum(topo, local, ledger);
 }
 
 std::vector<double> exclusive_scan_sum(const Topology& topo,
                                        std::span<const double> local,
                                        CommLedger& ledger) {
-  const std::size_t p = topo.ranks();
-  LRB_REQUIRE(local.size() == p, InvalidArgumentError,
-              "collective input must have one entry per rank");
-  // Hillis–Steele with two accumulators: `incl` is the classic shifting
-  // partial sum; `excl` absorbs exactly the received partials, so the
-  // exclusive prefix emerges without an inclusive-minus-own subtraction.
-  std::vector<double> incl(local.begin(), local.end());
-  std::vector<double> excl(p, 0.0);
-  for (std::size_t shift = 1; shift < p; shift <<= 1) {
-    const std::vector<double> sent = incl;
-    for (std::size_t i = shift; i < p; ++i) {
-      excl[i] += sent[i - shift];
-      incl[i] += sent[i - shift];
-    }
-    ledger.charge_round(p - shift, 1);
-  }
-  return excl;
+  require_one_entry_per_rank(topo, local.size());
+  return topo.backend().exclusive_scan_sum(topo, local, ledger);
 }
 
 double reduce_sum(const Topology& topo, std::span<const double> local,
                   std::size_t root, CommLedger& ledger) {
-  const std::size_t p = topo.ranks();
-  LRB_REQUIRE(local.size() == p, InvalidArgumentError,
-              "collective input must have one entry per rank");
-  LRB_REQUIRE(root < p, InvalidArgumentError, "reduce root out of range");
-  // Binomial tree over ranks relative to the root: in round r, every rank
-  // whose relative id has bit r set (and all lower bits clear) sends its
-  // partial to the rank 2^r below it.
-  std::vector<double> current(local.begin(), local.end());
-  for (std::uint32_t r = 0; r < topo.log_rounds(); ++r) {
-    const std::size_t stride = std::size_t{1} << r;
-    std::uint64_t message_count = 0;
-    for (std::size_t rel = stride; rel < p; rel += 2 * stride) {
-      const std::size_t sender = (root + rel) % p;
-      const std::size_t receiver = (root + rel - stride) % p;
-      current[receiver] += current[sender];
-      ++message_count;
-    }
-    ledger.charge_round(message_count, 1);
-  }
-  return current[root];
+  require_one_entry_per_rank(topo, local.size());
+  LRB_REQUIRE(root < topo.ranks(), InvalidArgumentError,
+              "reduce root out of range");
+  return topo.backend().reduce_sum(topo, local, root, ledger);
 }
 
 std::vector<double> broadcast(const Topology& topo, double value,
                               std::size_t root, CommLedger& ledger) {
-  const std::size_t p = topo.ranks();
-  LRB_REQUIRE(root < p, InvalidArgumentError, "broadcast root out of range");
-  // The reduce tree run in reverse: the root's subtree doubles every round.
-  std::vector<double> current(p, 0.0);
-  current[root] = value;
-  if (p == 1) return current;
-  for (std::uint32_t r = topo.log_rounds(); r-- > 0;) {
-    const std::size_t stride = std::size_t{1} << r;
-    std::uint64_t message_count = 0;
-    for (std::size_t rel = 0; rel + stride < p; rel += 2 * stride) {
-      const std::size_t sender = (root + rel) % p;
-      const std::size_t receiver = (root + rel + stride) % p;
-      current[receiver] = current[sender];
-      ++message_count;
-    }
-    ledger.charge_round(message_count, 1);
-  }
-  return current;
+  LRB_REQUIRE(root < topo.ranks(), InvalidArgumentError,
+              "broadcast root out of range");
+  return topo.backend().broadcast(topo, value, root, ledger);
 }
 
 }  // namespace lrb::dist

@@ -19,6 +19,11 @@
 // these primitives: logarithmic bidding is ONE allreduce_argmax of a 2-word
 // pair, while prefix-sum roulette needs the scan + reduce + broadcast
 // pipeline.
+//
+// Execution is pluggable: these free functions validate their arguments and
+// dispatch to the Topology's CommBackend (dist/backend.hpp) — the in-process
+// SimulatedBackend by default, real MPI under LRB_WITH_MPI — so every caller
+// below this layer runs unchanged on either machine.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,269 @@
+#include "dist/mpi_backend.hpp"
+
+#if defined(LRB_HAS_MPI)
+
+#include <mpi.h>
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace lrb::dist {
+
+namespace {
+
+// ArgMax pairs travel as raw bytes: 8-byte double + 8-byte index, identical
+// layout on every rank of a homogeneous cluster (the only kind the parity
+// contract addresses — bit-identity across heterogeneous FP hardware is not
+// a claim anyone can make).
+static_assert(std::is_trivially_copyable_v<ArgMax> && sizeof(ArgMax) == 16,
+              "ArgMax must be wire-safe as 2 words");
+
+/// One blocking exchange with this round's neighbors; either side may be
+/// MPI_PROC_NULL (one-way rounds of the fold/tree schedules), which MPI
+/// turns into a no-op on that side.  One call per modeled round is the
+/// invariant tools/mpi_parity counts via PMPI.
+void sendrecv_bytes(const void* send, std::size_t bytes, int dest, void* recv,
+                    int src, int tag) {
+  MPI_Sendrecv(send, static_cast<int>(bytes), MPI_BYTE, dest, tag, recv,
+               static_cast<int>(bytes), MPI_BYTE, src, tag, MPI_COMM_WORLD,
+               MPI_STATUS_IGNORE);
+}
+
+int as_int(std::size_t v) { return static_cast<int>(v); }
+
+}  // namespace
+
+MpiBackend::MpiBackend() {
+  int initialized = 0;
+  MPI_Initialized(&initialized);
+  LRB_REQUIRE(initialized != 0, InvalidArgumentError,
+              "MpiBackend requires MPI_Init to have run");
+  int rank = 0;
+  int size = 1;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  rank_ = static_cast<std::size_t>(rank);
+  size_ = static_cast<std::size_t>(size);
+}
+
+std::string_view MpiBackend::name() const noexcept { return "mpi"; }
+
+bool MpiBackend::owns_rank(std::size_t rank) const noexcept {
+  return rank == rank_;
+}
+
+namespace {
+
+void require_world_sized(const Topology& topo, std::size_t world) {
+  LRB_REQUIRE(topo.ranks() == world, InvalidArgumentError,
+              "MpiBackend: topology rank count must equal the MPI world size");
+}
+
+/// SPMD dissemination allreduce (idempotent combines): round r exchanges the
+/// running value with the +/- 2^r neighbors on the ring; the shift never
+/// reaches P, so every round is a genuine two-sided exchange.  Same combine,
+/// same order as the simulation's current[to] = combine(current[to], sent).
+template <typename T, typename Combine>
+void mpi_dissemination(const Topology& topo, std::size_t me, T* mine,
+                       std::size_t count, std::uint64_t words_per_message,
+                       CommLedger& ledger, Combine&& combine) {
+  const std::size_t p = topo.ranks();
+  std::vector<T> received(count);
+  for (std::uint32_t r = 0; r < topo.log_rounds(); ++r) {
+    const std::size_t shift = std::size_t{1} << r;
+    const int dest = as_int((me + shift) % p);
+    const int src = as_int((me + p - shift) % p);
+    sendrecv_bytes(mine, count * sizeof(T), dest, received.data(), src,
+                   as_int(r));
+    for (std::size_t t = 0; t < count; ++t) {
+      mine[t] = combine(mine[t], received[t]);
+    }
+    ledger.charge_round(p, words_per_message);
+  }
+}
+
+}  // namespace
+
+std::vector<double> MpiBackend::allreduce_max(const Topology& topo,
+                                              std::span<const double> local,
+                                              CommLedger& ledger) const {
+  require_world_sized(topo, size_);
+  double mine = local[rank_];
+  mpi_dissemination(topo, rank_, &mine, 1, /*words_per_message=*/1, ledger,
+                    [](double a, double b) { return a > b ? a : b; });
+  return std::vector<double>(topo.ranks(), mine);
+}
+
+std::vector<ArgMax> MpiBackend::allreduce_argmax(const Topology& topo,
+                                                 std::span<const ArgMax> local,
+                                                 CommLedger& ledger) const {
+  require_world_sized(topo, size_);
+  ArgMax mine = local[rank_];
+  mpi_dissemination(topo, rank_, &mine, 1, /*words_per_message=*/2, ledger,
+                    [](const ArgMax& a, const ArgMax& b) {
+                      return argmax_combine(a, b);
+                    });
+  return std::vector<ArgMax>(topo.ranks(), mine);
+}
+
+std::vector<std::vector<ArgMax>> MpiBackend::allreduce_argmax_batch(
+    const Topology& topo, std::span<const std::vector<ArgMax>> local,
+    CommLedger& ledger) const {
+  require_world_sized(topo, size_);
+  const std::size_t batch = local.front().size();
+  std::vector<ArgMax> mine = local[rank_];
+  mpi_dissemination(topo, rank_, mine.data(), batch,
+                    /*words_per_message=*/2 * batch, ledger,
+                    [](const ArgMax& a, const ArgMax& b) {
+                      return argmax_combine(a, b);
+                    });
+  return std::vector<std::vector<ArgMax>>(topo.ranks(), mine);
+}
+
+std::vector<double> MpiBackend::allreduce_sum(const Topology& topo,
+                                              std::span<const double> local,
+                                              CommLedger& ledger) const {
+  require_world_sized(topo, size_);
+  const std::size_t p = topo.ranks();
+  const std::size_t me = rank_;
+  double mine = local[me];
+  if (p == 1) return {mine};
+
+  // Fold / hypercube exchange / unfold, the simulation's schedule verbatim;
+  // each process adds received partials in the identical order, so its own
+  // entry is bit-equal to the simulation's entry for this rank.
+  const std::size_t m = std::size_t{1} << floor_log2(p);
+  const std::size_t extra = p - m;
+  if (extra > 0) {
+    double received = 0.0;
+    const int dest = me >= m ? as_int(me - m) : MPI_PROC_NULL;
+    const int src = me < extra ? as_int(me + m) : MPI_PROC_NULL;
+    sendrecv_bytes(&mine, sizeof mine, dest, &received, src, 0);
+    if (me < extra) mine += received;
+    ledger.charge_round(extra, 1);
+  }
+  for (std::uint32_t bit = 0; bit < floor_log2(p); ++bit) {
+    if (me < m) {
+      const int partner = as_int(topo.hypercube_partner(me, bit));
+      double received = 0.0;
+      sendrecv_bytes(&mine, sizeof mine, partner, &received, partner,
+                     as_int(1 + bit));
+      mine += received;
+    }
+    ledger.charge_round(m, 1);
+  }
+  if (extra > 0) {
+    double received = 0.0;
+    const int dest = me < extra ? as_int(me + m) : MPI_PROC_NULL;
+    const int src = me >= m ? as_int(me - m) : MPI_PROC_NULL;
+    sendrecv_bytes(&mine, sizeof mine, dest, &received, src, 0);
+    if (me >= m) mine = received;
+    ledger.charge_round(extra, 1);
+  }
+  // Only this process's own entry is promised (backend.hpp): recursive
+  // doubling accumulates in rank-dependent order, so entries differ in the
+  // last ulp across ranks and reconstructing all P of them is not worth a
+  // wire round.
+  return std::vector<double>(p, mine);
+}
+
+std::vector<double> MpiBackend::exclusive_scan_sum(const Topology& topo,
+                                                   std::span<const double> local,
+                                                   CommLedger& ledger) const {
+  require_world_sized(topo, size_);
+  const std::size_t p = topo.ranks();
+  const std::size_t me = rank_;
+  // Hillis–Steele, simulation order: my exclusive prefix accumulates exactly
+  // the partials received from me - shift.
+  double incl = local[me];
+  double excl = 0.0;
+  int tag = 0;
+  for (std::size_t shift = 1; shift < p; shift <<= 1) {
+    const double sent = incl;  // pre-round value, like the sim's snapshot
+    double received = 0.0;
+    const int dest = me + shift < p ? as_int(me + shift) : MPI_PROC_NULL;
+    const int src = me >= shift ? as_int(me - shift) : MPI_PROC_NULL;
+    sendrecv_bytes(&sent, sizeof sent, dest, &received, src, tag++);
+    if (me >= shift) {
+      excl += received;
+      incl += received;
+    }
+    ledger.charge_round(static_cast<std::uint64_t>(p - shift), 1);
+  }
+  // The model is done; the allgather below only reassembles the global
+  // offset vector the simulation-shaped ownership scan reads (see the
+  // header note) and is deliberately not billed.
+  std::vector<double> offsets(p, 0.0);
+  MPI_Allgather(&excl, 1, MPI_DOUBLE, offsets.data(), 1, MPI_DOUBLE,
+                MPI_COMM_WORLD);
+  return offsets;
+}
+
+double MpiBackend::reduce_sum(const Topology& topo,
+                              std::span<const double> local, std::size_t root,
+                              CommLedger& ledger) const {
+  require_world_sized(topo, size_);
+  const std::size_t p = topo.ranks();
+  const std::size_t rel = (rank_ + p - root) % p;
+  double mine = local[rank_];
+  for (std::uint32_t r = 0; r < topo.log_rounds(); ++r) {
+    const std::size_t stride = std::size_t{1} << r;
+    // In round r, relative ranks stride, 3*stride, ... send to the rank
+    // `stride` below; the charge mirrors the simulation's count loop.
+    std::uint64_t message_count = 0;
+    for (std::size_t s = stride; s < p; s += 2 * stride) ++message_count;
+
+    if (rel % (2 * stride) == stride) {
+      double unused = 0.0;
+      sendrecv_bytes(&mine, sizeof mine, as_int((root + rel - stride) % p),
+                     &unused, MPI_PROC_NULL, as_int(r));
+    } else if (rel % (2 * stride) == 0 && rel + stride < p) {
+      double received = 0.0;
+      sendrecv_bytes(&mine, sizeof mine, MPI_PROC_NULL, &received,
+                     as_int((root + rel + stride) % p), as_int(r));
+      mine += received;
+    }
+    ledger.charge_round(message_count, 1);
+  }
+  // `mine` is the global total at the root and a partial elsewhere — the
+  // free function's contract only promises the root's view.
+  return mine;
+}
+
+std::vector<double> MpiBackend::broadcast(const Topology& topo, double value,
+                                          std::size_t root,
+                                          CommLedger& ledger) const {
+  require_world_sized(topo, size_);
+  const std::size_t p = topo.ranks();
+  const std::size_t rel = (rank_ + p - root) % p;
+  double mine = rel == 0 ? value : 0.0;
+  if (p == 1) return {mine};
+  // The reduce tree in reverse: after the stride-2^r round, every relative
+  // rank divisible by 2^r holds the value.
+  for (std::uint32_t r = topo.log_rounds(); r-- > 0;) {
+    const std::size_t stride = std::size_t{1} << r;
+    std::uint64_t message_count = 0;
+    for (std::size_t s = 0; s + stride < p; s += 2 * stride) ++message_count;
+
+    if (rel % (2 * stride) == 0 && rel + stride < p) {
+      double unused = 0.0;
+      sendrecv_bytes(&mine, sizeof mine, as_int((rank_ + stride) % p), &unused,
+                     MPI_PROC_NULL, as_int(r));
+    } else if (rel % (2 * stride) == stride) {
+      double received = 0.0;
+      sendrecv_bytes(&mine, sizeof mine, MPI_PROC_NULL, &received,
+                     as_int((rank_ + p - stride) % p), as_int(r));
+      mine = received;
+    }
+    ledger.charge_round(message_count, 1);
+  }
+  return std::vector<double>(p, mine);
+}
+
+}  // namespace lrb::dist
+
+#endif  // LRB_HAS_MPI

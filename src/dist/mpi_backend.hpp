@@ -1,0 +1,81 @@
+// MpiBackend — the simulated machine's round schedules executed as real MPI
+// traffic, one process per rank.
+//
+// Built only when the top-level LRB_WITH_MPI option is ON and
+// find_package(MPI) succeeded (the lrb_mpi target defines LRB_HAS_MPI
+// publicly); without MPI this header declares nothing, so the rest of the
+// library never sees an MPI symbol.
+//
+// Equality by construction: every collective runs the SAME per-round
+// combines in the SAME order as SimulatedBackend — dissemination shifts for
+// max/argmax, fold/hypercube/unfold for sum, Hillis–Steele for the scan,
+// binomial trees for reduce/broadcast — except that the per-round exchange
+// is a blocking MPI_Sendrecv with the rank's actual neighbor instead of an
+// in-memory copy.  Results are therefore bit-identical across backends, and
+// each collective charges the identical CommLedger bill.  Because one
+// MPI_Sendrecv is issued per modeled round, the ledger's `rounds` equals the
+// per-process PMPI call count — the cross-check tools/mpi_parity enforces.
+//
+// Data contract (see dist/backend.hpp): callers pass the simulation-shaped
+// one-entry-per-rank vectors; this backend puts ONLY entry [world rank] on
+// the wire.  ShardedFitness is replicated per process (the parity harness
+// builds identical vectors everywhere) but each process computes only its
+// own rank's sub-races via owns_rank.  One deliberate step outside the
+// model: exclusive_scan_sum finishes with an MPI_Allgather so every process
+// holds the full offset vector the (simulation-shaped) central ownership
+// scan in prefix_sum_locate reads; a natively rank-local implementation
+// needs only its own prefix, so the ledger intentionally does not bill it.
+#pragma once
+
+#if defined(LRB_HAS_MPI)
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/backend.hpp"
+
+namespace lrb::dist {
+
+/// One process per rank over MPI_COMM_WORLD.  Construct after MPI_Init;
+/// every Topology routed here must have exactly world-size ranks.
+class MpiBackend final : public CommBackend {
+ public:
+  MpiBackend();
+
+  /// This process's MPI rank / the world size.
+  [[nodiscard]] std::size_t self_rank() const noexcept { return rank_; }
+  [[nodiscard]] std::size_t world_size() const noexcept { return size_; }
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] bool owns_rank(std::size_t rank) const noexcept override;
+  [[nodiscard]] std::vector<double> allreduce_max(
+      const Topology& topo, std::span<const double> local,
+      CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<ArgMax> allreduce_argmax(
+      const Topology& topo, std::span<const ArgMax> local,
+      CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<std::vector<ArgMax>> allreduce_argmax_batch(
+      const Topology& topo, std::span<const std::vector<ArgMax>> local,
+      CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<double> allreduce_sum(
+      const Topology& topo, std::span<const double> local,
+      CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<double> exclusive_scan_sum(
+      const Topology& topo, std::span<const double> local,
+      CommLedger& ledger) const override;
+  [[nodiscard]] double reduce_sum(const Topology& topo,
+                                  std::span<const double> local,
+                                  std::size_t root,
+                                  CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<double> broadcast(const Topology& topo,
+                                              double value, std::size_t root,
+                                              CommLedger& ledger) const override;
+
+ private:
+  std::size_t rank_ = 0;
+  std::size_t size_ = 1;
+};
+
+}  // namespace lrb::dist
+
+#endif  // LRB_HAS_MPI

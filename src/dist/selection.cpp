@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "core/deterministic.hpp"
+#include "dist/backend.hpp"
 #include "core/draw_many.hpp"
 #include "rng/uniform.hpp"
 #include "rng/xoshiro256.hpp"
@@ -42,9 +43,15 @@ BatchDrawResult bidding_batch_scaffold(const ShardedFitness& shards,
   const Topology& topo = shards.topology();
   const std::size_t p = topo.ranks();
 
+  // Sub-races run only for ranks this process embodies: all P on the
+  // simulated machine, exactly one per process under a real backend — the
+  // O(n/P) local compute a cluster buys.  Non-owned (and all-zero) ranks
+  // contribute sentinel pairs that a real backend never puts on the wire.
+  const CommBackend& backend = topo.backend();
   std::vector<std::vector<ArgMax>> local(
       p, std::vector<ArgMax>(batch, ArgMax{kNoBid, kNoIndex}));
   for (std::size_t r = 0; r < p; ++r) {
+    if (!backend.owns_rank(r)) continue;
     if (!(shards.shard_sum(r) > 0.0)) continue;
     fill_rank(r, local[r]);
   }
@@ -172,10 +179,17 @@ DrawResult distributed_prefix_sum(const ShardedFitness& shards,
       exclusive_scan_sum(topo, sums, result.comm);
 
   // 2. Reduce the global total to the root, which draws the threshold
-  //    t = u * total, u ~ Uniform[0,1).
+  //    t = u * total, u ~ Uniform[0,1).  `total` is the global sum only
+  //    where the reduce tree rooted — everywhere on the simulated machine,
+  //    at kRoot under a real backend (other processes hold partials, validly
+  //    zero for zero shards) — so the positivity invariant and the only
+  //    threshold anyone consumes are the root's; non-root thresholds are
+  //    overwritten by the broadcast below.
   constexpr std::size_t kRoot = 0;
   const double total = reduce_sum(topo, sums, kRoot, result.comm);
-  LRB_ASSERT(total > 0.0, "sharded fitness total must be positive");
+  if (topo.backend().owns_rank(kRoot)) {
+    LRB_ASSERT(total > 0.0, "sharded fitness total must be positive");
+  }
   rng::Xoshiro256StarStar gen(seeds.child("prefix-threshold"));
   const double threshold = rng::u01_closed_open(gen) * total;
 

@@ -1,6 +1,7 @@
 #include "dist/sharding.hpp"
 
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
@@ -9,7 +10,12 @@ namespace lrb::dist {
 
 ShardedFitness::ShardedFitness(std::span<const double> fitness,
                                std::size_t ranks)
-    : topology_(ranks),
+    : ShardedFitness(fitness, ranks, nullptr) {}
+
+ShardedFitness::ShardedFitness(std::span<const double> fitness,
+                               std::size_t ranks,
+                               std::shared_ptr<const CommBackend> backend)
+    : topology_(ranks, std::move(backend)),
       values_(fitness.begin(), fitness.end()),
       shard_sums_(ranks, 0.0),
       positive_counts_(ranks, 0) {

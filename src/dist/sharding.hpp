@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -36,6 +37,15 @@ class ShardedFitness {
   /// partitions it over `ranks` blocks.  `ranks` may exceed the vector
   /// length; trailing ranks then own empty shards.
   ShardedFitness(std::span<const double> fitness, std::size_t ranks);
+
+  /// Same partitioning, with the collectives of every selection draw routed
+  /// through `backend` (dist/backend.hpp) instead of the default simulated
+  /// machine.  Under a real backend each process holds the same replicated
+  /// vector but computes only the shard of the rank it embodies
+  /// (CommBackend::owns_rank); the wire carries only rank-owned
+  /// contributions.
+  ShardedFitness(std::span<const double> fitness, std::size_t ranks,
+                 std::shared_ptr<const CommBackend> backend);
 
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
   [[nodiscard]] std::size_t ranks() const noexcept { return topology_.ranks(); }

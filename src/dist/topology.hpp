@@ -16,16 +16,23 @@
 //
 // The collectives in dist/collectives.hpp execute real dataflow over this
 // model (results are exact, tests compare them to serial references) while
-// charging the ledger, so benchmarks report the communication a real MPI
-// backend would pay without needing one in the build.
+// charging the ledger.  WHO moves the words is pluggable: a Topology carries
+// a CommBackend handle (dist/backend.hpp) — the in-process SimulatedBackend
+// by default, or the real-cluster MpiBackend (dist/mpi_backend.hpp, built
+// under LRB_WITH_MPI), both executing the same round schedules for the same
+// bill, proven bit-identical by tools/mpi_parity in CI.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
 
 namespace lrb::dist {
+
+class CommBackend;  // dist/backend.hpp — who executes the rounds
 
 /// Communication bill of one collective (or one whole selection draw).
 ///
@@ -68,12 +75,24 @@ struct CommLedger {
 /// dataflow lives in dist/collectives.cpp.
 class Topology {
  public:
-  explicit Topology(std::size_t ranks) : ranks_(ranks) {
+  /// A null backend means "the simulated machine" (dist/backend.hpp's
+  /// process-wide SimulatedBackend) — the seed behavior, bit for bit, with
+  /// no allocation, so existing callers are untouched.  Passing a backend
+  /// (e.g. MpiBackend under LRB_WITH_MPI) reroutes every collective issued
+  /// against this topology; the handle is shared, so copies of the Topology
+  /// (ShardedFitness stores one by value) stay on the same machine.
+  explicit Topology(std::size_t ranks,
+                    std::shared_ptr<const CommBackend> backend = nullptr)
+      : ranks_(ranks), backend_(std::move(backend)) {
     LRB_REQUIRE(ranks >= 1, InvalidArgumentError,
                 "Topology requires at least one rank");
   }
 
   [[nodiscard]] std::size_t ranks() const noexcept { return ranks_; }
+
+  /// The backend executing this topology's collectives (the simulated
+  /// machine unless one was injected).  Defined in dist/backend.cpp.
+  [[nodiscard]] const CommBackend& backend() const noexcept;
 
   /// ceil(log2 P): the round count of dissemination collectives and binomial
   /// trees, and the lower bound for any P-rank reduction.
@@ -103,6 +122,7 @@ class Topology {
 
  private:
   std::size_t ranks_;
+  std::shared_ptr<const CommBackend> backend_;
 };
 
 }  // namespace lrb::dist

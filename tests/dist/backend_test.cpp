@@ -1,0 +1,206 @@
+// Backend dispatch: a Topology with an explicitly injected SimulatedBackend
+// must be indistinguishable — results AND ledgers, bit for bit — from the
+// legacy default-constructed path, for every collective and for whole
+// selection draws.  This is the contract that lets MpiBackend slot in behind
+// the same interface: anything the dispatch layer perturbed here would shear
+// the two real backends apart too (tools/mpi_parity proves the MPI side).
+#include "dist/backend.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dist/collectives.hpp"
+#include "dist/selection.hpp"
+#include "dist/sharding.hpp"
+#include "dist/topology.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+using lrb::dist::ArgMax;
+using lrb::dist::CommBackend;
+using lrb::dist::CommLedger;
+using lrb::dist::ShardedFitness;
+using lrb::dist::Topology;
+
+// Equality of doubles as bit patterns: the two paths must run the very same
+// instructions, so even NaNs and signed zeros have to coincide exactly.
+void expect_bits_equal(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << "entry " << i;
+  }
+}
+
+std::vector<double> random_values(std::size_t p, std::uint64_t seed) {
+  lrb::rng::Xoshiro256StarStar gen(seed);
+  std::vector<double> vals(p);
+  for (double& v : vals) v = lrb::rng::u01_closed_open(gen) * 10.0 - 2.0;
+  return vals;
+}
+
+/// Every collective, run once over the legacy default Topology and once over
+/// a Topology with the simulated backend injected explicitly.
+class BackendDispatchTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::size_t p() const { return GetParam(); }
+  Topology legacy() const { return Topology(p()); }
+  Topology explicit_simulated() const {
+    return Topology(p(), lrb::dist::make_simulated_backend());
+  }
+};
+
+TEST_P(BackendDispatchTest, AllreduceMaxBitEqual) {
+  const std::vector<double> local = random_values(p(), 11);
+  CommLedger a, b;
+  expect_bits_equal(allreduce_max(legacy(), local, a),
+                    allreduce_max(explicit_simulated(), local, b));
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(BackendDispatchTest, AllreduceArgmaxBitEqual) {
+  std::vector<ArgMax> local(p());
+  const std::vector<double> vals = random_values(p(), 12);
+  for (std::size_t i = 0; i < p(); ++i) {
+    local[i] = ArgMax{vals[i], static_cast<std::uint64_t>(100 + i)};
+  }
+  CommLedger a, b;
+  const auto lhs = allreduce_argmax(legacy(), local, a);
+  const auto rhs = allreduce_argmax(explicit_simulated(), local, b);
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(lhs[i].value),
+              std::bit_cast<std::uint64_t>(rhs[i].value));
+    EXPECT_EQ(lhs[i].index, rhs[i].index);
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(BackendDispatchTest, AllreduceArgmaxBatchBitEqualIncludingSingleElement) {
+  for (std::size_t batch : {std::size_t{1}, std::size_t{7}}) {
+    std::vector<std::vector<ArgMax>> local(p(), std::vector<ArgMax>(batch));
+    lrb::rng::Xoshiro256StarStar gen(13);
+    for (std::size_t i = 0; i < p(); ++i) {
+      for (std::size_t t = 0; t < batch; ++t) {
+        local[i][t] =
+            ArgMax{lrb::rng::u01_closed_open(gen), 10 * i + t};
+      }
+    }
+    CommLedger a, b;
+    const auto lhs = allreduce_argmax_batch(legacy(), local, a);
+    const auto rhs = allreduce_argmax_batch(explicit_simulated(), local, b);
+    ASSERT_EQ(lhs, rhs);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_P(BackendDispatchTest, BatchZeroRejectedIdenticallyByBothPaths) {
+  const std::vector<std::vector<ArgMax>> empty_batch(p());
+  CommLedger ledger;
+  EXPECT_THROW((void)allreduce_argmax_batch(legacy(), empty_batch, ledger),
+               lrb::InvalidArgumentError);
+  EXPECT_THROW(
+      (void)allreduce_argmax_batch(explicit_simulated(), empty_batch, ledger),
+      lrb::InvalidArgumentError);
+  // Rejected before dispatch: no backend charged anything.
+  EXPECT_EQ(ledger, CommLedger{});
+}
+
+TEST_P(BackendDispatchTest, AllreduceSumBitEqual) {
+  const std::vector<double> local = random_values(p(), 14);
+  CommLedger a, b;
+  expect_bits_equal(allreduce_sum(legacy(), local, a),
+                    allreduce_sum(explicit_simulated(), local, b));
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(BackendDispatchTest, ExclusiveScanSumBitEqual) {
+  const std::vector<double> local = random_values(p(), 15);
+  CommLedger a, b;
+  expect_bits_equal(exclusive_scan_sum(legacy(), local, a),
+                    exclusive_scan_sum(explicit_simulated(), local, b));
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(BackendDispatchTest, ReduceSumBitEqualForEveryRoot) {
+  const std::vector<double> local = random_values(p(), 16);
+  for (std::size_t root = 0; root < p(); ++root) {
+    CommLedger a, b;
+    const double lhs = reduce_sum(legacy(), local, root, a);
+    const double rhs = reduce_sum(explicit_simulated(), local, root, b);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(lhs),
+              std::bit_cast<std::uint64_t>(rhs));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_P(BackendDispatchTest, BroadcastBitEqualForEveryRoot) {
+  for (std::size_t root = 0; root < p(); ++root) {
+    CommLedger a, b;
+    expect_bits_equal(broadcast(legacy(), 3.25, root, a),
+                      broadcast(explicit_simulated(), 3.25, root, b));
+    EXPECT_EQ(a, b);
+  }
+}
+
+// P = 1 (zero rounds) plus awkward and power-of-two rank counts; the
+// collectives above also each cover the single-element (P = 1) edge.
+INSTANTIATE_TEST_SUITE_P(RankCounts, BackendDispatchTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 31, 64));
+
+TEST(BackendDispatch, DefaultTopologyUsesTheSimulatedSingleton) {
+  EXPECT_EQ(&Topology(4).backend(), &lrb::dist::simulated_backend());
+  EXPECT_EQ(Topology(4).backend().name(), "simulated");
+  EXPECT_TRUE(Topology(4).backend().owns_rank(0));
+  EXPECT_TRUE(Topology(4).backend().owns_rank(3));
+}
+
+TEST(BackendDispatch, InjectedBackendIsTheOneDispatchedTo) {
+  const std::shared_ptr<const CommBackend> backend =
+      lrb::dist::make_simulated_backend();
+  const Topology topo(4, backend);
+  EXPECT_EQ(&topo.backend(), backend.get());
+  // Copies of the Topology stay on the same machine (shared handle).
+  const Topology copy = topo;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(&copy.backend(), backend.get());
+}
+
+TEST(BackendDispatch, WholeSelectionDrawsBitEqualAcrossDispatchPaths) {
+  std::vector<double> fitness(257);
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    fitness[i] = (i % 3 == 0) ? 0.0 : 1.0 + static_cast<double>(i % 17);
+  }
+  for (std::size_t p : {std::size_t{1}, std::size_t{6}, std::size_t{32}}) {
+    const ShardedFitness legacy(fitness, p);
+    const ShardedFitness injected(fitness, p,
+                                  lrb::dist::make_simulated_backend());
+
+    const auto stream_a = lrb::dist::distributed_bidding_batch(legacy, 9, 77);
+    const auto stream_b = lrb::dist::distributed_bidding_batch(injected, 9, 77);
+    EXPECT_EQ(stream_a.indices, stream_b.indices);
+    EXPECT_EQ(stream_a.comm, stream_b.comm);
+
+    const auto det_a =
+        lrb::dist::distributed_bidding_deterministic_batch(legacy, 9, 77, 5);
+    const auto det_b =
+        lrb::dist::distributed_bidding_deterministic_batch(injected, 9, 77, 5);
+    EXPECT_EQ(det_a.indices, det_b.indices);
+    EXPECT_EQ(det_a.comm, det_b.comm);
+
+    const auto pfx_a = lrb::dist::distributed_prefix_sum(legacy, 123);
+    const auto pfx_b = lrb::dist::distributed_prefix_sum(injected, 123);
+    EXPECT_EQ(pfx_a.index, pfx_b.index);
+    EXPECT_EQ(pfx_a.comm, pfx_b.comm);
+  }
+}
+
+}  // namespace

@@ -31,7 +31,11 @@
 // Schema history: v2 adds serial columns deterministic_ns_per_draw /
 // deterministic_draws_timed / philox_cost_vs_draw_many, distributed columns
 // det_* + deterministic_ledger_equal_stream, and the deterministic_parity
-// array + invariants — purely additive over v1.
+// array + invariants — purely additive over v1.  v3 adds the top-level
+// "backend" field (the CommBackend the distributed sweeps ran on — always
+// "simulated" here; MPI-sourced numbers come from tools/mpi_parity, which
+// stamps "mpi") and repeats it per deterministic_parity row, so harvested
+// JSON can never silently mix machines — additive over v2.
 //
 // Usage: bench_json [--quick] [--reps=3] [--out=BENCH_selection.json]
 #include <algorithm>
@@ -52,6 +56,7 @@
 #include "core/deterministic.hpp"
 #include "core/draw_many.hpp"
 #include "core/logarithmic_bidding.hpp"
+#include "dist/backend.hpp"
 #include "dist/selection.hpp"
 #include "rng/xoshiro256.hpp"
 
@@ -217,10 +222,15 @@ int main(int argc, char** argv) {
   double headline_speedup = 0.0;
   double headline_philox_cost = 0.0;
 
+  // Every sweep below runs on the default backend; naming it in the
+  // artifact keeps future MPI-sourced benches distinguishable.
+  const std::string backend(lrb::dist::simulated_backend().name());
+
   Json json;
   json.begin_object();
-  json.field("schema", "lrb-bench-selection/v2");
+  json.field("schema", "lrb-bench-selection/v3");
   json.field("generated_by", "tools/bench_json");
+  json.field("backend", backend);
   json.begin_object("config");
   json.field("quick", quick);
   json.field("reps", static_cast<std::uint64_t>(reps));
@@ -379,6 +389,7 @@ int main(int argc, char** argv) {
       json.begin_object();
       json.field("p", static_cast<std::uint64_t>(p));
       json.field("draws", static_cast<std::uint64_t>(parity_draws));
+      json.field("backend", backend);
       json.field("bit_identical_to_serial", identical);
       json.end_object();
     }

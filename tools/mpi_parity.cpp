@@ -1,0 +1,298 @@
+// mpi_parity — the proof, under mpirun, that the MPI backend IS the
+// simulated machine.
+//
+// Launched as `mpirun -np P ./build/tools/mpi_parity` (P in {1,2,4,8} in
+// CI).  Every process builds identical fitness vectors, shards them over the
+// world, and replays the P-sweep parity suite on BOTH backends:
+//
+//   * winners — stream and deterministic, single and batched, cursor
+//     seek/replay, and the prefix-sum pipeline — must be bit-identical
+//     between MpiBackend and SimulatedBackend, and the deterministic ones
+//     additionally bit-identical to serial core::DeterministicBidder;
+//   * CommLedgers must be equal across backends AND equal to the analytical
+//     bill: ceil(log2 P) rounds, P messages per round, 2B words per message
+//     for a B-draw bidding batch;
+//   * the ledger must match the wire: a PMPI wrapper around MPI_Sendrecv
+//     (the only primitive the backend's collectives round on) counts this
+//     process's calls and payload bytes, and a bidding draw must cost
+//     exactly `rounds` calls of 16B-byte messages — the model cross-checked
+//     against actual MPI traffic, not against itself.
+//
+// Exits nonzero (on every rank) if any check fails; rank 0 prints a one-line
+// JSON summary with "backend": "mpi" so harvested results can never be
+// confused with simulated numbers.
+#include <mpi.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/math.hpp"
+#include "core/deterministic.hpp"
+#include "dist/backend.hpp"
+#include "dist/mpi_backend.hpp"
+#include "dist/selection.hpp"
+#include "dist/sharding.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// PMPI instrumentation: count this process's MPI_Sendrecv calls and sent
+// payload bytes.  The strong definition below shadows libmpi's and forwards
+// to the PMPI_ entry point — the standard MPI profiling mechanism.
+std::uint64_t g_sendrecv_calls = 0;
+std::uint64_t g_sendrecv_bytes = 0;
+
+struct WireCount {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;
+};
+
+WireCount wire_now() { return {g_sendrecv_calls, g_sendrecv_bytes}; }
+
+WireCount wire_since(const WireCount& start) {
+  return {g_sendrecv_calls - start.calls, g_sendrecv_bytes - start.bytes};
+}
+
+}  // namespace
+
+extern "C" int MPI_Sendrecv(const void* sendbuf, int sendcount,
+                            MPI_Datatype sendtype, int dest, int sendtag,
+                            void* recvbuf, int recvcount,
+                            MPI_Datatype recvtype, int source, int recvtag,
+                            MPI_Comm comm, MPI_Status* status) {
+  g_sendrecv_calls += 1;
+  if (dest != MPI_PROC_NULL) {
+    int type_size = 0;
+    PMPI_Type_size(sendtype, &type_size);
+    g_sendrecv_bytes += static_cast<std::uint64_t>(sendcount) *
+                        static_cast<std::uint64_t>(type_size);
+  }
+  return PMPI_Sendrecv(sendbuf, sendcount, sendtype, dest, sendtag, recvbuf,
+                       recvcount, recvtype, source, recvtag, comm, status);
+}
+
+namespace {
+
+using lrb::dist::BatchDrawResult;
+using lrb::dist::CommLedger;
+using lrb::dist::DrawResult;
+using lrb::dist::ShardedFitness;
+
+struct Harness {
+  int rank = 0;
+  std::size_t world = 1;
+  std::uint64_t checks = 0;
+  std::vector<std::string> failures;
+
+  void check(bool ok, const std::string& what) {
+    ++checks;
+    if (!ok) failures.push_back(what);
+  }
+};
+
+/// The analytical bill of one B-draw bidding batch at P ranks.
+CommLedger bidding_bill(std::size_t p, std::uint64_t batch) {
+  CommLedger bill;
+  for (std::uint64_t r = 0; r < lrb::ceil_log2(static_cast<std::uint64_t>(p));
+       ++r) {
+    bill.charge_round(p, 2 * batch);
+  }
+  return bill;
+}
+
+std::string ledger_str(const CommLedger& l) {
+  return "{rounds=" + std::to_string(l.rounds) +
+         ",messages=" + std::to_string(l.messages) +
+         ",words=" + std::to_string(l.words) +
+         ",cp=" + std::to_string(l.critical_path_words) + "}";
+}
+
+std::size_t splice_size(std::size_t world, std::size_t per_rank) {
+  return world * per_rank + world / 2;  // deliberately not divisible by P
+}
+
+// The scenario sweep: shapes that exercise dense, sparse-with-zero-cells,
+// single-positive, heavily skewed, and fewer-items-than-ranks shard layouts.
+std::vector<double> scenario_fitness(std::size_t which, std::size_t world) {
+  switch (which) {
+    case 0: {  // dense, mildly varied
+      std::vector<double> f(splice_size(world, 64));
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        f[i] = 1.0 + static_cast<double>(i % 17);
+      }
+      return f;
+    }
+    case 1: {  // sparse: 9 of 10 cells are hard zeros
+      std::vector<double> f(splice_size(world, 130), 0.0);
+      for (std::size_t i = 0; i < f.size(); i += 10) {
+        f[i] = 0.5 + static_cast<double>(i % 7);
+      }
+      return f;
+    }
+    case 2: {  // single positive cell: every draw must return it
+      std::vector<double> f(splice_size(world, 41), 0.0);
+      f[f.size() / 2] = 3.0;
+      return f;
+    }
+    case 3: {  // skewed by 12 orders of magnitude
+      std::vector<double> f(splice_size(world, 33));
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        f[i] = (i % 2 == 0) ? 1e-6 : 1e6;
+      }
+      return f;
+    }
+    default: {  // fewer items than ranks: trailing shards are empty
+      std::vector<double> f(3);
+      f[0] = 1.0;
+      f[1] = 2.0;
+      f[2] = 4.0;
+      return f;
+    }
+  }
+}
+
+void run_scenario(Harness& h, std::size_t which,
+                  const std::shared_ptr<const lrb::dist::CommBackend>& mpi) {
+  const std::vector<double> fitness = scenario_fitness(which, h.world);
+  const std::string tag = "scenario " + std::to_string(which) + ": ";
+  const ShardedFitness sim(fitness, h.world);
+  const ShardedFitness real(fitness, h.world, mpi);
+  const std::uint64_t seed = 0xbead5eed + 17 * which;
+  constexpr std::size_t kBatch = 12;
+
+  // --- serial deterministic reference --------------------------------------
+  lrb::core::DeterministicBidder serial(seed);
+  std::vector<std::size_t> expected;
+  for (std::size_t t = 0; t < kBatch; ++t) {
+    expected.push_back(serial.select(fitness));
+  }
+
+  // --- deterministic batch: MPI == simulated == serial, wire == ledger -----
+  const WireCount det_start = wire_now();
+  const BatchDrawResult det_real =
+      lrb::dist::distributed_bidding_deterministic_batch(real, kBatch, seed);
+  const WireCount det_wire = wire_since(det_start);
+  const BatchDrawResult det_sim =
+      lrb::dist::distributed_bidding_deterministic_batch(sim, kBatch, seed);
+  h.check(det_real.indices == expected,
+          tag + "deterministic winners != serial DeterministicBidder");
+  h.check(det_real.indices == det_sim.indices,
+          tag + "deterministic winners: mpi != simulated");
+  h.check(det_real.comm == det_sim.comm,
+          tag + "deterministic ledger: mpi " + ledger_str(det_real.comm) +
+              " != simulated " + ledger_str(det_sim.comm));
+  h.check(det_real.comm == bidding_bill(h.world, kBatch),
+          tag + "deterministic ledger != analytical ceil(log2 P) bill: " +
+              ledger_str(det_real.comm));
+  h.check(det_wire.calls == det_real.comm.rounds,
+          tag + "PMPI sendrecv calls (" + std::to_string(det_wire.calls) +
+              ") != ledger rounds (" + std::to_string(det_real.comm.rounds) +
+              ")");
+  // Per process and per round the batch ships one 2B-word (16B-byte)
+  // message, so this process's bytes are rounds * 16 * B — and scaled by P
+  // processes that equals ledger.words * 8.
+  h.check(det_wire.bytes == det_real.comm.rounds * 16 * kBatch,
+          tag + "PMPI bytes (" + std::to_string(det_wire.bytes) +
+              ") != rounds * 16B");
+  h.check(det_wire.bytes * h.world == det_real.comm.words * 8,
+          tag + "PMPI bytes * P != ledger words * 8");
+
+  // --- stream batch: mpi == simulated, same bill ---------------------------
+  const WireCount stream_start = wire_now();
+  const BatchDrawResult stream_real =
+      lrb::dist::distributed_bidding_batch(real, kBatch, seed);
+  const WireCount stream_wire = wire_since(stream_start);
+  const BatchDrawResult stream_sim =
+      lrb::dist::distributed_bidding_batch(sim, kBatch, seed);
+  h.check(stream_real.indices == stream_sim.indices,
+          tag + "stream winners: mpi != simulated");
+  h.check(stream_real.comm == stream_sim.comm,
+          tag + "stream ledger: mpi != simulated");
+  h.check(stream_real.comm == det_real.comm,
+          tag + "stream ledger != deterministic ledger");
+  h.check(stream_wire.calls == stream_real.comm.rounds,
+          tag + "stream PMPI calls != ledger rounds");
+
+  // --- single draw (the B == 1 case) ---------------------------------------
+  const DrawResult one_real = lrb::dist::distributed_bidding(real, seed);
+  const DrawResult one_sim = lrb::dist::distributed_bidding(sim, seed);
+  h.check(one_real.index == one_sim.index,
+          tag + "single-draw winner: mpi != simulated");
+  h.check(one_real.comm == one_sim.comm && one_real.comm == bidding_bill(h.world, 1),
+          tag + "single-draw ledger != ceil(log2 P) bill");
+
+  // --- cursor: seek/replay across backends ---------------------------------
+  lrb::dist::DeterministicDistributedBidder cur_real(seed);
+  lrb::dist::DeterministicDistributedBidder cur_sim(seed);
+  const DrawResult c0 = cur_real.select(real);
+  const DrawResult c1 = cur_real.select(real);
+  h.check(c0.index == cur_sim.select(sim).index &&
+              c1.index == cur_sim.select(sim).index,
+          tag + "cursor singles: mpi != simulated");
+  cur_real.seek(0);
+  const BatchDrawResult replay = cur_real.select_batch(real, 2);
+  h.check(replay.indices[0] == c0.index && replay.indices[1] == c1.index,
+          tag + "cursor seek/replay mismatch on mpi backend");
+  h.check(c0.index == expected[0] && c1.index == expected[1],
+          tag + "cursor winners != serial DeterministicBidder");
+
+  // --- prefix-sum pipeline: scan + reduce + broadcast + publication --------
+  const DrawResult pfx_real = lrb::dist::distributed_prefix_sum(real, seed);
+  const DrawResult pfx_sim = lrb::dist::distributed_prefix_sum(sim, seed);
+  h.check(pfx_real.index == pfx_sim.index,
+          tag + "prefix-sum winner: mpi != simulated");
+  h.check(pfx_real.comm == pfx_sim.comm,
+          tag + "prefix-sum ledger: mpi " + ledger_str(pfx_real.comm) +
+              " != simulated " + ledger_str(pfx_sim.comm));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MPI_Init(&argc, &argv);
+  Harness h;
+  {
+    int rank = 0;
+    int size = 1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    h.rank = rank;
+    h.world = static_cast<std::size_t>(size);
+  }
+
+  constexpr std::size_t kScenarios = 5;
+  {
+    const std::shared_ptr<const lrb::dist::CommBackend> mpi =
+        std::make_shared<lrb::dist::MpiBackend>();
+    for (std::size_t s = 0; s < kScenarios; ++s) run_scenario(h, s, mpi);
+  }
+
+  for (const std::string& f : h.failures) {
+    std::fprintf(stderr, "[rank %d] FAIL: %s\n", h.rank, f.c_str());
+  }
+
+  // Every rank must agree the suite passed; a single failing rank fails the
+  // whole run (and mpirun propagates any nonzero exit).
+  int ok = h.failures.empty() ? 1 : 0;
+  int all_ok = 0;
+  MPI_Allreduce(&ok, &all_ok, 1, MPI_INT, MPI_MIN, MPI_COMM_WORLD);
+  std::uint64_t total_calls = 0;
+  MPI_Allreduce(&g_sendrecv_calls, &total_calls, 1, MPI_UINT64_T, MPI_SUM,
+                MPI_COMM_WORLD);
+
+  if (h.rank == 0) {
+    std::printf(
+        "{\"schema\":\"lrb-mpi-parity/v1\",\"backend\":\"mpi\","
+        "\"world\":%zu,\"scenarios\":%zu,\"checks_per_rank\":%llu,"
+        "\"pmpi_sendrecv_calls_total\":%llu,\"ok\":%s}\n",
+        h.world, kScenarios,
+        static_cast<unsigned long long>(h.checks),
+        static_cast<unsigned long long>(total_calls),
+        all_ok ? "true" : "false");
+  }
+  MPI_Finalize();
+  return all_ok ? 0 : 1;
+}
