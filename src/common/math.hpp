@@ -5,12 +5,26 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <span>
+#include <string>
 
 #include "common/error.hpp"
 
 namespace lrb {
+
+namespace detail {
+/// Formats a fitness value for error messages: shortest round-trip-ish %g
+/// ("nan", "-inf", "-2.5", "1e+308") — std::to_string's fixed six decimals
+/// would render 5e-324 as "0.000000", which is exactly the value a user
+/// debugging an InvalidFitnessError needs to see.
+[[nodiscard]] inline std::string fitness_value_str(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  return std::string(buf);
+}
+}  // namespace detail
 
 /// Kahan–Babuška compensated accumulator.  Used wherever we sum fitness
 /// vectors or probabilities: plain summation of 1e6 doubles loses ~1e-10
@@ -82,7 +96,10 @@ class KahanSum {
 /// strictly positive total.  Returns the compensated total.
 ///
 /// Every selector in src/core funnels through this, so the error surface is
-/// uniform: a user passing NaN gets the same exception from every algorithm.
+/// uniform: a user passing NaN gets the same exception from every algorithm,
+/// naming the offending index AND value — validation is hoisted to once per
+/// batch everywhere (DrawManyKernel, DeterministicDrawKernel, ShardedFitness),
+/// so carrying the context is cheap.
 [[nodiscard]] inline double checked_fitness_total(std::span<const double> fitness,
                                                   bool require_positive_total = true) {
   LRB_REQUIRE(!fitness.empty(), InvalidFitnessError,
@@ -91,9 +108,12 @@ class KahanSum {
   for (std::size_t i = 0; i < fitness.size(); ++i) {
     const double f = fitness[i];
     LRB_REQUIRE(std::isfinite(f), InvalidFitnessError,
-                "fitness values must be finite (index " + std::to_string(i) + ")");
+                "fitness values must be finite (index " + std::to_string(i) +
+                    ", value " + detail::fitness_value_str(f) + ")");
     LRB_REQUIRE(f >= 0.0, InvalidFitnessError,
-                "fitness values must be non-negative (index " + std::to_string(i) + ")");
+                "fitness values must be non-negative (index " +
+                    std::to_string(i) + ", value " +
+                    detail::fitness_value_str(f) + ")");
     total.add(f);
   }
   const double t = total.value();

@@ -32,13 +32,19 @@ enum class BatchStrategy {
 };
 
 /// Measured crossover factor: bidding wins while m * k < n / kAliasCrossover.
-/// Re-measured for the draw_many kernel (tools/bench_json, n in {1e4, 1e6} x
-/// dense/sparse): the kernel cut per-item bidding cost ~3.5x, but it also
-/// introduced a once-per-batch build comparable to the alias build, so the
-/// break-even lands near m * k = 2n on every config (dense break-evens pull
-/// slightly lower, sparse slightly higher) — hence 0.5, replacing the seed's
-/// 0.25 that was calibrated against the unbatched select_bidding() loop.
-inline constexpr double kAliasCrossover = 0.5;
+/// Re-measured with the SIMD kernels in place (tools/bench_json emits the
+/// fit as BENCH_selection.json's "crossover" array — measured break-even m*
+/// and the implied factor per config, so the calibration lives in the
+/// artifact, not a commit message): the vectorized bound pass cut per-item
+/// bidding cost another ~1.5x while the alias build was untouched, so
+/// bidding stays competitive longer and the implied factor dropped from the
+/// ~0.5 of the scalar kernel to ~0.15-0.8 across the n x density grid
+/// (sparse large-n lowest, small-n sparse highest; dense n=1e6 degenerates
+/// to alias-from-m=1 because the kernel's O(n) build alone exceeds the alias
+/// build there).  0.35 is the geometric middle of that spread; mischoices it
+/// leaves are confined to the near-break-even region where both strategies
+/// cost within a few percent of each other.
+inline constexpr double kAliasCrossover = 0.35;
 
 /// The kAuto decision, exposed so tooling (tools/bench_json) reports the
 /// exact strategy batch_select would pick: bidding while the batch's

@@ -12,6 +12,7 @@
 // (~2x the throughput cost of the xoshiro path; measured in A3/A4 benches).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -23,6 +24,7 @@
 #include "parallel/thread_pool.hpp"
 #include "rng/deterministic_bid.hpp"
 #include "rng/uniform.hpp"
+#include "simd/dispatch.hpp"
 
 namespace lrb::core {
 
@@ -106,12 +108,16 @@ class DeterministicBidder {
 /// zero-test branch), reciprocals 1/f cached for the bound pass.  Each draw
 /// must still pay one Philox block per active item (the bid is DEFINED as a
 /// function of (seed, t, i), so no evaluation can be skipped), but the
-/// record-breaking filter log(u) <= u - 1 skips almost every std::log: the
-/// running maximum is beaten only O(log k) expected times per draw, and the
-/// shared numerical guards (core/bid_filter.hpp) guarantee the filter can
-/// skip work but never change a winner, so the result is bit-identical to
-/// the unfiltered scan DeterministicBidder performs (tested in
-/// tests/core/deterministic_test.cpp).
+/// blocks are generated N lanes at a time by the runtime-dispatched SIMD
+/// Philox kernel over the item streams (simd/dispatch.hpp — this is where
+/// the counter-based design pays off: every lane is independent by
+/// construction), and the record-breaking filter log(u) <= u - 1 skips
+/// almost every std::log: the running maximum is beaten only O(log k)
+/// expected times per draw, and the shared numerical guards
+/// (core/bid_filter.hpp) guarantee the filter can skip work but never
+/// change a winner, so the result is bit-identical to the unfiltered scan
+/// DeterministicBidder performs — on every dispatch target (tested in
+/// tests/core/deterministic_test.cpp and tests/simd/).
 ///
 /// `index_base` shifts the item ids: a kernel over a shard [base, base + len)
 /// bids with the GLOBAL Philox stream (seed, t, base + j) and reports global
@@ -150,26 +156,46 @@ class DeterministicDrawKernel {
 
   /// Winner of draw `t`: argmax over the active set of the counter-based
   /// bids rng::deterministic_bid(seed, t, global index, f).  Pure function
-  /// of (seed, t, fitness block) — thread-safe, no state advanced.
+  /// of (seed, t, fitness block) — thread-safe, no state advanced; the
+  /// per-block scratch lives on the stack so one kernel serves any number
+  /// of threads.  The SIMD stages are bit-exact on every dispatch target
+  /// (simd/dispatch.hpp), so the winner cannot depend on lane width.
   [[nodiscard]] Scored draw_scored(std::uint64_t seed, std::uint64_t t) const {
     const std::size_t k = f_.size();
+    const simd::Ops& ops = simd::ops();
+    alignas(64) std::uint64_t bits[kBlock];
+    alignas(64) double u[kBlock];
+    alignas(64) double ub[kBlock];
     double best = -std::numeric_limits<double>::infinity();
     double gate = -std::numeric_limits<double>::infinity();
     std::size_t best_pos = 0;
     bool found = false;
-    for (std::size_t pos = 0; pos < k; ++pos) {
-      const double u = rng::deterministic_uniform(seed, t, active_[pos]);
-      // bid <= (u - 1) * (1/f) because log(u) <= u - 1 and 1/f > 0; one FMA
-      // decides whether the std::log is worth paying.  (While !found every
+    for (std::size_t start = 0; start < k; start += kBlock) {
+      const std::size_t len = std::min(kBlock, k - start);
+      // The whole bid stream of this block, N lanes at a time: Philox
+      // blocks keyed (seed, t, global item), then the exact bits -> (0,1]
+      // conversion — identical doubles to rng::deterministic_uniform.
+      ops.philox_bits_streams(seed, t, active_.data() + start, bits, len);
+      ops.fill_u01_from_bits(bits, u, len);
+      // Vectorized bound pass: bid <= (u - 1) * (1/f) because
+      // log(u) <= u - 1 and 1/f > 0; one sub+mul+max per item decides
+      // whether the std::log is worth paying.
+      const double block_max =
+          ops.bound_pass(u, inv_f_.data() + start, ub, len);
+      // Whole block provably loses?  Skip its logs.  (While !found every
       // item is visited, matching the unfiltered first-install rule.)
-      if (found && !((u - 1.0) * inv_f_[pos] > gate)) continue;
-      // Exact bid, identical arithmetic to rng::deterministic_bid: log(u)/f.
-      const double bid = std::log(u) / f_[pos];
-      if (!found || bid > best) {
-        best = bid;
-        best_pos = pos;
-        found = true;
-        gate = bid_filter::gate_below(best);
+      if (found && !(block_max > gate)) continue;
+      for (std::size_t j = 0; j < len; ++j) {
+        if (found && !(ub[j] > gate)) continue;
+        // Exact bid, identical arithmetic to rng::deterministic_bid:
+        // log(u)/f.
+        const double bid = std::log(u[j]) / f_[start + j];
+        if (!found || bid > best) {
+          best = bid;
+          best_pos = start + j;
+          found = true;
+          gate = bid_filter::gate_below(best);
+        }
       }
     }
     LRB_ASSERT(found, "positive total fitness implies at least one bid");
@@ -182,6 +208,10 @@ class DeterministicDrawKernel {
   }
 
  private:
+  /// Per-draw scratch granularity: three stack blocks (bits, u, ub) of 2 KiB
+  /// each, resident in L1 — draw_scored stays const and allocation-free.
+  static constexpr std::size_t kBlock = 256;
+
   std::size_t size_ = 0;
   std::vector<std::uint64_t> active_;  // global indices of positive items
   std::vector<double> f_;              // fitness, packed over the active set

@@ -10,9 +10,11 @@
 //   * the positive-fitness indices are packed into an active set once, so
 //     the per-draw loop touches exactly k items with no zero-test branch;
 //   * reciprocals 1/f_i are cached, so the filter below is one FMA per item;
-//   * uniforms are filled a block at a time (rng::fill_u01_open_closed) and
-//     all scratch is reused across the whole batch — zero per-draw
-//     allocation.
+//   * raw bits are filled a block at a time (rng::fill_bits — engine-order
+//     serial for stream engines, SIMD counter-range Philox for PhiloxRng),
+//     the bits -> (0,1] conversion and the bound pass below run through the
+//     runtime-dispatched vector kernels (simd/dispatch.hpp), and all scratch
+//     is reused across the whole batch — zero per-draw allocation.
 //
 // The kernel's actual speedup comes from a record-breaking filter: since
 // log(u) <= u - 1, every item's bid log(u_i)/f_i is bounded above by
@@ -33,6 +35,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
@@ -41,6 +44,7 @@
 #include "common/math.hpp"
 #include "core/bid_filter.hpp"
 #include "rng/uniform.hpp"
+#include "simd/dispatch.hpp"
 
 namespace lrb::core {
 
@@ -69,6 +73,7 @@ class DrawManyKernel {
       inv_f_.push_back(bid_filter::bound_reciprocal(fitness[i]));
     }
     size_ = fitness.size();
+    bits_.resize(kBlock);
     u_.resize(kBlock);
     ub_.resize(kBlock);
   }
@@ -87,21 +92,23 @@ class DrawManyKernel {
   template <rng::Engine64 G>
   [[nodiscard]] Scored draw_scored(G&& gen) {
     const std::size_t k = f_.size();
+    const simd::Ops& ops = simd::ops();
     double best = -std::numeric_limits<double>::infinity();
     double gate = -std::numeric_limits<double>::infinity();
     std::size_t best_pos = 0;
     bool found = false;
     for (std::size_t start = 0; start < k; start += kBlock) {
       const std::size_t len = std::min(kBlock, k - start);
-      rng::fill_u01_open_closed(gen, std::span<double>(u_.data(), len));
-      // Branch-light bound pass: bid <= (u - 1) * (1/f) because
-      // log(u) <= u - 1 and 1/f > 0.  One FMA + max per item, vectorizable.
-      double block_max = -std::numeric_limits<double>::infinity();
-      for (std::size_t j = 0; j < len; ++j) {
-        const double ub = (u_[j] - 1.0) * inv_f_[start + j];
-        ub_[j] = ub;
-        if (ub > block_max) block_max = ub;
-      }
+      // Engine bits in element order (exactly len draws consumed), then the
+      // exact bits -> (0,1] conversion on the SIMD engine: same doubles as a
+      // loop of u01_open_closed() calls, any lane width.
+      rng::fill_bits(gen, std::span<std::uint64_t>(bits_.data(), len));
+      ops.fill_u01_from_bits(bits_.data(), u_.data(), len);
+      // Vectorized bound pass: bid <= (u - 1) * (1/f) because
+      // log(u) <= u - 1 and 1/f > 0.  One sub+mul+max per item, bit-equal
+      // to the scalar loop on every dispatch target (simd/dispatch.hpp).
+      const double block_max =
+          ops.bound_pass(u_.data(), inv_f_.data() + start, ub_.data(), len);
       // Whole block provably loses?  Skip its logs.  (While !found we must
       // visit every item so the first-install rule matches select_bidding.)
       if (found && !(block_max > gate)) continue;
@@ -137,6 +144,7 @@ class DrawManyKernel {
   std::vector<std::size_t> active_;    // original indices of positive items
   std::vector<double> f_;              // fitness, packed over the active set
   std::vector<double> inv_f_;          // cached reciprocals for the bound
+  std::vector<std::uint64_t> bits_;    // per-block raw engine words (scratch)
   std::vector<double> u_;              // per-block uniforms (scratch)
   std::vector<double> ub_;             // per-block bid upper bounds (scratch)
 };

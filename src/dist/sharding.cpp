@@ -76,12 +76,15 @@ double ShardedFitness::value(std::size_t index) const {
 void ShardedFitness::update(std::size_t index, double fitness) {
   LRB_REQUIRE(index < values_.size(), InvalidArgumentError,
               "update: index out of range");
+  // Same message shape as checked_fitness_total (common/math.hpp): the
+  // offending index and value, uniform across every selector's error surface.
   LRB_REQUIRE(std::isfinite(fitness), InvalidFitnessError,
               "update: fitness must be finite (index " + std::to_string(index) +
-                  ")");
+                  ", value " + detail::fitness_value_str(fitness) + ")");
   LRB_REQUIRE(fitness >= 0.0, InvalidFitnessError,
               "update: fitness must be non-negative (index " +
-                  std::to_string(index) + ")");
+                  std::to_string(index) + ", value " +
+                  detail::fitness_value_str(fitness) + ")");
   const std::size_t rank = owner(index);
   positive_counts_[rank] += (fitness > 0.0);
   positive_counts_[rank] -= (values_[index] > 0.0);

@@ -123,6 +123,18 @@ class PhiloxRng {
     for (std::uint64_t i = 0; i < n; ++i) (void)(*this)();
   }
 
+  /// The engine's stream parameters and output position (the `n` a seek(n)
+  /// would need to land here).  Exposed so bulk fills
+  /// (rng::fill_bits / fill_u01_open_closed in uniform.hpp) can hand the
+  /// counter range to the SIMD Philox kernels and seek past it — the whole
+  /// point of a counter-based engine is that its future outputs are
+  /// addressable without stepping.
+  [[nodiscard]] constexpr std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] constexpr std::uint64_t stream() const noexcept { return stream_; }
+  [[nodiscard]] constexpr std::uint64_t position() const noexcept {
+    return 2 * counter_ + static_cast<std::uint64_t>(phase_);
+  }
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {
     return std::numeric_limits<result_type>::max();

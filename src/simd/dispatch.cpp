@@ -1,0 +1,119 @@
+// Target resolution for the SIMD engine: cpuid, the LRB_SIMD override, and
+// the process-wide active table.  See dispatch.hpp for the contract.
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/kernels.hpp"
+
+namespace lrb::simd {
+
+namespace {
+
+/// The compiled-in table for a target (independent of the running CPU).
+const Ops* compiled_table(Target target) noexcept {
+  switch (target) {
+    case Target::kScalar: return detail::scalar_ops();
+    case Target::kAvx2: return detail::avx2_ops();
+    case Target::kAvx512: return detail::avx512_ops();
+  }
+  return nullptr;
+}
+
+/// Parses an LRB_SIMD value; returns true and sets `out` on a recognized
+/// target name.  "auto" (and empty) mean best-available and parse as false.
+bool parse_target(const char* s, Target& out) noexcept {
+  if (std::strcmp(s, "scalar") == 0) {
+    out = Target::kScalar;
+    return true;
+  }
+  if (std::strcmp(s, "avx2") == 0) {
+    out = Target::kAvx2;
+    return true;
+  }
+  if (std::strcmp(s, "avx512") == 0) {
+    out = Target::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+/// Best table the CPU executes, honoring the LRB_SIMD override.  Called at
+/// most a handful of times (results are cached in g_active); warnings go to
+/// stderr because a silently ignored override would invalidate a benchmark
+/// or a CI matrix leg without anyone noticing.
+const Ops* resolve() noexcept {
+  if (const char* env = std::getenv("LRB_SIMD");
+      env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    Target requested;
+    if (!parse_target(env, requested)) {
+      std::fprintf(stderr,
+                   "lrb: LRB_SIMD=%s is not a target "
+                   "(scalar | avx2 | avx512 | auto); using auto\n",
+                   env);
+    } else if (const Ops* table = ops_for(requested)) {
+      return table;
+    } else {
+      std::fprintf(stderr,
+                   "lrb: LRB_SIMD=%s unavailable on this "
+                   "machine/build; using auto\n",
+                   env);
+    }
+  }
+  if (const Ops* table = ops_for(Target::kAvx512)) return table;
+  if (const Ops* table = ops_for(Target::kAvx2)) return table;
+  return detail::scalar_ops();
+}
+
+/// The active table.  Resolved lazily on first use; force_target() swaps it.
+std::atomic<const Ops*> g_active{nullptr};
+
+}  // namespace
+
+bool cpu_supports(Target target) noexcept {
+  if (target == Target::kScalar) return true;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  switch (target) {
+    case Target::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Target::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0;
+    default:
+      return false;
+  }
+#else
+  return false;
+#endif
+}
+
+const Ops* ops_for(Target target) noexcept {
+  const Ops* table = compiled_table(target);
+  return (table != nullptr && cpu_supports(target)) ? table : nullptr;
+}
+
+const Ops& ops() noexcept {
+  const Ops* active = g_active.load(std::memory_order_acquire);
+  if (active == nullptr) {
+    // Benign race: concurrent first calls resolve to the same table.
+    active = resolve();
+    g_active.store(active, std::memory_order_release);
+  }
+  return *active;
+}
+
+bool force_target(Target target) noexcept {
+  const Ops* table = ops_for(target);
+  if (table == nullptr) return false;
+  g_active.store(table, std::memory_order_release);
+  return true;
+}
+
+Target active_target() noexcept { return ops().target; }
+
+const char* target_name() noexcept { return ops().name; }
+
+}  // namespace lrb::simd

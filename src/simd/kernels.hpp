@@ -1,0 +1,40 @@
+// Internal seams of the SIMD engine: the per-target kernel tables and the
+// exported scalar kernels.
+//
+// Each kernels_<target>.cpp translation unit is compiled with exactly its
+// own ISA flags and publishes its table through <target>_ops() — nullptr
+// when the compiler could not target that ISA, so dispatch.cpp never links
+// against instructions that do not exist in the binary.  The scalar kernels
+// are additionally exported by name: the vector TUs call them for loop tails
+// instead of instantiating inline library code, because an inline function
+// emitted under -mavx512f and COMDAT-merged into a TU that runs on any CPU
+// would be an illegal-instruction bug waiting for a linker to pick wrong.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/dispatch.hpp"
+
+namespace lrb::simd::detail {
+
+/// Per-target tables; scalar_ops() is never null.
+[[nodiscard]] const Ops* scalar_ops() noexcept;
+[[nodiscard]] const Ops* avx2_ops() noexcept;
+[[nodiscard]] const Ops* avx512_ops() noexcept;
+
+/// The scalar reference kernels (kernels_scalar.cpp, base ISA flags) — the
+/// definition of correct output for every vector target, and the tail path
+/// the vector kernels delegate their last n % width elements to.
+void philox_words_counter_range_scalar(std::uint64_t seed, std::uint64_t stream,
+                                       std::uint64_t counter0,
+                                       std::uint64_t* out, std::size_t nblocks);
+void philox_bits_streams_scalar(std::uint64_t seed, std::uint64_t counter,
+                                const std::uint64_t* streams,
+                                std::uint64_t* out, std::size_t n);
+void fill_u01_from_bits_scalar(const std::uint64_t* bits, double* out,
+                               std::size_t n);
+double bound_pass_scalar(const double* u, const double* inv_f, double* ub,
+                         std::size_t n);
+
+}  // namespace lrb::simd::detail

@@ -1,0 +1,236 @@
+// The AVX2 target: 8 Philox4x32-10 blocks per iteration in 32-bit SoA form,
+// 4-wide bits -> (0,1] conversion and bound pass.  This translation unit is
+// compiled with -mavx2 (see src/CMakeLists.txt) and selected only after
+// cpuid confirms the host executes AVX2; when the compiler cannot target
+// AVX2 at all, the whole file collapses to a nullptr table.
+//
+// Bit-equality with the scalar target is structural, not hoped-for:
+//   * the Philox kernels are pure 32-bit integer arithmetic — the vector
+//     mulhilo/xor/add lanes compute exactly the scalar recurrence;
+//   * the u64 -> double conversion uses the classic two-halves trick whose
+//     adds are exact for values <= 2^53 (ours are), matching the scalar
+//     static_cast; the 2^-53 scale is a power of two (always exact);
+//   * the bound pass is sub-then-mul-then-max, each exactly rounded and
+//     order-independent, with no FMA contraction.
+// Loop tails delegate to the exported scalar kernels rather than touching
+// inline library code, so no AVX2-compiled COMDAT can leak into portable TUs.
+#include "simd/kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <limits>
+
+#include "rng/philox.hpp"
+
+namespace lrb::simd::detail {
+namespace {
+
+// 8-lane widening 32x32 multiply: hi/lo of a[i] * m for all eight 32-bit
+// lanes (m is the Philox multiplier broadcast into every even dword, which
+// is where _mm256_mul_epu32 reads it).
+inline void mul_hilo_8x32(__m256i a, __m256i m, __m256i& hi, __m256i& lo) {
+  const __m256i even = _mm256_mul_epu32(a, m);
+  const __m256i odd = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), m);
+  lo = _mm256_blend_epi32(even, _mm256_slli_epi64(odd, 32), 0xAA);
+  hi = _mm256_blend_epi32(_mm256_srli_epi64(even, 32), odd, 0xAA);
+}
+
+// Ten Philox rounds over 8 blocks held as lanes c0..c3 (SoA).  Mirrors
+// rng::detail::philox_round exactly: new block = {p1.hi ^ c1 ^ k0, p1.lo,
+// p0.hi ^ c3 ^ k1, p0.lo} with p0 = mulhilo(M0, c0), p1 = mulhilo(M1, c2).
+inline void philox10_8x(__m256i& c0, __m256i& c1, __m256i& c2, __m256i& c3,
+                        std::uint32_t key0, std::uint32_t key1) {
+  const __m256i m0 = _mm256_set1_epi64x(rng::detail::kPhiloxM0);
+  const __m256i m1 = _mm256_set1_epi64x(rng::detail::kPhiloxM1);
+  __m256i k0 = _mm256_set1_epi32(static_cast<int>(key0));
+  __m256i k1 = _mm256_set1_epi32(static_cast<int>(key1));
+  const __m256i w0 = _mm256_set1_epi32(static_cast<int>(rng::detail::kPhiloxW0));
+  const __m256i w1 = _mm256_set1_epi32(static_cast<int>(rng::detail::kPhiloxW1));
+  for (int round = 0; round < 10; ++round) {
+    __m256i p0hi, p0lo, p1hi, p1lo;
+    mul_hilo_8x32(c0, m0, p0hi, p0lo);
+    mul_hilo_8x32(c2, m1, p1hi, p1lo);
+    const __m256i n0 = _mm256_xor_si256(_mm256_xor_si256(p1hi, c1), k0);
+    const __m256i n2 = _mm256_xor_si256(_mm256_xor_si256(p0hi, c3), k1);
+    c0 = n0;
+    c1 = p1lo;
+    c2 = n2;
+    c3 = p0lo;
+    k0 = _mm256_add_epi32(k0, w0);
+    k1 = _mm256_add_epi32(k1, w1);
+  }
+}
+
+// Splits eight consecutive u64s (two 4-wide loads) into SoA low/high dwords.
+inline void split_u64_8(const std::uint64_t* p, __m256i& lo32, __m256i& hi32) {
+  const __m256i didx = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+  const __m256i a = _mm256_permutevar8x32_epi32(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)), didx);
+  const __m256i b = _mm256_permutevar8x32_epi32(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4)), didx);
+  lo32 = _mm256_permute2x128_si256(a, b, 0x20);
+  hi32 = _mm256_permute2x128_si256(a, b, 0x31);
+}
+
+// Packs SoA dword lanes (lo32[i], hi32[i]) back into eight u64s
+// lo32[i] | hi32[i] << 32, in block order, as two 4-wide vectors.
+inline void join_u64_8(__m256i lo32, __m256i hi32, __m256i& w03, __m256i& w47) {
+  const __m256i lo_i = _mm256_unpacklo_epi32(lo32, hi32);  // blocks 0,1 | 4,5
+  const __m256i hi_i = _mm256_unpackhi_epi32(lo32, hi32);  // blocks 2,3 | 6,7
+  w03 = _mm256_permute2x128_si256(lo_i, hi_i, 0x20);
+  w47 = _mm256_permute2x128_si256(lo_i, hi_i, 0x31);
+}
+
+void philox_words_counter_range_avx2(std::uint64_t seed, std::uint64_t stream,
+                                     std::uint64_t counter0, std::uint64_t* out,
+                                     std::size_t nblocks) {
+  const std::size_t main = nblocks & ~std::size_t{7};
+  const __m256i step_lo = _mm256_setr_epi64x(0, 1, 2, 3);
+  const __m256i step_hi = _mm256_setr_epi64x(4, 5, 6, 7);
+  const std::uint32_t key0 = static_cast<std::uint32_t>(seed);
+  const std::uint32_t key1 = static_cast<std::uint32_t>(seed >> 32);
+  const __m256i s_lo = _mm256_set1_epi32(static_cast<int>(
+      static_cast<std::uint32_t>(stream)));
+  const __m256i s_hi = _mm256_set1_epi32(static_cast<int>(
+      static_cast<std::uint32_t>(stream >> 32)));
+  for (std::size_t i = 0; i < main; i += 8) {
+    // Counters counter0 + i .. + i + 7 with full 64-bit carry, then split
+    // into the Philox dword lanes.
+    const __m256i base = _mm256_set1_epi64x(
+        static_cast<long long>(counter0 + i));
+    alignas(32) std::uint64_t ctr[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(ctr),
+                       _mm256_add_epi64(base, step_lo));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(ctr + 4),
+                       _mm256_add_epi64(base, step_hi));
+    __m256i c0, c1;
+    split_u64_8(ctr, c0, c1);
+    __m256i c2 = s_lo;
+    __m256i c3 = s_hi;
+    philox10_8x(c0, c1, c2, c3, key0, key1);
+    // Engine word order: lo64 then hi64 per block.
+    __m256i lo03, lo47, hi03, hi47;
+    join_u64_8(c0, c1, lo03, lo47);
+    join_u64_8(c2, c3, hi03, hi47);
+    // Interleave (lo, hi) pairs per block: [lo0,hi0,lo1,hi1,...].
+    const __m256i ul0 = _mm256_unpacklo_epi64(lo03, hi03);  // lo0,hi0 | lo2,hi2
+    const __m256i uh0 = _mm256_unpackhi_epi64(lo03, hi03);  // lo1,hi1 | lo3,hi3
+    const __m256i ul1 = _mm256_unpacklo_epi64(lo47, hi47);
+    const __m256i uh1 = _mm256_unpackhi_epi64(lo47, hi47);
+    std::uint64_t* o = out + 2 * i;
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o),
+                        _mm256_permute2x128_si256(ul0, uh0, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o + 4),
+                        _mm256_permute2x128_si256(ul0, uh0, 0x31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o + 8),
+                        _mm256_permute2x128_si256(ul1, uh1, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o + 12),
+                        _mm256_permute2x128_si256(ul1, uh1, 0x31));
+  }
+  if (main < nblocks) {
+    philox_words_counter_range_scalar(seed, stream, counter0 + main,
+                                      out + 2 * main, nblocks - main);
+  }
+}
+
+void philox_bits_streams_avx2(std::uint64_t seed, std::uint64_t counter,
+                              const std::uint64_t* streams, std::uint64_t* out,
+                              std::size_t n) {
+  const std::size_t main = n & ~std::size_t{7};
+  const std::uint32_t key0 = static_cast<std::uint32_t>(seed);
+  const std::uint32_t key1 = static_cast<std::uint32_t>(seed >> 32);
+  const __m256i t_lo = _mm256_set1_epi32(static_cast<int>(
+      static_cast<std::uint32_t>(counter)));
+  const __m256i t_hi = _mm256_set1_epi32(static_cast<int>(
+      static_cast<std::uint32_t>(counter >> 32)));
+  for (std::size_t i = 0; i < main; i += 8) {
+    __m256i c0 = t_lo;
+    __m256i c1 = t_hi;
+    __m256i c2, c3;
+    split_u64_8(streams + i, c2, c3);
+    philox10_8x(c0, c1, c2, c3, key0, key1);
+    __m256i w03, w47;
+    join_u64_8(c0, c1, w03, w47);  // low u64 only: the deterministic bits
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), w03);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4), w47);
+  }
+  if (main < n) {
+    philox_bits_streams_scalar(seed, counter, streams + main, out + main,
+                               n - main);
+  }
+}
+
+void fill_u01_from_bits_avx2(const std::uint64_t* bits, double* out,
+                             std::size_t n) {
+  const std::size_t main = n & ~std::size_t{3};
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i exp52 = _mm256_castpd_si256(_mm256_set1_pd(0x1.0p52));
+  const __m256i exp84 = _mm256_castpd_si256(_mm256_set1_pd(0x1.0p84));
+  const __m256d sub = _mm256_set1_pd(0x1.0p84 + 0x1.0p52);
+  const __m256d scale = _mm256_set1_pd(0x1.0p-53);
+  for (std::size_t i = 0; i < main; i += 4) {
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits + i));
+    // v = (bits >> 11) + 1, in [1, 2^53] — exactly representable.
+    const __m256i v = _mm256_add_epi64(_mm256_srli_epi64(b, 11), one);
+    // Exact u64 -> f64 via the two-halves trick: hi dwords become
+    // 2^84 + hi * 2^32, low dwords become 2^52 + lo; the magic-constant
+    // subtraction cancels both biases with exact adds (v <= 2^53).
+    const __m256i x_hi = _mm256_or_si256(_mm256_srli_epi64(v, 32), exp84);
+    const __m256i x_lo = _mm256_blend_epi32(v, exp52, 0xAA);
+    const __m256d hi_d = _mm256_sub_pd(_mm256_castsi256_pd(x_hi), sub);
+    const __m256d d = _mm256_add_pd(hi_d, _mm256_castsi256_pd(x_lo));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(d, scale));
+  }
+  if (main < n) fill_u01_from_bits_scalar(bits + main, out + main, n - main);
+}
+
+double bound_pass_avx2(const double* u, const double* inv_f, double* ub,
+                       std::size_t n) {
+  const std::size_t main = n & ~std::size_t{3};
+  const __m256d one = _mm256_set1_pd(1.0);
+  __m256d vmax = _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < main; i += 4) {
+    const __m256d b = _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(u + i), one),
+                                    _mm256_loadu_pd(inv_f + i));
+    _mm256_storeu_pd(ub + i, b);
+    vmax = _mm256_max_pd(vmax, b);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, vmax);
+  double block_max = lanes[0];
+  for (int j = 1; j < 4; ++j) {
+    if (lanes[j] > block_max) block_max = lanes[j];
+  }
+  if (main < n) {
+    const double tail = bound_pass_scalar(u + main, inv_f + main, ub + main,
+                                          n - main);
+    if (tail > block_max) block_max = tail;
+  }
+  return block_max;
+}
+
+constexpr Ops kAvx2Ops = {
+    "avx2",
+    Target::kAvx2,
+    &philox_words_counter_range_avx2,
+    &philox_bits_streams_avx2,
+    &fill_u01_from_bits_avx2,
+    &bound_pass_avx2,
+};
+
+}  // namespace
+
+const Ops* avx2_ops() noexcept { return &kAvx2Ops; }
+
+}  // namespace lrb::simd::detail
+
+#else  // !__AVX2__
+
+namespace lrb::simd::detail {
+const Ops* avx2_ops() noexcept { return nullptr; }
+}  // namespace lrb::simd::detail
+
+#endif

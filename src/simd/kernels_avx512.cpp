@@ -1,0 +1,207 @@
+// The AVX-512 target: 16 Philox4x32-10 blocks per iteration, 8-wide
+// conversion and bound pass.  Compiled with -mavx512f -mavx512dq and
+// selected only after cpuid confirms both features (DQ supplies the exact
+// _mm512_cvtepu64_pd the conversion uses).  The same bit-equality argument
+// as the AVX2 target applies: integer Philox lanes, exact conversion for
+// values <= 2^53, sub-mul-max with no contraction; tails delegate to the
+// exported scalar kernels so no AVX-512 COMDAT leaks into portable TUs.
+#include "simd/kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include <limits>
+
+#include "rng/philox.hpp"
+
+namespace lrb::simd::detail {
+namespace {
+
+// 16-lane widening 32x32 multiply; same even/odd split as the AVX2 target,
+// with the 32-bit-lane blend done by mask (0xAAAA = odd dword lanes).
+inline void mul_hilo_16x32(__m512i a, __m512i m, __m512i& hi, __m512i& lo) {
+  const __m512i even = _mm512_mul_epu32(a, m);
+  const __m512i odd = _mm512_mul_epu32(_mm512_srli_epi64(a, 32), m);
+  lo = _mm512_mask_blend_epi32(0xAAAA, even, _mm512_slli_epi64(odd, 32));
+  hi = _mm512_mask_blend_epi32(0xAAAA, _mm512_srli_epi64(even, 32), odd);
+}
+
+inline void philox10_16x(__m512i& c0, __m512i& c1, __m512i& c2, __m512i& c3,
+                         std::uint32_t key0, std::uint32_t key1) {
+  const __m512i m0 = _mm512_set1_epi64(rng::detail::kPhiloxM0);
+  const __m512i m1 = _mm512_set1_epi64(rng::detail::kPhiloxM1);
+  __m512i k0 = _mm512_set1_epi32(static_cast<int>(key0));
+  __m512i k1 = _mm512_set1_epi32(static_cast<int>(key1));
+  const __m512i w0 = _mm512_set1_epi32(static_cast<int>(rng::detail::kPhiloxW0));
+  const __m512i w1 = _mm512_set1_epi32(static_cast<int>(rng::detail::kPhiloxW1));
+  for (int round = 0; round < 10; ++round) {
+    __m512i p0hi, p0lo, p1hi, p1lo;
+    mul_hilo_16x32(c0, m0, p0hi, p0lo);
+    mul_hilo_16x32(c2, m1, p1hi, p1lo);
+    const __m512i n0 = _mm512_xor_si512(_mm512_xor_si512(p1hi, c1), k0);
+    const __m512i n2 = _mm512_xor_si512(_mm512_xor_si512(p0hi, c3), k1);
+    c0 = n0;
+    c1 = p1lo;
+    c2 = n2;
+    c3 = p0lo;
+    k0 = _mm512_add_epi32(k0, w0);
+    k1 = _mm512_add_epi32(k1, w1);
+  }
+}
+
+// Dword-lane shuffles for u64 <-> SoA: permutex2var indices picking the
+// even (low) or odd (high) dwords of 16 consecutive u64s.
+inline __m512i idx_seq(const int (&v)[16]) {
+  return _mm512_loadu_si512(v);
+}
+
+inline void split_u64_16(const std::uint64_t* p, __m512i& lo32, __m512i& hi32) {
+  static const int kLo[16] = {0, 2, 4, 6, 8, 10, 12, 14,
+                              16, 18, 20, 22, 24, 26, 28, 30};
+  static const int kHi[16] = {1, 3, 5, 7, 9, 11, 13, 15,
+                              17, 19, 21, 23, 25, 27, 29, 31};
+  const __m512i a = _mm512_loadu_si512(p);
+  const __m512i b = _mm512_loadu_si512(p + 8);
+  lo32 = _mm512_permutex2var_epi32(a, idx_seq(kLo), b);
+  hi32 = _mm512_permutex2var_epi32(a, idx_seq(kHi), b);
+}
+
+inline void join_u64_16(__m512i lo32, __m512i hi32, __m512i& w07,
+                        __m512i& w8f) {
+  static const int kLoHalf[16] = {0, 16, 1, 17, 2, 18, 3, 19,
+                                  4, 20, 5, 21, 6, 22, 7, 23};
+  static const int kHiHalf[16] = {8, 24, 9, 25, 10, 26, 11, 27,
+                                  12, 28, 13, 29, 14, 30, 15, 31};
+  w07 = _mm512_permutex2var_epi32(lo32, idx_seq(kLoHalf), hi32);
+  w8f = _mm512_permutex2var_epi32(lo32, idx_seq(kHiHalf), hi32);
+}
+
+void philox_words_counter_range_avx512(std::uint64_t seed,
+                                       std::uint64_t stream,
+                                       std::uint64_t counter0,
+                                       std::uint64_t* out,
+                                       std::size_t nblocks) {
+  const std::size_t main = nblocks & ~std::size_t{15};
+  const std::uint32_t key0 = static_cast<std::uint32_t>(seed);
+  const std::uint32_t key1 = static_cast<std::uint32_t>(seed >> 32);
+  const __m512i s_lo = _mm512_set1_epi32(static_cast<int>(
+      static_cast<std::uint32_t>(stream)));
+  const __m512i s_hi = _mm512_set1_epi32(static_cast<int>(
+      static_cast<std::uint32_t>(stream >> 32)));
+  const __m512i step0 = _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m512i step1 = _mm512_setr_epi64(8, 9, 10, 11, 12, 13, 14, 15);
+  for (std::size_t i = 0; i < main; i += 16) {
+    const __m512i base =
+        _mm512_set1_epi64(static_cast<long long>(counter0 + i));
+    alignas(64) std::uint64_t ctr[16];
+    _mm512_store_si512(ctr, _mm512_add_epi64(base, step0));
+    _mm512_store_si512(ctr + 8, _mm512_add_epi64(base, step1));
+    __m512i c0, c1;
+    split_u64_16(ctr, c0, c1);
+    __m512i c2 = s_lo;
+    __m512i c3 = s_hi;
+    philox10_16x(c0, c1, c2, c3, key0, key1);
+    __m512i lo07, lo8f, hi07, hi8f;
+    join_u64_16(c0, c1, lo07, lo8f);   // low u64 of blocks 0..7 / 8..15
+    join_u64_16(c2, c3, hi07, hi8f);   // high u64
+    // Interleave (lo, hi) per block into the engine's word order.
+    std::uint64_t* o = out + 2 * i;
+    _mm512_storeu_si512(o, _mm512_permutex2var_epi64(
+        lo07, _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11), hi07));
+    _mm512_storeu_si512(o + 8, _mm512_permutex2var_epi64(
+        lo07, _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15), hi07));
+    _mm512_storeu_si512(o + 16, _mm512_permutex2var_epi64(
+        lo8f, _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11), hi8f));
+    _mm512_storeu_si512(o + 24, _mm512_permutex2var_epi64(
+        lo8f, _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15), hi8f));
+  }
+  if (main < nblocks) {
+    philox_words_counter_range_scalar(seed, stream, counter0 + main,
+                                      out + 2 * main, nblocks - main);
+  }
+}
+
+void philox_bits_streams_avx512(std::uint64_t seed, std::uint64_t counter,
+                                const std::uint64_t* streams,
+                                std::uint64_t* out, std::size_t n) {
+  const std::size_t main = n & ~std::size_t{15};
+  const std::uint32_t key0 = static_cast<std::uint32_t>(seed);
+  const std::uint32_t key1 = static_cast<std::uint32_t>(seed >> 32);
+  const __m512i t_lo = _mm512_set1_epi32(static_cast<int>(
+      static_cast<std::uint32_t>(counter)));
+  const __m512i t_hi = _mm512_set1_epi32(static_cast<int>(
+      static_cast<std::uint32_t>(counter >> 32)));
+  for (std::size_t i = 0; i < main; i += 16) {
+    __m512i c0 = t_lo;
+    __m512i c1 = t_hi;
+    __m512i c2, c3;
+    split_u64_16(streams + i, c2, c3);
+    philox10_16x(c0, c1, c2, c3, key0, key1);
+    __m512i w07, w8f;
+    join_u64_16(c0, c1, w07, w8f);
+    _mm512_storeu_si512(out + i, w07);
+    _mm512_storeu_si512(out + i + 8, w8f);
+  }
+  if (main < n) {
+    philox_bits_streams_scalar(seed, counter, streams + main, out + main,
+                               n - main);
+  }
+}
+
+void fill_u01_from_bits_avx512(const std::uint64_t* bits, double* out,
+                               std::size_t n) {
+  const std::size_t main = n & ~std::size_t{7};
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512d scale = _mm512_set1_pd(0x1.0p-53);
+  for (std::size_t i = 0; i < main; i += 8) {
+    const __m512i b = _mm512_loadu_si512(bits + i);
+    const __m512i v = _mm512_add_epi64(_mm512_srli_epi64(b, 11), one);
+    // AVX-512DQ converts u64 -> f64 directly; exact for v <= 2^53.
+    _mm512_storeu_pd(out + i, _mm512_mul_pd(_mm512_cvtepu64_pd(v), scale));
+  }
+  if (main < n) fill_u01_from_bits_scalar(bits + main, out + main, n - main);
+}
+
+double bound_pass_avx512(const double* u, const double* inv_f, double* ub,
+                         std::size_t n) {
+  const std::size_t main = n & ~std::size_t{7};
+  const __m512d one = _mm512_set1_pd(1.0);
+  __m512d vmax = _mm512_set1_pd(-std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < main; i += 8) {
+    const __m512d b = _mm512_mul_pd(
+        _mm512_sub_pd(_mm512_loadu_pd(u + i), one), _mm512_loadu_pd(inv_f + i));
+    _mm512_storeu_pd(ub + i, b);
+    vmax = _mm512_max_pd(vmax, b);
+  }
+  double block_max = _mm512_reduce_max_pd(vmax);
+  if (main < n) {
+    const double tail =
+        bound_pass_scalar(u + main, inv_f + main, ub + main, n - main);
+    if (tail > block_max) block_max = tail;
+  }
+  return block_max;
+}
+
+constexpr Ops kAvx512Ops = {
+    "avx512",
+    Target::kAvx512,
+    &philox_words_counter_range_avx512,
+    &philox_bits_streams_avx512,
+    &fill_u01_from_bits_avx512,
+    &bound_pass_avx512,
+};
+
+}  // namespace
+
+const Ops* avx512_ops() noexcept { return &kAvx512Ops; }
+
+}  // namespace lrb::simd::detail
+
+#else  // !(__AVX512F__ && __AVX512DQ__)
+
+namespace lrb::simd::detail {
+const Ops* avx512_ops() noexcept { return nullptr; }
+}  // namespace lrb::simd::detail
+
+#endif

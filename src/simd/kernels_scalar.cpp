@@ -1,0 +1,69 @@
+// The portable scalar target — the reference every vector target must match
+// bit for bit, and the tail path they delegate to.  Compiled with the base
+// ISA flags only; routes through the same rng/philox.hpp and
+// rng/uniform.hpp inlines the rest of the library uses, so "scalar dispatch"
+// and "the pre-SIMD code" are the same arithmetic by construction.
+#include "simd/kernels.hpp"
+
+#include <limits>
+
+#include "rng/philox.hpp"
+#include "rng/uniform.hpp"
+
+namespace lrb::simd::detail {
+
+void philox_words_counter_range_scalar(std::uint64_t seed, std::uint64_t stream,
+                                       std::uint64_t counter0,
+                                       std::uint64_t* out,
+                                       std::size_t nblocks) {
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    const rng::PhiloxBlock block =
+        rng::philox_block_at(seed, counter0 + i, stream);
+    out[2 * i] = block.u64_lo();
+    out[2 * i + 1] = block.u64_hi();
+  }
+}
+
+void philox_bits_streams_scalar(std::uint64_t seed, std::uint64_t counter,
+                                const std::uint64_t* streams,
+                                std::uint64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = rng::philox_u64_at(seed, counter, streams[i]);
+  }
+}
+
+void fill_u01_from_bits_scalar(const std::uint64_t* bits, double* out,
+                               std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = rng::u01_open_closed_from_bits(bits[i]);
+  }
+}
+
+double bound_pass_scalar(const double* u, const double* inv_f, double* ub,
+                         std::size_t n) {
+  double block_max = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Sub then mul, exactly as draw_many's original bound pass; no FMA
+    // contraction is possible here (no multiply feeding an add), so every
+    // target computes the identical double.
+    const double b = (u[i] - 1.0) * inv_f[i];
+    ub[i] = b;
+    if (b > block_max) block_max = b;
+  }
+  return block_max;
+}
+
+namespace {
+constexpr Ops kScalarOps = {
+    "scalar",
+    Target::kScalar,
+    &philox_words_counter_range_scalar,
+    &philox_bits_streams_scalar,
+    &fill_u01_from_bits_scalar,
+    &bound_pass_scalar,
+};
+}  // namespace
+
+const Ops* scalar_ops() noexcept { return &kScalarOps; }
+
+}  // namespace lrb::simd::detail

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 #include <random>
+#include <span>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -111,6 +113,35 @@ TEST(CheckedFitnessTotal, RejectsNaN) {
 TEST(CheckedFitnessTotal, RejectsInfinity) {
   const std::vector<double> f = {1.0, std::numeric_limits<double>::infinity()};
   EXPECT_THROW((void)checked_fitness_total(f), InvalidFitnessError);
+}
+
+TEST(CheckedFitnessTotal, ErrorsNameOffendingIndexAndValue) {
+  // Validation runs once per batch everywhere, so the error can afford full
+  // context: which index, what value.  Uniform across every selector (they
+  // all funnel through checked_fitness_total) and ShardedFitness::update.
+  const auto what_of = [](std::span<const double> f) -> std::string {
+    try {
+      (void)checked_fitness_total(f);
+    } catch (const InvalidFitnessError& e) {
+      return e.what();
+    }
+    return "<no throw>";
+  };
+  const auto expect_contains = [](const std::string& msg,
+                                  const std::string& piece) {
+    EXPECT_NE(msg.find(piece), std::string::npos)
+        << "\"" << msg << "\" should contain \"" << piece << "\"";
+  };
+  const std::vector<double> negative = {1.0, -0.5};
+  expect_contains(what_of(negative), "index 1");
+  expect_contains(what_of(negative), "value -0.5");
+  const std::vector<double> nan = {1.0, 2.0,
+                                   std::numeric_limits<double>::quiet_NaN()};
+  expect_contains(what_of(nan), "index 2");
+  expect_contains(what_of(nan), "value nan");
+  const std::vector<double> inf = {std::numeric_limits<double>::infinity()};
+  expect_contains(what_of(inf), "index 0");
+  expect_contains(what_of(inf), "value inf");
 }
 
 TEST(CheckedFitnessTotal, RejectsAllZeroWhenPositiveRequired) {

@@ -60,6 +60,16 @@ TEST(ShardedFitness, PointUpdateIsAppliedAndSumsTrack) {
   }
   EXPECT_THROW(shards.update(8, 1.0), lrb::InvalidArgumentError);
   EXPECT_THROW(shards.update(0, -1.0), lrb::InvalidFitnessError);
+  // The error surface matches checked_fitness_total's: offending index and
+  // value, so million-entry update streams are debuggable from the message.
+  try {
+    shards.update(5, -2.25);
+    FAIL() << "negative update must throw";
+  } catch (const lrb::InvalidFitnessError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("index 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("value -2.25"), std::string::npos) << msg;
+  }
 }
 
 TEST(ShardedFitness, EmptiedShardSnapsToExactZero) {

@@ -1,0 +1,41 @@
+// Shared helpers for the SIMD engine tests: enumerate the dispatch targets
+// this machine can actually run, and force one for the duration of a scope.
+#pragma once
+
+#include <vector>
+
+#include "simd/dispatch.hpp"
+
+namespace lrb::simd::testing {
+
+/// Every target available here (compiled in AND executable by this CPU).
+/// Always contains kScalar.
+inline std::vector<Target> available_targets() {
+  std::vector<Target> targets;
+  for (Target t : {Target::kScalar, Target::kAvx2, Target::kAvx512}) {
+    if (ops_for(t) != nullptr) targets.push_back(t);
+  }
+  return targets;
+}
+
+/// Forces a dispatch target for one scope, restoring the previous one on
+/// exit — so a test can sweep targets without leaking state into the rest
+/// of the suite.
+class ScopedTarget {
+ public:
+  explicit ScopedTarget(Target target) : previous_(active_target()) {
+    forced_ = force_target(target);
+  }
+  ~ScopedTarget() { (void)force_target(previous_); }
+  ScopedTarget(const ScopedTarget&) = delete;
+  ScopedTarget& operator=(const ScopedTarget&) = delete;
+
+  /// False when the target is unavailable (the active table is unchanged).
+  [[nodiscard]] bool forced() const noexcept { return forced_; }
+
+ private:
+  Target previous_;
+  bool forced_ = false;
+};
+
+}  // namespace lrb::simd::testing

@@ -1,43 +1,52 @@
 // bench_json — the repo's perf trajectory, as a machine-readable artifact.
 //
 // Runs the sweeps the batched hot path is accountable for and emits one JSON
-// document (schema "lrb-bench-selection/v2", default BENCH_selection.json)
+// document (schema "lrb-bench-selection/v4", default BENCH_selection.json)
 // that future PRs can regress against:
 //
 //   * serial_draw_many — n in {1e4, 1e6} x {dense, sparse} x m: ns/draw of a
 //     loop of m select_bidding() calls vs one draw_many() batch vs one
 //     alias-table build + m O(1) draws vs the counter-based deterministic
-//     batch (batch_select_deterministic — the `deterministic` selector
-//     column, measuring the Philox premium over the xoshiro stream path),
-//     plus the break-even batch size the crossover heuristic in
+//     batch, with the draw_many and deterministic columns timed on BOTH the
+//     best SIMD dispatch target and forced-scalar dispatch — the simd_*
+//     speedup columns are the vector engine's report card, philox_cost_* the
+//     price of the P-invariant replay contract;
+//   * crossover — per (n, density): the measured bidding-vs-alias break-even
+//     batch size m* (from the build/per-draw split of the timed totals) and
+//     the implied kAliasCrossover factor n / (m* k) the heuristic in
 //     core/batch.hpp is calibrated from;
-//   * distributed_batch — P in 2..1024 x B: the CommLedger of ONE
-//     distributed_bidding_batch(B) against B independent prefix-sum draws —
-//     rounds per draw amortize as ceil(log2 P)/B while words stay B x the
-//     single-draw bill — plus the deterministic batch's ledger, which must
-//     EQUAL the stream batch's (P-invariance costs compute, not words);
-//   * deterministic_parity — the P-invariance contract executed end to end:
-//     distributed_bidding_deterministic_batch winners at every P in the
-//     sweep compared bit-for-bit against serial core::DeterministicBidder.
+//   * distributed_batch / deterministic_parity — unchanged from v3: the
+//     CommLedger invariants and the end-to-end P-invariance contract.
 //
 // The full run (default) also enforces the acceptance invariants — draw_many
-// >= 2x the serial loop at n = 1e6, m = 1024 dense; the batch ledger exactly
-// ceil(log2 P) rounds and cheaper than B x prefix-sum on every axis at every
-// P — and exits non-zero when a regression broke them.  --quick shrinks every
-// dimension to smoke-test scale (seconds; used by CTest and the bench-smoke
-// CI job) and skips only the timing-based assertions: the ledger and
-// deterministic-parity invariants are exact and enforced in BOTH modes.
+// >= 2x the serial loop and the SIMD engine >= 1.5x forced-scalar at
+// n = 1e6, m = 1024 dense; the deterministic philox_cost reduced >= 25% by
+// the SIMD kernels; the exact ledger/parity facts at every P — and exits
+// non-zero when a regression broke them.  --quick shrinks every dimension to
+// smoke-test scale (seconds; used by CTest and the bench-smoke CI job) and
+// skips only the timing-based assertions.
 //
-// Schema history: v2 adds serial columns deterministic_ns_per_draw /
-// deterministic_draws_timed / philox_cost_vs_draw_many, distributed columns
-// det_* + deterministic_ledger_equal_stream, and the deterministic_parity
-// array + invariants — purely additive over v1.  v3 adds the top-level
-// "backend" field (the CommBackend the distributed sweeps ran on — always
-// "simulated" here; MPI-sourced numbers come from tools/mpi_parity, which
-// stamps "mpi") and repeats it per deterministic_parity row, so harvested
-// JSON can never silently mix machines — additive over v2.
+// Compare mode — the machine-readable regression diff CI runs instead of
+// ad-hoc scripts:
+//
+//   bench_json --compare=old.json new.json [--max-regression=0.10]
+//              [--timing=enforce|report]
+//
+// diffs the invariant blocks (any true -> false is fatal in both modes) and
+// the matching serial *_ns_per_draw cells (ratio > 1 + max-regression is
+// fatal under --timing=enforce; --timing=report prints ratios without
+// failing, for cross-machine diffs like CI-runner vs committed baseline).
+//
+// Schema history: v2 added the deterministic columns/parity, v3 the backend
+// stamps; v4 adds the top-level "simd" object (best target, available
+// targets), per-serial-row simd_target / draw_many_scalar_ns_per_draw /
+// deterministic_scalar_ns_per_draw / simd_speedup_draw_many /
+// simd_speedup_deterministic / philox_cost_scalar_dispatch, the "crossover"
+// array, and the simd_* invariants — purely additive over v3.
 //
 // Usage: bench_json [--quick] [--reps=3] [--out=BENCH_selection.json]
+//        bench_json --compare=old.json new.json [--max-regression=0.10]
+//                   [--timing=enforce|report]
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -45,6 +54,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,7 +68,9 @@
 #include "core/logarithmic_bidding.hpp"
 #include "dist/backend.hpp"
 #include "dist/selection.hpp"
+#include "json_read.hpp"
 #include "rng/xoshiro256.hpp"
+#include "simd/dispatch.hpp"
 
 namespace {
 
@@ -82,6 +94,13 @@ class Json {
   }
   void field(const std::string& key, double value) {
     item();
+    // JSON has no inf/nan literal; a non-finite cell (e.g. an unbounded
+    // crossover fit) must become null or the artifact breaks every parser
+    // downstream, --compare included (which skips non-number cells).
+    if (!std::isfinite(value)) {
+      out_ += quote(key) + ":null";
+      return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.6g", value);
     out_ += quote(key) + ":" + buf;
@@ -147,7 +166,8 @@ double time_serial_loop(const std::vector<double>& fitness, std::size_t m_timed,
   return best * 1e9 / static_cast<double>(m_timed);
 }
 
-/// Best-of-reps ns/draw of one draw_many() batch (kernel build included).
+/// Best-of-reps ns/draw of one draw_many() batch (kernel build included) on
+/// the CURRENT dispatch target.
 double time_draw_many(const std::vector<double>& fitness, std::size_t m,
                       int reps) {
   double best = std::numeric_limits<double>::infinity();
@@ -177,10 +197,10 @@ double time_alias(const std::vector<double>& fitness, std::size_t m, int reps) {
 }
 
 /// Best-of-reps ns/draw of the counter-based deterministic batch
-/// (batch_select_deterministic) over `m_timed` draws.  Like the serial
-/// baseline it is O(k) Philox blocks per draw with no per-batch speed-up
-/// from m beyond the hoisted build, so it is timed over a capped draw count
-/// and reported per draw.
+/// (batch_select_deterministic) over `m_timed` draws, on the CURRENT
+/// dispatch target.  Like the serial baseline it is O(k) Philox blocks per
+/// draw with no per-batch speed-up from m beyond the hoisted build, so it is
+/// timed over a capped draw count and reported per draw.
 double time_deterministic(const std::vector<double>& fitness,
                           std::size_t m_timed, int reps) {
   double best = std::numeric_limits<double>::infinity();
@@ -194,10 +214,149 @@ double time_deterministic(const std::vector<double>& fitness,
   return best * 1e9 / static_cast<double>(m_timed);
 }
 
+/// Runs `fn()` with the scalar dispatch table forced, restoring the previous
+/// target afterwards — the A/B half of every simd_* column.
+template <typename Fn>
+double timed_on_scalar(Fn&& fn) {
+  const lrb::simd::Target previous = lrb::simd::active_target();
+  (void)lrb::simd::force_target(lrb::simd::Target::kScalar);
+  const double result = fn();
+  (void)lrb::simd::force_target(previous);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Compare mode.
+
+std::string read_file_or_die(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_json: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Key identifying a serial sweep row across artifacts.
+std::string serial_row_key(const lrb::tools::JsonValue& row) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "n=%.0f density=%s m=%.0f",
+                row.at("n").as_number(-1), row.at("density").as_string().c_str(),
+                row.at("m").as_number(-1));
+  return std::string(buf);
+}
+
+/// The machine-readable regression diff: invariant-block equality (always
+/// fatal on true -> false) + matching serial timing cells (fatal beyond
+/// --max-regression under --timing=enforce).  Exit codes: 0 clean, 1
+/// regression, 2 unusable input.
+int run_compare(const lrb::CliArgs& args) {
+  const std::string old_path = args.get_string("compare", "");
+  if (old_path.empty() || args.positionals().empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_json --compare=old.json new.json "
+                 "[--max-regression=0.10] [--timing=enforce|report]\n");
+    return 2;
+  }
+  const std::string new_path = args.positionals().front();
+  const double tolerance = args.get_double("max-regression", 0.10);
+  const std::string timing_mode = args.get_string("timing", "enforce");
+  if (timing_mode != "enforce" && timing_mode != "report") {
+    std::fprintf(stderr, "bench_json: --timing must be enforce|report\n");
+    return 2;
+  }
+
+  lrb::tools::JsonValue old_doc, new_doc;
+  try {
+    old_doc = lrb::tools::parse_json(read_file_or_die(old_path));
+    new_doc = lrb::tools::parse_json(read_file_or_die(new_path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_json: %s\n", e.what());
+    return 2;
+  }
+  std::printf("compare: old=%s (%s) new=%s (%s)\n", old_path.c_str(),
+              old_doc.at("schema").as_string().c_str(), new_path.c_str(),
+              new_doc.at("schema").as_string().c_str());
+
+  // --- Invariant block: every invariant the old artifact holds as true
+  // must still be true (keys the new run does not compute — e.g. the
+  // timing-based ones under --quick — are not compared).
+  int invariant_regressions = 0;
+  int invariants_held = 0;
+  const lrb::tools::JsonValue& old_inv = old_doc.at("invariants");
+  const lrb::tools::JsonValue& new_inv = new_doc.at("invariants");
+  if (!old_inv.is_object() || !new_inv.is_object()) {
+    std::fprintf(stderr, "bench_json: missing invariants block\n");
+    return 2;
+  }
+  for (const auto& [key, old_value] : *old_inv.object) {
+    if (!old_value.is_bool() || !old_value.boolean) continue;
+    if (!new_inv.has(key)) continue;
+    if (new_inv.at(key).as_bool(false)) {
+      ++invariants_held;
+    } else {
+      ++invariant_regressions;
+      std::printf("REGRESSED invariant %s: true -> false\n", key.c_str());
+    }
+  }
+  std::printf("invariants: %d held, %d regressed\n", invariants_held,
+              invariant_regressions);
+
+  // --- Timing cells: serial rows matched by (n, density, m); every
+  // *_ns_per_draw column present in both rows is compared as new/old.
+  int timing_cells = 0;
+  int timing_regressions = 0;
+  double worst_ratio = 0.0;
+  for (const lrb::tools::JsonValue& old_row :
+       old_doc.at("serial_draw_many").items()) {
+    const std::string key = serial_row_key(old_row);
+    for (const lrb::tools::JsonValue& new_row :
+         new_doc.at("serial_draw_many").items()) {
+      if (serial_row_key(new_row) != key) continue;
+      for (const auto& [column, old_cell] : *old_row.object) {
+        if (!old_cell.is_number() || old_cell.number <= 0.0) continue;
+        if (column.find("_ns_per_draw") == std::string::npos) continue;
+        if (!new_row.has(column) || !new_row.at(column).is_number()) continue;
+        const double ratio = new_row.at(column).number / old_cell.number;
+        ++timing_cells;
+        worst_ratio = std::max(worst_ratio, ratio);
+        const bool regressed = ratio > 1.0 + tolerance;
+        if (regressed || ratio < 1.0 / (1.0 + tolerance)) {
+          std::printf("%s %s %s: %.1f -> %.1f ns/draw (ratio %.3f)\n",
+                      regressed ? "REGRESSED" : "improved", key.c_str(),
+                      column.c_str(), old_cell.number,
+                      new_row.at(column).number, ratio);
+        }
+        if (regressed) ++timing_regressions;
+      }
+    }
+  }
+  std::printf("timing: %d cells compared, %d beyond %.0f%% (worst ratio "
+              "%.3f, mode=%s)\n",
+              timing_cells, timing_regressions, tolerance * 100.0, worst_ratio,
+              timing_mode.c_str());
+
+  if (invariant_regressions > 0) {
+    std::fprintf(stderr, "bench_json: invariant regression\n");
+    return 1;
+  }
+  if (timing_mode == "enforce" && timing_regressions > 0) {
+    std::fprintf(stderr, "bench_json: timing regression beyond %.0f%%\n",
+                 tolerance * 100.0);
+    return 1;
+  }
+  std::printf("compare ok\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const lrb::CliArgs args(argc, argv);
+  if (args.has("compare")) return run_compare(args);
+
   const bool quick = args.get_bool("quick", false);
   const int reps = static_cast<int>(args.get_u64("reps", quick ? 1 : 3));
   const std::string out_path =
@@ -215,22 +374,48 @@ int main(int argc, char** argv) {
   const std::size_t dist_n = quick ? 2'000 : 100'000;
 
   bool speedup_target_met = true;
+  bool simd_speedup_target_met = true;
+  bool philox_cost_reduced_enough = true;
   bool batched_cheaper_everywhere = true;
   bool rounds_exact_everywhere = true;
   bool det_ledger_parity_everywhere = true;
   bool det_p_invariant_everywhere = true;
   double headline_speedup = 0.0;
+  double headline_simd_speedup = 0.0;
   double headline_philox_cost = 0.0;
+  double headline_philox_cost_scalar = 0.0;
 
   // Every sweep below runs on the default backend; naming it in the
   // artifact keeps future MPI-sourced benches distinguishable.
   const std::string backend(lrb::dist::simulated_backend().name());
+  // The SIMD engine's resolved target — the "best" half of every A/B column
+  // below (LRB_SIMD pins it; forced-scalar is always the other half).  When
+  // the resolved target IS scalar (no vector hardware, or LRB_SIMD=scalar),
+  // the A/B columns are ~1.0 by construction and the simd_* acceptance
+  // targets are not meaningful — they are neither emitted nor enforced.
+  const std::string simd_target(lrb::simd::target_name());
+  const bool simd_vector_active =
+      lrb::simd::active_target() != lrb::simd::Target::kScalar;
 
   Json json;
   json.begin_object();
-  json.field("schema", "lrb-bench-selection/v3");
+  json.field("schema", "lrb-bench-selection/v4");
   json.field("generated_by", "tools/bench_json");
   json.field("backend", backend);
+  json.begin_object("simd");
+  json.field("target", simd_target);
+  json.begin_array("available");
+  for (lrb::simd::Target t :
+       {lrb::simd::Target::kScalar, lrb::simd::Target::kAvx2,
+        lrb::simd::Target::kAvx512}) {
+    if (const lrb::simd::Ops* ops = lrb::simd::ops_for(t)) {
+      json.begin_object();
+      json.field("name", ops->name);
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.end_object();
   json.begin_object("config");
   json.field("quick", quick);
   json.field("reps", static_cast<std::uint64_t>(reps));
@@ -238,7 +423,16 @@ int main(int argc, char** argv) {
   json.end_object();
 
   // -------------------------------------------------------------- serial --
-  std::printf("serial draw_many sweep (reps=%d)...\n", reps);
+  std::printf("serial draw_many sweep (reps=%d, simd=%s)...\n", reps,
+              simd_target.c_str());
+  struct CrossoverRow {
+    std::uint64_t n = 0;
+    const char* density = "";
+    std::uint64_t k = 0;
+    double m_star = 0.0;
+    double implied_factor = 0.0;
+  };
+  std::vector<CrossoverRow> crossover_rows;
   json.begin_array("serial_draw_many");
   for (std::size_t n : ns) {
     for (bool dense : {true, false}) {
@@ -248,7 +442,14 @@ int main(int argc, char** argv) {
       // capped draw count and reported per draw — and since that cap, not m,
       // fixes the measurement, each distinct cap is timed once per fitness
       // shape rather than redone for every m.
-      std::vector<std::pair<std::size_t, std::pair<double, double>>> baseline;
+      struct Baseline {
+        double serial_ns;
+        double det_ns;
+        double det_scalar_ns;
+      };
+      std::vector<std::pair<std::size_t, Baseline>> baseline;
+      // Totals for the crossover fit: t(m) = build + m * per_draw.
+      std::vector<std::pair<std::size_t, std::pair<double, double>>> totals;
       for (std::size_t m : ms) {
         const std::size_t serial_timed = std::min<std::size_t>(m, quick ? 4 : 32);
         auto cached = std::find_if(baseline.begin(), baseline.end(),
@@ -258,29 +459,48 @@ int main(int argc, char** argv) {
               baseline.end(),
               {serial_timed,
                {time_serial_loop(fitness, serial_timed, reps),
-                time_deterministic(fitness, serial_timed, reps)}});
+                time_deterministic(fitness, serial_timed, reps),
+                timed_on_scalar([&] {
+                  return time_deterministic(fitness, serial_timed, reps);
+                })}});
         }
-        const double serial_ns = cached->second.first;
+        const double serial_ns = cached->second.serial_ns;
         const double many_ns = time_draw_many(fitness, m, reps);
+        const double many_scalar_ns = timed_on_scalar(
+            [&] { return time_draw_many(fitness, m, reps); });
         const double alias_ns = time_alias(fitness, m, reps);
+        totals.push_back({m, {many_ns * static_cast<double>(m),
+                              alias_ns * static_cast<double>(m)}});
         // The deterministic column: O(k) Philox blocks per draw, capped like
         // the serial baseline.  philox_cost_vs_draw_many is the price of the
-        // P-invariant replay contract relative to the stream hot path.
-        const double det_ns = cached->second.second;
+        // P-invariant replay contract relative to the stream hot path; the
+        // simd_speedup columns are forced-scalar over best-target — what the
+        // vector kernels bought on this machine.
+        const double det_ns = cached->second.det_ns;
+        const double det_scalar_ns = cached->second.det_scalar_ns;
         const double speedup = serial_ns / many_ns;
         const double philox_cost = det_ns / many_ns;
+        const double philox_cost_scalar = det_scalar_ns / many_scalar_ns;
+        const double simd_speedup_many = many_scalar_ns / many_ns;
+        const double simd_speedup_det = det_scalar_ns / det_ns;
 
         json.begin_object();
         json.field("n", n);
         json.field("density", dense ? "dense" : "sparse_10pct");
         json.field("m", m);
+        json.field("simd_target", simd_target);
         json.field("serial_draws_timed", serial_timed);
         json.field("serial_ns_per_draw", serial_ns);
         json.field("draw_many_ns_per_draw", many_ns);
+        json.field("draw_many_scalar_ns_per_draw", many_scalar_ns);
         json.field("alias_ns_per_draw", alias_ns);
         json.field("deterministic_draws_timed", serial_timed);
         json.field("deterministic_ns_per_draw", det_ns);
+        json.field("deterministic_scalar_ns_per_draw", det_scalar_ns);
         json.field("philox_cost_vs_draw_many", philox_cost);
+        json.field("philox_cost_scalar_dispatch", philox_cost_scalar);
+        json.field("simd_speedup_draw_many", simd_speedup_many);
+        json.field("simd_speedup_deterministic", simd_speedup_det);
         json.field("draw_many_speedup_vs_serial", speedup);
         json.field("auto_strategy_picks",
                    lrb::core::resolve_batch_strategy(fitness, m) ==
@@ -290,19 +510,74 @@ int main(int argc, char** argv) {
         json.end_object();
 
         std::printf("  n=%-8zu %-12s m=%-5zu serial=%9.1f ns/draw  "
-                    "draw_many=%9.1f ns/draw  alias=%9.1f ns/draw  "
-                    "deterministic=%9.1f ns/draw  speedup=%.2fx  "
-                    "philox_cost=%.2fx\n",
+                    "draw_many=%9.1f (scalar %9.1f) ns/draw  alias=%8.1f "
+                    "ns/draw  deterministic=%9.1f (scalar %9.1f) ns/draw  "
+                    "speedup=%.2fx  simd=%.2fx/%.2fx  philox_cost=%.2fx\n",
                     n, dense ? "dense" : "sparse", m, serial_ns, many_ns,
-                    alias_ns, det_ns, speedup, philox_cost);
+                    many_scalar_ns, alias_ns, det_ns, det_scalar_ns, speedup,
+                    simd_speedup_many, simd_speedup_det, philox_cost);
 
         if (!quick && n == 1'000'000 && dense && m == 1024) {
           headline_speedup = speedup;
+          headline_simd_speedup = simd_speedup_many;
           headline_philox_cost = philox_cost;
+          headline_philox_cost_scalar = philox_cost_scalar;
           if (speedup < 2.0) speedup_target_met = false;
+          if (simd_vector_active) {
+            if (simd_speedup_many < 1.5) simd_speedup_target_met = false;
+            if (philox_cost > 0.75 * philox_cost_scalar) {
+              philox_cost_reduced_enough = false;
+            }
+          }
         }
       }
+      // Crossover fit from the first/last timed m: per-draw slope and build
+      // intercept for bidding and alias, solved for the equal-total m*.
+      if (totals.size() >= 2) {
+        const auto& [m1, t1] = totals.front();
+        const auto& [m2, t2] = totals.back();
+        const double dm = static_cast<double>(m2 - m1);
+        const double c_bid = (t2.first - t1.first) / dm;
+        const double b_bid = t1.first - static_cast<double>(m1) * c_bid;
+        const double c_alias = (t2.second - t1.second) / dm;
+        const double b_alias = t1.second - static_cast<double>(m1) * c_alias;
+        const std::size_t k = lrb::count_nonzero(fitness);
+        CrossoverRow row;
+        row.n = n;
+        row.density = dense ? "dense" : "sparse_10pct";
+        row.k = k;
+        row.m_star = (c_bid > c_alias)
+                         ? std::max(0.0, (b_alias - b_bid) / (c_bid - c_alias))
+                         : std::numeric_limits<double>::infinity();
+        row.implied_factor =
+            (std::isfinite(row.m_star) && row.m_star > 0.0 && k > 0)
+                ? static_cast<double>(n) /
+                      (row.m_star * static_cast<double>(k))
+                : 0.0;
+        crossover_rows.push_back(row);
+      }
     }
+  }
+  json.end_array();
+
+  // The measured break-even the kAuto heuristic is calibrated from: bidding
+  // wins while m * k < n / kAliasCrossover, so the implied factor column is
+  // directly comparable to core/batch.hpp's constant.
+  json.begin_array("crossover");
+  for (const CrossoverRow& row : crossover_rows) {
+    json.begin_object();
+    json.field("n", row.n);
+    json.field("density", row.density);
+    json.field("k", row.k);
+    json.field("measured_break_even_m", row.m_star);
+    json.field("implied_alias_crossover_factor", row.implied_factor);
+    json.field("configured_alias_crossover", lrb::core::kAliasCrossover);
+    json.end_object();
+    std::printf("  crossover n=%-8llu %-12s k=%-8llu m*=%.0f implied "
+                "factor=%.3f (configured %.2f)\n",
+                static_cast<unsigned long long>(row.n), row.density,
+                static_cast<unsigned long long>(row.k), row.m_star,
+                row.implied_factor, lrb::core::kAliasCrossover);
   }
   json.end_array();
 
@@ -361,14 +636,16 @@ int main(int argc, char** argv) {
   // The P-invariance contract, executed end to end: the same (seed, draw id)
   // must crown the same winner at every rank count, and that winner is the
   // serial core::DeterministicBidder's.  Exact, cheap, enforced in --quick
-  // too — this is the parity suite of the bench-smoke CI job.
+  // too — this is the parity suite of the bench-smoke CI job, and since the
+  // kernels are SIMD-dispatched it is also a whole-pipeline proof on the
+  // resolved target.
   {
     const std::size_t parity_n = quick ? 500 : 10'000;
     const std::size_t parity_draws = quick ? 8 : 64;
     constexpr std::uint64_t kParitySeed = 0xc0ffee;
     const std::vector<double> parity_fitness = make_fitness(parity_n, false);
-    std::printf("deterministic parity sweep (n=%zu, %zu draws/P)...\n",
-                parity_n, parity_draws);
+    std::printf("deterministic parity sweep (n=%zu, %zu draws/P, simd=%s)...\n",
+                parity_n, parity_draws, simd_target.c_str());
 
     lrb::core::DeterministicBidder serial(kParitySeed);
     std::vector<std::size_t> expected;
@@ -390,6 +667,7 @@ int main(int argc, char** argv) {
       json.field("p", static_cast<std::uint64_t>(p));
       json.field("draws", static_cast<std::uint64_t>(parity_draws));
       json.field("backend", backend);
+      json.field("simd_target", simd_target);
       json.field("bit_identical_to_serial", identical);
       json.end_object();
     }
@@ -402,6 +680,18 @@ int main(int argc, char** argv) {
     json.field("draw_many_speedup_n1e6_m1024_dense", headline_speedup);
     json.field("speedup_target_2x_met", speedup_target_met);
     json.field("philox_cost_n1e6_m1024_dense", headline_philox_cost);
+    json.field("philox_cost_scalar_n1e6_m1024_dense",
+               headline_philox_cost_scalar);
+    // Emitted only when a vector target resolved: on a scalar-only machine
+    // the A/B ratio is ~1.0 and "target met" would be noise either way —
+    // absent keys are skipped by --compare, never regressions.
+    if (simd_vector_active) {
+      json.field("simd_speedup_draw_many_n1e6_m1024_dense",
+                 headline_simd_speedup);
+      json.field("simd_speedup_target_1_5x_met", simd_speedup_target_met);
+      json.field("philox_cost_reduced_25pct_vs_scalar",
+                 philox_cost_reduced_enough);
+    }
   }
   json.field("batch_rounds_equal_ceil_log2_p_everywhere",
              rounds_exact_everywhere);
@@ -444,6 +734,20 @@ int main(int argc, char** argv) {
                  "bench_json: draw_many speedup target (>= 2x at n=1e6, "
                  "m=1024 dense) MISSED: %.2fx\n",
                  headline_speedup);
+    return 1;
+  }
+  if (!quick && simd_vector_active && !simd_speedup_target_met) {
+    std::fprintf(stderr,
+                 "bench_json: SIMD draw_many speedup target (>= 1.5x vs "
+                 "forced-scalar at n=1e6, m=1024 dense) MISSED: %.2fx\n",
+                 headline_simd_speedup);
+    return 1;
+  }
+  if (!quick && simd_vector_active && !philox_cost_reduced_enough) {
+    std::fprintf(stderr,
+                 "bench_json: deterministic philox_cost reduction target "
+                 "(>= 25%% vs forced-scalar) MISSED: %.2fx vs %.2fx\n",
+                 headline_philox_cost, headline_philox_cost_scalar);
     return 1;
   }
   return 0;

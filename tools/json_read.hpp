@@ -1,0 +1,250 @@
+// A minimal JSON reader for tools/bench_json's --compare mode.
+//
+// Parses exactly the JSON the repo's benches emit (objects, arrays, strings,
+// numbers, booleans, null — no \u escapes beyond pass-through, no comments)
+// into an owning tree.  Deliberately tiny: the container bakes in no JSON
+// library, and the alternative — regressing bench artifacts through ad-hoc
+// python heredocs in CI — is what this file replaces.  Header-only; used by
+// tools only, never by the library.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lrb::tools {
+
+class JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+/// One parsed JSON value.  Lookup helpers return safe defaults for missing
+/// keys/wrong kinds, so --compare can probe artifacts of different schema
+/// versions without a cascade of presence checks.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::shared_ptr<JsonArray> array;
+  std::shared_ptr<JsonObject> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member, or a null value when absent / not an object.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    static const JsonValue kNullValue;
+    if (!is_object()) return kNullValue;
+    const auto it = object->find(key);
+    return it == object->end() ? kNullValue : it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return is_object() && object->find(key) != object->end();
+  }
+
+  [[nodiscard]] const JsonArray& items() const {
+    static const JsonArray kEmpty;
+    return is_array() ? *array : kEmpty;
+  }
+
+  [[nodiscard]] double as_number(double fallback = 0.0) const {
+    return is_number() ? number : fallback;
+  }
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return is_bool() ? boolean : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const { return string; }
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    value.object = std::make_shared<JsonObject>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = parse_string();
+      skip_ws();
+      expect(':');
+      (*value.object)[key.string] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    value.array = std::make_shared<JsonArray>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array->push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  JsonValue parse_string() {
+    expect('"');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return value;
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': value.string += '"'; break;
+          case '\\': value.string += '\\'; break;
+          case '/': value.string += '/'; break;
+          case 'n': value.string += '\n'; break;
+          case 't': value.string += '\t'; break;
+          case 'r': value.string += '\r'; break;
+          case 'b': value.string += '\b'; break;
+          case 'f': value.string += '\f'; break;
+          default: fail("unsupported escape");  // \uXXXX never emitted here
+        }
+        continue;
+      }
+      value.string += c;
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (consume_literal("true")) {
+      value.boolean = true;
+      return value;
+    }
+    if (consume_literal("false")) {
+      value.boolean = false;
+      return value;
+    }
+    fail("bad literal");
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                               nullptr);
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses a complete JSON document; throws std::runtime_error on malformed
+/// input (a truncated artifact should fail the compare loudly, not quietly
+/// diff nothing).
+[[nodiscard]] inline JsonValue parse_json(const std::string& text) {
+  return detail::JsonParser(text).parse();
+}
+
+}  // namespace lrb::tools
