@@ -24,21 +24,7 @@
 #include "rng/seed.hpp"
 #include "stats/online.hpp"
 
-namespace {
-
-template <typename Fn>
-double mean_us(std::uint64_t reps, Fn&& fn) {
-  lrb::stats::OnlineMoments m;
-  for (std::uint64_t rep = 0; rep < reps; ++rep) {
-    lrb::WallTimer timer;
-    volatile std::size_t sink = fn(rep);
-    (void)sink;
-    m.add(timer.elapsed_seconds() * 1e6);
-  }
-  return m.mean();
-}
-
-}  // namespace
+using lrb::bench::mean_us;
 
 int main(int argc, char** argv) {
   const lrb::CliArgs args(argc, argv);

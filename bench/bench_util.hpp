@@ -6,8 +6,27 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "stats/online.hpp"
 
 namespace lrb::bench {
+
+/// Mean-of-reps microseconds of `fn(rep)` (a callable returning an index,
+/// sunk through a volatile so the work survives optimization).  The
+/// mean-over-reps companion to lrb::time_best_of (common/timer.hpp) — the
+/// bench binaries route repeated measurements through these two instead of
+/// hand-rolling steady_clock blocks.
+template <typename Fn>
+double mean_us(std::uint64_t reps, Fn&& fn) {
+  stats::OnlineMoments m;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    volatile std::size_t sink = fn(rep);
+    (void)sink;
+    m.add(timer.elapsed_seconds() * 1e6);
+  }
+  return m.mean();
+}
 
 /// Standard experiment banner: what is being reproduced and at what scale.
 inline void banner(const char* experiment_id, const char* description,

@@ -3,6 +3,17 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/obs.hpp"
+
+namespace lrb {
+
+InvalidFitnessError::InvalidFitnessError(const std::string& what_arg)
+    : Error(what_arg) {
+  LRB_OBS_COUNTER_ADD("lrb_errors_invalid_fitness_total", 1);
+}
+
+}  // namespace lrb
+
 namespace lrb::detail {
 
 void assert_fail(const char* expr, std::source_location loc,

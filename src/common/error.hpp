@@ -19,9 +19,14 @@ class Error : public std::runtime_error {
 
 /// A fitness vector violated a precondition (negative entry, NaN, empty,
 /// or all-zero where a positive total is required).
+///
+/// The constructor is out-of-line (common/error.cpp): every construction —
+/// i.e. every rejected draw, at any of the ~dozen throw sites — increments
+/// the obs counter `lrb_errors_invalid_fitness_total`, so rejection rates
+/// are countable in production without touching each site.
 class InvalidFitnessError : public Error {
  public:
-  using Error::Error;
+  explicit InvalidFitnessError(const std::string& what_arg);
 };
 
 /// A parameter was outside its documented domain.

@@ -1,8 +1,10 @@
 // Wall-clock timing helpers for benches and examples.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <string>
 
 namespace lrb {
@@ -29,6 +31,23 @@ class WallTimer {
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+/// Best-of-`reps` wall-clock measurement: runs `fn()` `reps` times and
+/// returns the fastest elapsed seconds.  The single definition of the
+/// repeated-timing idiom — bench binaries and tools/bench_json route their
+/// measurement loops through this instead of hand-rolling steady_clock
+/// blocks, so every ns/op cell in every artifact means the same thing
+/// (minimum over reps, one WallTimer per rep).
+template <typename Fn>
+[[nodiscard]] double time_best_of(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.elapsed_seconds());
+  }
+  return best;
+}
 
 /// Formats a duration like "1.23 s" / "4.56 ms" / "789 ns".
 [[nodiscard]] std::string format_duration(double seconds);

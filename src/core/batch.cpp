@@ -10,6 +10,8 @@ std::vector<std::size_t> batch_select_deterministic(
   // draws; the filtered pass inside is bit-identical to the unfiltered scan
   // (see DeterministicDrawKernel), so this reroute changed the speed of the
   // deterministic batch, not a single selected index.
+  LRB_TRACE_SPAN_ARG("batch_select_deterministic", m);
+  LRB_OBS_COUNTER_ADD("lrb_core_batch_deterministic_total", 1);
   const DeterministicDrawKernel kernel(fitness);
   std::vector<std::size_t> out;
   out.reserve(m);
@@ -20,6 +22,8 @@ std::vector<std::size_t> batch_select_deterministic(
 std::vector<std::size_t> batch_select_deterministic(
     parallel::ThreadPool& pool, std::span<const double> fitness, std::size_t m,
     std::uint64_t seed) {
+  LRB_TRACE_SPAN_ARG("batch_select_deterministic_pool", m);
+  LRB_OBS_COUNTER_ADD("lrb_core_batch_deterministic_total", 1);
   const DeterministicDrawKernel kernel(fitness);
   std::vector<std::size_t> out(m);
   if (m == 0) return out;

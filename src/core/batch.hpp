@@ -18,6 +18,7 @@
 #include "core/alias_table.hpp"
 #include "core/draw_many.hpp"
 #include "core/logarithmic_bidding.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/philox.hpp"
 #include "rng/uniform.hpp"
@@ -55,8 +56,14 @@ inline constexpr double kAliasCrossover = 0.35;
   const double bidding_work = static_cast<double>(m) * static_cast<double>(k);
   const double alias_work =
       static_cast<double>(fitness.size()) / kAliasCrossover;
-  return bidding_work < alias_work ? BatchStrategy::kBidding
-                                   : BatchStrategy::kAlias;
+  // Crossover decision counters: the production record of which side of the
+  // kAliasCrossover calibration real batches actually land on.
+  if (bidding_work < alias_work) {
+    LRB_OBS_COUNTER_ADD("lrb_core_crossover_bidding_total", 1);
+    return BatchStrategy::kBidding;
+  }
+  LRB_OBS_COUNTER_ADD("lrb_core_crossover_alias_total", 1);
+  return BatchStrategy::kAlias;
 }
 
 /// Draws `m` indices with replacement; out.size() == m.
@@ -77,10 +84,13 @@ std::vector<std::size_t> batch_select(std::span<const double> fitness,
     strategy = resolve_batch_strategy(fitness, m);
   }
 
+  LRB_TRACE_SPAN_ARG("batch_select", m);
   if (strategy == BatchStrategy::kBidding) {
+    LRB_OBS_COUNTER_ADD("lrb_core_batch_bidding_total", 1);
     DrawManyKernel kernel(fitness);  // validates once for the whole batch
     kernel.draw_into(m, gen, out);
   } else {
+    LRB_OBS_COUNTER_ADD("lrb_core_batch_alias_total", 1);
     (void)checked_fitness_total(fitness);
     const AliasTable table(fitness);
     out.reserve(m);

@@ -21,6 +21,7 @@
 
 #include "common/math.hpp"
 #include "core/bid_filter.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/deterministic_bid.hpp"
 #include "rng/uniform.hpp"
@@ -148,6 +149,10 @@ class DeterministicDrawKernel {
       inv_f_.push_back(bid_filter::bound_reciprocal(fitness[i]));
     }
     size_ = fitness.size();
+    LRB_OBS_COUNTER_ADD("lrb_core_det_kernel_builds_total", 1);
+    LRB_OBS_COUNTER_ADD("lrb_core_det_kernel_items_total", size_);
+    LRB_OBS_COUNTER_ADD("lrb_core_det_kernel_active_items_total",
+                        active_.size());
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -170,6 +175,7 @@ class DeterministicDrawKernel {
     double gate = -std::numeric_limits<double>::infinity();
     std::size_t best_pos = 0;
     bool found = false;
+    std::size_t log_evals = 0;  // flushed through one macro below, not per item
     for (std::size_t start = 0; start < k; start += kBlock) {
       const std::size_t len = std::min(kBlock, k - start);
       // The whole bid stream of this block, N lanes at a time: Philox
@@ -190,6 +196,7 @@ class DeterministicDrawKernel {
         // Exact bid, identical arithmetic to rng::deterministic_bid:
         // log(u)/f.
         const double bid = std::log(u[j]) / f_[start + j];
+        ++log_evals;
         if (!found || bid > best) {
           best = bid;
           best_pos = start + j;
@@ -199,6 +206,9 @@ class DeterministicDrawKernel {
       }
     }
     LRB_ASSERT(found, "positive total fitness implies at least one bid");
+    LRB_OBS_COUNTER_ADD("lrb_core_det_draws_total", 1);
+    LRB_OBS_COUNTER_ADD("lrb_core_det_log_evals_total", log_evals);
+    LRB_OBS_COUNTER_ADD("lrb_core_det_filter_skips_total", k - log_evals);
     return Scored{best, active_[best_pos]};
   }
 

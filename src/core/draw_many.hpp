@@ -43,6 +43,7 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "core/bid_filter.hpp"
+#include "obs/obs.hpp"
 #include "rng/uniform.hpp"
 #include "simd/dispatch.hpp"
 
@@ -76,6 +77,11 @@ class DrawManyKernel {
     bits_.resize(kBlock);
     u_.resize(kBlock);
     ub_.resize(kBlock);
+    // Active-set density: items_total vs active_items_total gives the mean
+    // density of the wheels this process actually built.
+    LRB_OBS_COUNTER_ADD("lrb_core_kernel_builds_total", 1);
+    LRB_OBS_COUNTER_ADD("lrb_core_kernel_items_total", size_);
+    LRB_OBS_COUNTER_ADD("lrb_core_kernel_active_items_total", active_.size());
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -97,6 +103,7 @@ class DrawManyKernel {
     double gate = -std::numeric_limits<double>::infinity();
     std::size_t best_pos = 0;
     bool found = false;
+    std::size_t log_evals = 0;  // flushed through one macro below, not per item
     for (std::size_t start = 0; start < k; start += kBlock) {
       const std::size_t len = std::min(kBlock, k - start);
       // Engine bits in element order (exactly len draws consumed), then the
@@ -116,6 +123,7 @@ class DrawManyKernel {
         if (found && !(ub_[j] > gate)) continue;
         // Exact bid, identical arithmetic to rng::log_bid: log(u)/f.
         const double bid = std::log(u_[j]) / f_[start + j];
+        ++log_evals;
         if (!found || bid > best) {
           best = bid;
           best_pos = start + j;
@@ -125,6 +133,9 @@ class DrawManyKernel {
       }
     }
     LRB_ASSERT(found, "positive total fitness implies at least one bid");
+    LRB_OBS_COUNTER_ADD("lrb_core_draws_total", 1);
+    LRB_OBS_COUNTER_ADD("lrb_core_log_evals_total", log_evals);
+    LRB_OBS_COUNTER_ADD("lrb_core_filter_skips_total", k - log_evals);
     return Scored{best, active_[best_pos]};
   }
 
@@ -132,6 +143,8 @@ class DrawManyKernel {
   /// steps — the same bill as m select_bidding() calls.
   template <rng::Engine64 G>
   void draw_into(std::size_t m, G&& gen, std::vector<std::size_t>& out) {
+    LRB_TRACE_SPAN_ARG("draw_many", m);
+    LRB_OBS_HISTOGRAM_RECORD("lrb_core_batch_size", m);
     out.reserve(out.size() + m);
     for (std::size_t t = 0; t < m; ++t) out.push_back(draw_one(gen));
   }

@@ -5,6 +5,7 @@
 #include <cctype>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "core/alias_table.hpp"
 #include "core/baselines.hpp"
 #include "core/cdf_selector.hpp"
@@ -264,6 +265,11 @@ std::unique_ptr<Selector> make_selector(SelectorKind kind,
                                         std::span<const double> fitness,
                                         std::uint64_t seed,
                                         parallel::ThreadPool* pool) {
+  // One counter per algorithm kind (cold path: construction only).  The
+  // name is computed, so this is the _DYN registry-lookup-per-call variant.
+  LRB_OBS_COUNTER_ADD_DYN(
+      "lrb_core_selector_" + std::string(selector_info(kind).name) + "_total",
+      1);
   switch (kind) {
     case SelectorKind::kBidding:
       return std::make_unique<BiddingSelector>(kind, fitness, seed);

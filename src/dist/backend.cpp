@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace lrb::dist {
 
@@ -36,6 +37,10 @@ std::vector<T> dissemination_allreduce(const Topology& topo,
   const std::size_t p = topo.ranks();
   std::vector<T> current(local.begin(), local.end());
   for (std::uint32_t r = 0; r < topo.log_rounds(); ++r) {
+    // Each synchronized round is one child span (nested under the enclosing
+    // collective span from dist/collectives.cpp) and one latency sample.
+    LRB_TRACE_SPAN_ARG("round", r);
+    LRB_OBS_SCOPED_NS("lrb_dist_round_ns");
     const std::vector<T> sent = current;  // values on the wire this round
     for (std::size_t i = 0; i < p; ++i) {
       const std::size_t to = topo.dissemination_target(i, r);
@@ -103,6 +108,8 @@ std::vector<double> SimulatedBackend::allreduce_sum(
     ledger.charge_round(extra, 1);
   }
   for (std::uint32_t bit = 0; bit < floor_log2(p); ++bit) {
+    LRB_TRACE_SPAN_ARG("round", bit);
+    LRB_OBS_SCOPED_NS("lrb_dist_round_ns");
     const std::vector<double> sent = current;
     for (std::size_t i = 0; i < m; ++i) {
       current[i] += sent[topo.hypercube_partner(i, bit)];
@@ -126,6 +133,8 @@ std::vector<double> SimulatedBackend::exclusive_scan_sum(
   std::vector<double> incl(local.begin(), local.end());
   std::vector<double> excl(p, 0.0);
   for (std::size_t shift = 1; shift < p; shift <<= 1) {
+    LRB_TRACE_SPAN_ARG("round", shift);
+    LRB_OBS_SCOPED_NS("lrb_dist_round_ns");
     const std::vector<double> sent = incl;
     for (std::size_t i = shift; i < p; ++i) {
       excl[i] += sent[i - shift];
@@ -146,6 +155,8 @@ double SimulatedBackend::reduce_sum(const Topology& topo,
   // partial to the rank 2^r below it.
   std::vector<double> current(local.begin(), local.end());
   for (std::uint32_t r = 0; r < topo.log_rounds(); ++r) {
+    LRB_TRACE_SPAN_ARG("round", r);
+    LRB_OBS_SCOPED_NS("lrb_dist_round_ns");
     const std::size_t stride = std::size_t{1} << r;
     std::uint64_t message_count = 0;
     for (std::size_t rel = stride; rel < p; rel += 2 * stride) {
@@ -168,6 +179,8 @@ std::vector<double> SimulatedBackend::broadcast(const Topology& topo,
   current[root] = value;
   if (p == 1) return current;
   for (std::uint32_t r = topo.log_rounds(); r-- > 0;) {
+    LRB_TRACE_SPAN_ARG("round", r);
+    LRB_OBS_SCOPED_NS("lrb_dist_round_ns");
     const std::size_t stride = std::size_t{1} << r;
     std::uint64_t message_count = 0;
     for (std::size_t rel = 0; rel + stride < p; rel += 2 * stride) {

@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "dist/backend.hpp"
+#include "obs/obs.hpp"
 
 namespace lrb::dist {
 
@@ -20,20 +21,54 @@ void require_one_entry_per_rank(const Topology& topo, std::size_t entries) {
               "collective input must have one entry per rank");
 }
 
+/// Rolls one completed collective's CommLedger delta into the obs counters:
+/// the always-on production record of the paper's central quantity (rounds
+/// and words on the critical path), aggregated across both backends.  Cold
+/// relative to the rounds it bills, so the per-name counter may pay a
+/// registry lookup.
+void note_collective(const char* name, const CommLedger& before,
+                     const CommLedger& after) {
+#if defined(LRB_OBS_ENABLED)
+  LRB_OBS_COUNTER_ADD("lrb_dist_collectives_total", 1);
+  LRB_OBS_COUNTER_ADD("lrb_dist_rounds_total", after.rounds - before.rounds);
+  LRB_OBS_COUNTER_ADD("lrb_dist_messages_total",
+                      after.messages - before.messages);
+  LRB_OBS_COUNTER_ADD("lrb_dist_words_total", after.words - before.words);
+  LRB_OBS_COUNTER_ADD(
+      "lrb_dist_critical_path_words_total",
+      after.critical_path_words - before.critical_path_words);
+  LRB_OBS_COUNTER_ADD_DYN(std::string("lrb_dist_") + name + "_total", 1);
+#else
+  static_cast<void>(name);
+  static_cast<void>(before);
+  static_cast<void>(after);
+#endif
+}
+
 }  // namespace
 
 std::vector<double> allreduce_max(const Topology& topo,
                                   std::span<const double> local,
                                   CommLedger& ledger) {
   require_one_entry_per_rank(topo, local.size());
-  return topo.backend().allreduce_max(topo, local, ledger);
+  LRB_TRACE_SPAN("allreduce_max");
+  LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
+  const CommLedger before = ledger;
+  auto out = topo.backend().allreduce_max(topo, local, ledger);
+  note_collective("allreduce_max", before, ledger);
+  return out;
 }
 
 std::vector<ArgMax> allreduce_argmax(const Topology& topo,
                                      std::span<const ArgMax> local,
                                      CommLedger& ledger) {
   require_one_entry_per_rank(topo, local.size());
-  return topo.backend().allreduce_argmax(topo, local, ledger);
+  LRB_TRACE_SPAN("allreduce_argmax");
+  LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
+  const CommLedger before = ledger;
+  auto out = topo.backend().allreduce_argmax(topo, local, ledger);
+  note_collective("allreduce_argmax", before, ledger);
+  return out;
 }
 
 std::vector<std::vector<ArgMax>> allreduce_argmax_batch(
@@ -47,21 +82,36 @@ std::vector<std::vector<ArgMax>> allreduce_argmax_batch(
     LRB_REQUIRE(pairs.size() == batch, InvalidArgumentError,
                 "batched argmax allreduce needs equal batch sizes per rank");
   }
-  return topo.backend().allreduce_argmax_batch(topo, local, ledger);
+  LRB_TRACE_SPAN_ARG("allreduce_argmax_batch", batch);
+  LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
+  const CommLedger before = ledger;
+  auto out = topo.backend().allreduce_argmax_batch(topo, local, ledger);
+  note_collective("allreduce_argmax_batch", before, ledger);
+  return out;
 }
 
 std::vector<double> allreduce_sum(const Topology& topo,
                                   std::span<const double> local,
                                   CommLedger& ledger) {
   require_one_entry_per_rank(topo, local.size());
-  return topo.backend().allreduce_sum(topo, local, ledger);
+  LRB_TRACE_SPAN("allreduce_sum");
+  LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
+  const CommLedger before = ledger;
+  auto out = topo.backend().allreduce_sum(topo, local, ledger);
+  note_collective("allreduce_sum", before, ledger);
+  return out;
 }
 
 std::vector<double> exclusive_scan_sum(const Topology& topo,
                                        std::span<const double> local,
                                        CommLedger& ledger) {
   require_one_entry_per_rank(topo, local.size());
-  return topo.backend().exclusive_scan_sum(topo, local, ledger);
+  LRB_TRACE_SPAN("exclusive_scan_sum");
+  LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
+  const CommLedger before = ledger;
+  auto out = topo.backend().exclusive_scan_sum(topo, local, ledger);
+  note_collective("exclusive_scan_sum", before, ledger);
+  return out;
 }
 
 double reduce_sum(const Topology& topo, std::span<const double> local,
@@ -69,14 +119,24 @@ double reduce_sum(const Topology& topo, std::span<const double> local,
   require_one_entry_per_rank(topo, local.size());
   LRB_REQUIRE(root < topo.ranks(), InvalidArgumentError,
               "reduce root out of range");
-  return topo.backend().reduce_sum(topo, local, root, ledger);
+  LRB_TRACE_SPAN("reduce_sum");
+  LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
+  const CommLedger before = ledger;
+  const double out = topo.backend().reduce_sum(topo, local, root, ledger);
+  note_collective("reduce_sum", before, ledger);
+  return out;
 }
 
 std::vector<double> broadcast(const Topology& topo, double value,
                               std::size_t root, CommLedger& ledger) {
   LRB_REQUIRE(root < topo.ranks(), InvalidArgumentError,
               "broadcast root out of range");
-  return topo.backend().broadcast(topo, value, root, ledger);
+  LRB_TRACE_SPAN("broadcast");
+  LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
+  const CommLedger before = ledger;
+  auto out = topo.backend().broadcast(topo, value, root, ledger);
+  note_collective("broadcast", before, ledger);
+  return out;
 }
 
 }  // namespace lrb::dist

@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "obs/obs.hpp"
 
 namespace lrb::dist {
 
@@ -74,6 +75,11 @@ void mpi_dissemination(const Topology& topo, std::size_t me, T* mine,
   const std::size_t p = topo.ranks();
   std::vector<T> received(count);
   for (std::uint32_t r = 0; r < topo.log_rounds(); ++r) {
+    // Same span/histogram names as SimulatedBackend: on a real cluster the
+    // round histogram shows wire latency instead of memcpy time, which is
+    // exactly the comparison the flight recorder exists to make.
+    LRB_TRACE_SPAN_ARG("round", r);
+    LRB_OBS_SCOPED_NS("lrb_dist_round_ns");
     const std::size_t shift = std::size_t{1} << r;
     const int dest = as_int((me + shift) % p);
     const int src = as_int((me + p - shift) % p);
@@ -147,6 +153,8 @@ std::vector<double> MpiBackend::allreduce_sum(const Topology& topo,
     ledger.charge_round(extra, 1);
   }
   for (std::uint32_t bit = 0; bit < floor_log2(p); ++bit) {
+    LRB_TRACE_SPAN_ARG("round", bit);
+    LRB_OBS_SCOPED_NS("lrb_dist_round_ns");
     if (me < m) {
       const int partner = as_int(topo.hypercube_partner(me, bit));
       double received = 0.0;
@@ -183,6 +191,8 @@ std::vector<double> MpiBackend::exclusive_scan_sum(const Topology& topo,
   double excl = 0.0;
   int tag = 0;
   for (std::size_t shift = 1; shift < p; shift <<= 1) {
+    LRB_TRACE_SPAN_ARG("round", shift);
+    LRB_OBS_SCOPED_NS("lrb_dist_round_ns");
     const double sent = incl;  // pre-round value, like the sim's snapshot
     double received = 0.0;
     const int dest = me + shift < p ? as_int(me + shift) : MPI_PROC_NULL;
@@ -211,6 +221,8 @@ double MpiBackend::reduce_sum(const Topology& topo,
   const std::size_t rel = (rank_ + p - root) % p;
   double mine = local[rank_];
   for (std::uint32_t r = 0; r < topo.log_rounds(); ++r) {
+    LRB_TRACE_SPAN_ARG("round", r);
+    LRB_OBS_SCOPED_NS("lrb_dist_round_ns");
     const std::size_t stride = std::size_t{1} << r;
     // In round r, relative ranks stride, 3*stride, ... send to the rank
     // `stride` below; the charge mirrors the simulation's count loop.
@@ -245,6 +257,8 @@ std::vector<double> MpiBackend::broadcast(const Topology& topo, double value,
   // The reduce tree in reverse: after the stride-2^r round, every relative
   // rank divisible by 2^r holds the value.
   for (std::uint32_t r = topo.log_rounds(); r-- > 0;) {
+    LRB_TRACE_SPAN_ARG("round", r);
+    LRB_OBS_SCOPED_NS("lrb_dist_round_ns");
     const std::size_t stride = std::size_t{1} << r;
     std::uint64_t message_count = 0;
     for (std::size_t s = 0; s + stride < p; s += 2 * stride) ++message_count;

@@ -9,6 +9,7 @@
 #include "core/deterministic.hpp"
 #include "dist/backend.hpp"
 #include "core/draw_many.hpp"
+#include "obs/obs.hpp"
 #include "rng/uniform.hpp"
 #include "rng/xoshiro256.hpp"
 
@@ -40,6 +41,8 @@ BatchDrawResult bidding_batch_scaffold(const ShardedFitness& shards,
   require_positive_total(shards);
   LRB_REQUIRE(batch >= 1, InvalidArgumentError,
               std::string(name) + " requires batch >= 1");
+  LRB_TRACE_SPAN_ARG(name, batch);
+  LRB_OBS_COUNTER_ADD("lrb_dist_draws_total", batch);
   const Topology& topo = shards.topology();
   const std::size_t p = topo.ranks();
 
@@ -166,6 +169,8 @@ BatchDrawResult DeterministicDistributedBidder::select_batch(
 DrawResult distributed_prefix_sum(const ShardedFitness& shards,
                                   const rng::SeedSequence& seeds) {
   require_positive_total(shards);
+  LRB_TRACE_SPAN("distributed_prefix_sum");
+  LRB_OBS_COUNTER_ADD("lrb_dist_prefix_draws_total", 1);
   const Topology& topo = shards.topology();
   const std::size_t p = topo.ranks();
   DrawResult result;

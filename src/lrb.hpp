@@ -43,6 +43,12 @@
 #include "dist/selection.hpp"
 #include "dist/sharding.hpp"
 #include "dist/topology.hpp"
+// obs/obs.hpp is always safe (macros compile to nothing under LRB_OBS=OFF);
+// the concrete obs API only exists when the flight recorder is compiled in.
+#include "obs/obs.hpp"
+#if defined(LRB_OBS_ENABLED)
+#include "obs/export.hpp"
+#endif
 #include "parallel/atomic_max.hpp"
 #include "parallel/barrier.hpp"
 #include "parallel/prefix_sum.hpp"

@@ -1,0 +1,113 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace lrb::obs {
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+/// Index of the highest non-empty bucket, or SIZE_MAX when all are empty.
+std::size_t last_used_bucket(const HistogramSnapshot& h) {
+  for (std::size_t i = HistogramSnapshot::kBuckets; i-- > 0;) {
+    if (h.buckets[i] != 0) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+std::string prometheus_text(const Snapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    append_fmt(out, "# TYPE %s counter\n", name.c_str());
+    append_fmt(out, "%s %" PRIu64 "\n", name.c_str(), value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    append_fmt(out, "# TYPE %s gauge\n", name.c_str());
+    append_fmt(out, "%s %" PRId64 "\n", name.c_str(), value);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    append_fmt(out, "# TYPE %s histogram\n", name.c_str());
+    const std::size_t last = last_used_bucket(h);
+    std::uint64_t cumulative = 0;
+    if (last != static_cast<std::size_t>(-1)) {
+      for (std::size_t i = 0; i <= last; ++i) {
+        cumulative += h.buckets[i];
+        append_fmt(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                   name.c_str(), HistogramSnapshot::bucket_le(i), cumulative);
+      }
+    }
+    append_fmt(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
+               h.count);
+    append_fmt(out, "%s_sum %" PRIu64 "\n", name.c_str(), h.sum);
+    append_fmt(out, "%s_count %" PRIu64 "\n", name.c_str(), h.count);
+  }
+  return out;
+}
+
+std::string json_text(const Snapshot& snap) {
+  std::string out;
+  out += "{\n  \"schema\": \"lrb-obs-metrics/v1\",\n";
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    append_fmt(out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",",
+               name.c_str(), value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    append_fmt(out, "%s\n    \"%s\": %" PRId64, first ? "" : ",",
+               name.c_str(), value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": [";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    append_fmt(out, "%s\n    {\"name\": \"%s\", \"count\": %" PRIu64
+                    ", \"sum\": %" PRIu64,
+               first ? "" : ",", name.c_str(), h.count, h.sum);
+    first = false;
+    if (h.count > 0) {
+      append_fmt(out, ", \"min\": %" PRIu64 ", \"max\": %" PRIu64, h.min,
+                 h.max);
+      append_fmt(out, ", \"p50\": %.1f, \"p99\": %.1f, \"p999\": %.1f",
+                 h.percentile(0.50), h.percentile(0.99), h.percentile(0.999));
+    }
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      append_fmt(out, "%s{\"le\": %" PRIu64 ", \"count\": %" PRIu64 "}",
+                 first_bucket ? "" : ", ", HistogramSnapshot::bucket_le(i),
+                 h.buckets[i]);
+      first_bucket = false;
+    }
+    out += "]}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace lrb::obs

@@ -1,0 +1,29 @@
+// Exporters for a Registry Snapshot: Prometheus text exposition and a
+// versioned JSON document.
+//
+// Both render a *Snapshot*, not a live Registry — take the snapshot once
+// and feed it to as many sinks as needed; the export itself never touches
+// the hot metrics.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace lrb::obs {
+
+/// Prometheus text exposition format (version 0.0.4): `# TYPE` comments,
+/// counters as `<name> <value>`, gauges likewise, histograms as cumulative
+/// `<name>_bucket{le="..."}` series plus `_sum` and `_count`.  Only buckets
+/// up to the highest non-empty one are emitted (plus the `+Inf` catch-all),
+/// so 48 mostly-empty octaves don't bloat the scrape.
+[[nodiscard]] std::string prometheus_text(const Snapshot& snap);
+
+/// JSON document following the repo's artifact conventions (see
+/// tools/json_read.hpp and BENCH_selection.json): a top-level `schema` tag
+/// "lrb-obs-metrics/v1", then `counters` / `gauges` objects mapping name to
+/// value and a `histograms` array with count/sum/min/max/p50/p99/p999 and
+/// the non-empty `{le, count}` buckets.
+[[nodiscard]] std::string json_text(const Snapshot& snap);
+
+}  // namespace lrb::obs

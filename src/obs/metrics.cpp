@@ -1,0 +1,67 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace lrb::obs {
+
+namespace detail {
+
+std::size_t shard_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return slot;
+}
+
+}  // namespace detail
+
+double HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based, ceil(q * count) clamped to [1,count].
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      const double lo =
+          i == 0 ? 0.0
+                 : static_cast<double>(std::uint64_t{1} << (i - 1));
+      const double hi = static_cast<double>(bucket_le(i));
+      const double mid = 0.5 * (lo + hi);
+      return std::clamp(mid, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+stats::OnlineMoments HistogramSnapshot::moments() const noexcept {
+  stats::OnlineMoments m;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double lo =
+        i == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (i - 1));
+    const double hi = static_cast<double>(bucket_le(i));
+    m.add_repeated(0.5 * (lo + hi), buckets[i]);
+  }
+  return m;
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const noexcept {
+  HistogramSnapshot out;
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.min = std::min(out.min, s.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+}  // namespace lrb::obs

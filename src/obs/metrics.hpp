@@ -1,0 +1,189 @@
+// Lock-free, thread-sharded metric primitives — the data plane of the
+// lrb::obs flight recorder.
+//
+// Three primitives, all safe for any number of concurrent writers with no
+// locks on the write path:
+//
+//   * Counter          — monotone u64; add() is one relaxed fetch_add on a
+//                        cache-line-private shard, value() sums the shards.
+//   * Gauge            — signed point-in-time level (queue depth, active
+//                        lanes); one atomic cell, set/add/sub.
+//   * LatencyHistogram — fixed log2 bucket boundaries (bucket i counts
+//                        values v with bit_width(v) == i, i.e. v in
+//                        [2^(i-1), 2^i)), plus exact count/sum/min/max per
+//                        shard.  Records are two fetch_adds, one bucket
+//                        fetch_add and two bounded CAS loops; snapshots
+//                        yield exact totals and log2-resolution
+//                        p50/p99/p999 — the tail-latency view the async
+//                        selection service is judged on.  Moment summaries
+//                        reuse stats::OnlineMoments (Chan's merge) rather
+//                        than growing a second mean/variance definition.
+//
+// Sharding: writers hash their thread onto one of kShards cache-line-padded
+// cells, so concurrent increments never contend on one line.  Totals are
+// exact — every write lands in exactly one shard and reads sum all shards —
+// but a snapshot taken WHILE writers are active is per-cell coherent, not a
+// cross-metric instantaneous cut (each cell is monotone, so totals never go
+// backwards; tests join writers before asserting exact values).
+//
+// These types are engine plumbing: instrumentation sites reach them through
+// the macros in obs/obs.hpp (which compile to nothing under -DLRB_OBS=OFF)
+// and the named lookup in obs/registry.hpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "common/timer.hpp"
+#include "stats/online.hpp"
+
+namespace lrb::obs {
+
+/// Writer shards per metric.  Power of two; 16 lines absorb the thread
+/// counts the pool actually runs (hardware_lanes() on CI and dev boxes)
+/// without turning every metric into a page of atomics.
+inline constexpr std::size_t kShards = 16;
+
+namespace detail {
+/// The calling thread's shard index: a sticky per-thread slot assigned from
+/// a process-wide round-robin, masked into [0, kShards).  Threads created
+/// at different times may share a shard — that only costs contention, never
+/// correctness.
+[[nodiscard]] std::size_t shard_slot() noexcept;
+}  // namespace detail
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::shard_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Exact total of every add() that happened-before this read.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Signed point-in-time level.  set() is a plain store, so a gauge is NOT
+/// sharded — "the current queue depth" has one value, not a per-thread sum;
+/// add()/sub() are atomic so concurrent enter/leave pairs net to zero.
+class Gauge {
+ public:
+  void set(std::int64_t x) noexcept { v_.store(x, std::memory_order_relaxed); }
+  void add(std::int64_t d = 1) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t d = 1) noexcept {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Read-side view of one LatencyHistogram, merged over its shards.
+struct HistogramSnapshot {
+  /// Bucket count: bit_width of a u64 never exceeds 64, but values beyond
+  /// 2^47 ns (~1.6 days) are saturated into the last bucket — boundaries
+  /// stay fixed and the exposition stays bounded.
+  static constexpr std::size_t kBuckets = 48;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();  ///< valid when count > 0
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  /// Inclusive upper bound of bucket i: values v with bit_width(v) == i,
+  /// i.e. v <= 2^i - 1.  Bucket 0 holds exactly v == 0.
+  [[nodiscard]] static constexpr std::uint64_t bucket_le(std::size_t i) noexcept {
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Quantile estimate (q in [0,1]) at log2 bucket resolution: the midpoint
+  /// of the bucket holding the q-th sample, clamped into [min, max] so the
+  /// estimate never leaves the observed range.  p999 of a latency stream is
+  /// exact to within one octave — enough to see a tail, not to bill it.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
+  /// The bucket contents folded into a moments accumulator (each bucket
+  /// contributes its midpoint `count` times via OnlineMoments::add_repeated)
+  /// — mean/stddev at bucket resolution for table rendering.
+  [[nodiscard]] stats::OnlineMoments moments() const noexcept;
+};
+
+/// Fixed-boundary log2 latency/value histogram.  record() is wait-free
+/// except for two bounded min/max CAS loops; all totals are exact.
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t value) noexcept {
+    const std::size_t b =
+        std::min<std::size_t>(std::bit_width(value),
+                              HistogramSnapshot::kBuckets - 1);
+    Shard& s = shards_[detail::shard_slot()];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+    s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t seen = s.min.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !s.min.compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed)) {
+    }
+    seen = s.max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !s.max.compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+    std::atomic<std::uint64_t> max{0};
+    std::array<std::atomic<std::uint64_t>, HistogramSnapshot::kBuckets>
+        buckets{};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// RAII wall-clock probe: records the scope's duration (in nanoseconds, via
+/// common/timer's WallTimer — the one wall-clock definition) into a
+/// LatencyHistogram at destruction.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram& hist) noexcept : hist_(hist) {}
+  ~ScopedLatency() { hist_.record(timer_.elapsed_nanoseconds()); }
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  LatencyHistogram& hist_;
+  WallTimer timer_;
+};
+
+}  // namespace lrb::obs

@@ -1,0 +1,124 @@
+// Instrumentation macro layer — the ONLY obs header instrumented code
+// includes.
+//
+// Under the default build (LRB_OBS=ON ⇒ the build defines
+// LRB_OBS_ENABLED), each macro writes through Registry::global().  Metric
+// lookup is a mutex-guarded map walk, so the fixed-name macros cache the
+// reference in a function-local static: the first execution pays the
+// lookup, every later one is a single relaxed fetch_add on a thread-local
+// shard.  Because of that cache, the `name` argument of the fixed-name
+// macros MUST be the same string on every execution of the site — for
+// names computed at runtime (one counter per selector kind) use the _DYN
+// variant, which looks up every call and belongs on cold paths only.
+//
+// Under -DLRB_OBS=OFF nothing here touches lrb::obs at all: the macros
+// expand to `if (false)` discards that keep the arguments formally used
+// (no -Wunused warnings) while dead-code elimination removes every trace —
+// the CI compile-out leg proves the built library contains zero lrb::obs
+// symbols.
+//
+// The ≤2% draw_many overhead contract (README "Observability") is enforced
+// by the CI obs-overhead job via `bench_json --obs-overhead` +
+// `--compare`: instrument hot loops with plain local variables and flush
+// them through ONE macro per draw, never a macro per item.
+#pragma once
+
+#if defined(LRB_OBS_ENABLED)
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+#define LRB_OBS_CONCAT_IMPL(a, b) a##b
+#define LRB_OBS_CONCAT(a, b) LRB_OBS_CONCAT_IMPL(a, b)
+
+/// Adds `n` to the counter `name` (string literal).
+#define LRB_OBS_COUNTER_ADD(name, n)                                         \
+  do {                                                                       \
+    static ::lrb::obs::Counter& lrb_obs_counter_cached_ =                    \
+        ::lrb::obs::Registry::global().counter(name);                        \
+    lrb_obs_counter_cached_.add(static_cast<std::uint64_t>(n));              \
+  } while (false)
+
+/// Adds `n` to the counter named by the runtime expression `name`.  Pays a
+/// registry lookup per call — cold paths only (object construction, error
+/// throws, dispatch decisions).
+#define LRB_OBS_COUNTER_ADD_DYN(name, n)                                     \
+  ::lrb::obs::Registry::global().counter(name).add(                          \
+      static_cast<std::uint64_t>(n))
+
+#define LRB_OBS_GAUGE_SET(name, v)                                           \
+  do {                                                                       \
+    static ::lrb::obs::Gauge& lrb_obs_gauge_cached_ =                        \
+        ::lrb::obs::Registry::global().gauge(name);                          \
+    lrb_obs_gauge_cached_.set(static_cast<std::int64_t>(v));                 \
+  } while (false)
+
+#define LRB_OBS_GAUGE_ADD(name, d)                                           \
+  do {                                                                       \
+    static ::lrb::obs::Gauge& lrb_obs_gauge_cached_ =                        \
+        ::lrb::obs::Registry::global().gauge(name);                          \
+    lrb_obs_gauge_cached_.add(static_cast<std::int64_t>(d));                 \
+  } while (false)
+
+#define LRB_OBS_GAUGE_SUB(name, d)                                           \
+  do {                                                                       \
+    static ::lrb::obs::Gauge& lrb_obs_gauge_cached_ =                        \
+        ::lrb::obs::Registry::global().gauge(name);                          \
+    lrb_obs_gauge_cached_.sub(static_cast<std::int64_t>(d));                 \
+  } while (false)
+
+/// Records `v` (any u64 magnitude: nanoseconds, batch sizes, ...) into the
+/// log2 histogram `name`.
+#define LRB_OBS_HISTOGRAM_RECORD(name, v)                                    \
+  do {                                                                       \
+    static ::lrb::obs::LatencyHistogram& lrb_obs_hist_cached_ =              \
+        ::lrb::obs::Registry::global().histogram(name);                      \
+    lrb_obs_hist_cached_.record(static_cast<std::uint64_t>(v));              \
+  } while (false)
+
+/// Declares an RAII probe recording the enclosing scope's duration (ns)
+/// into the histogram `name`.  Expands to declarations — use inside a
+/// braced block, not as the body of an unbraced `if`.
+#define LRB_OBS_SCOPED_NS(name)                                              \
+  static ::lrb::obs::LatencyHistogram& LRB_OBS_CONCAT(                       \
+      lrb_obs_hist_, __LINE__) = ::lrb::obs::Registry::global().histogram(   \
+      name);                                                                 \
+  ::lrb::obs::ScopedLatency LRB_OBS_CONCAT(lrb_obs_scope_, __LINE__)(        \
+      LRB_OBS_CONCAT(lrb_obs_hist_, __LINE__))
+
+/// Declares an RAII trace span covering the enclosing scope.  Same braced-
+/// block caveat as LRB_OBS_SCOPED_NS.
+#define LRB_TRACE_SPAN(name)                                                 \
+  ::lrb::obs::TraceSpan LRB_OBS_CONCAT(lrb_obs_span_, __LINE__)(name)
+#define LRB_TRACE_SPAN_ARG(name, arg)                                        \
+  ::lrb::obs::TraceSpan LRB_OBS_CONCAT(lrb_obs_span_, __LINE__)(             \
+      name, static_cast<std::uint64_t>(arg))
+
+#else  // !LRB_OBS_ENABLED — every macro compiles to nothing.
+
+// The `if (false)` keeps arguments formally used (no -Wunused-* under
+// -Werror, side-effect expressions still type-checked) while the optimizer
+// — and even -O0 dead-block elimination — emits no code and no symbols.
+#define LRB_OBS_COUNTER_ADD(name, n)                                         \
+  do {                                                                       \
+    if (false) {                                                             \
+      static_cast<void>(name);                                               \
+      static_cast<void>(n);                                                  \
+    }                                                                        \
+  } while (false)
+#define LRB_OBS_COUNTER_ADD_DYN(name, n) LRB_OBS_COUNTER_ADD(name, n)
+#define LRB_OBS_GAUGE_SET(name, v) LRB_OBS_COUNTER_ADD(name, v)
+#define LRB_OBS_GAUGE_ADD(name, d) LRB_OBS_COUNTER_ADD(name, d)
+#define LRB_OBS_GAUGE_SUB(name, d) LRB_OBS_COUNTER_ADD(name, d)
+#define LRB_OBS_HISTOGRAM_RECORD(name, v) LRB_OBS_COUNTER_ADD(name, v)
+#define LRB_OBS_SCOPED_NS(name)                                              \
+  do {                                                                       \
+    if (false) static_cast<void>(name);                                      \
+  } while (false)
+#define LRB_TRACE_SPAN(name) LRB_OBS_SCOPED_NS(name)
+#define LRB_TRACE_SPAN_ARG(name, arg) LRB_OBS_COUNTER_ADD(name, arg)
+
+#endif  // LRB_OBS_ENABLED

@@ -1,0 +1,54 @@
+#include "obs/registry.hpp"
+
+namespace lrb::obs {
+
+namespace {
+
+template <typename Map>
+auto& get_or_create(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return get_or_create(counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return get_or_create(gauges_, name);
+}
+
+LatencyHistogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return get_or_create(histograms_, name);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.gauges.emplace_back(name, g->value());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
+Registry& Registry::global() noexcept {
+  static Registry* instance = new Registry();  // leaked by design, see header
+  return *instance;
+}
+
+}  // namespace lrb::obs

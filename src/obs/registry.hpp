@@ -1,0 +1,74 @@
+// Named-metric registry — the control plane of the lrb::obs flight
+// recorder.
+//
+// A Registry owns its metrics (stable addresses for the lifetime of the
+// registry, so instrumentation sites can cache `Counter&` across calls) and
+// hands out get-or-create references by name.  `Registry::global()` is the
+// process-wide instance every LRB_OBS_* macro writes through; tests build
+// private instances to assert golden exports without cross-talk.
+//
+// Naming convention (mirrors Prometheus): `lrb_<subsystem>_<what>_<unit>`,
+// `_total` suffix for counters, `_ns` for nanosecond histograms.  Names
+// must be unique ACROSS metric types — the registry keeps counters, gauges
+// and histograms in separate maps, but the exporters emit one flat
+// namespace, so `counter("x")` and `gauge("x")` would collide on export.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace lrb::obs {
+
+/// Point-in-time copy of every registered metric, sorted by name within
+/// each kind.  Plain data — safe to hand to exporters, tables, tests.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create by name.  The returned reference stays valid for the
+  /// registry's lifetime; lookup takes a mutex, so call sites on hot paths
+  /// cache the reference (the LRB_OBS_* macros do this with a static
+  /// local).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+
+  /// Coherent in the sharded-metric sense (see metrics.hpp): each metric's
+  /// value is an exact total of the writes that happened-before the read.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// The process-wide registry the instrumentation macros write through.
+  /// Intentionally leaked: error counters increment from exception
+  /// constructors that may run during static destruction.
+  static Registry& global() noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  // unique_ptr values so node addresses survive rehash-free map growth and
+  // the references handed out never move.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace lrb::obs

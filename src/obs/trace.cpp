@@ -1,0 +1,140 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace lrb::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+  std::uint64_t arg;
+};
+
+// One buffer per recording thread, guarded by its own mutex: span ends are
+// coarse (collective rounds, pool jobs, batches — not per-item work), so an
+// uncontended lock per completed span is noise, and it lets trace_flush()
+// read buffers while other threads keep recording.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+class Recorder {
+ public:
+  static Recorder& instance() {
+    // Leaked so spans completing during static destruction stay safe;
+    // flush-at-exit is handled by atexit below, not a destructor.
+    static Recorder* r = new Recorder();
+    return *r;
+  }
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void enable(std::string path) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      path_ = std::move(path);
+    }
+    register_atexit_flush();
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+
+  std::uint64_t now_ns() const noexcept { return epoch_.elapsed_nanoseconds(); }
+
+  void record(const TraceEvent& ev) {
+    // Buffer index doubles as the dumped tid (1-based, in first-span order).
+    thread_local ThreadBuffer* buffer = nullptr;
+    if (buffer == nullptr) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      buffers_.push_back(std::make_unique<ThreadBuffer>());
+      buffer = buffers_.back().get();
+    }
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.push_back(ev);
+  }
+
+  void flush() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "lrb::obs: cannot open trace path '%s'\n",
+                   path_.c_str());
+      return;
+    }
+    std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n", f);
+    bool first = true;
+    for (std::size_t t = 0; t < buffers_.size(); ++t) {
+      ThreadBuffer& buf = *buffers_[t];
+      std::lock_guard<std::mutex> buf_lock(buf.mutex);
+      for (const TraceEvent& ev : buf.events) {
+        if (!first) std::fputs(",\n", f);
+        first = false;
+        // Complete ('X') events; ts/dur are microseconds in the format.
+        std::fprintf(f,
+                     "{\"name\":\"%s\",\"cat\":\"lrb\",\"ph\":\"X\","
+                     "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%zu,"
+                     "\"args\":{\"v\":%llu}}",
+                     ev.name, static_cast<double>(ev.start_ns) / 1e3,
+                     static_cast<double>(ev.dur_ns) / 1e3, t + 1,
+                     static_cast<unsigned long long>(ev.arg));
+      }
+    }
+    std::fputs("\n]}\n", f);
+    std::fclose(f);
+  }
+
+ private:
+  Recorder() {
+    if (const char* path = std::getenv("LRB_TRACE");
+        path != nullptr && path[0] != '\0') {
+      enable(path);
+    }
+  }
+
+  void register_atexit_flush() {
+    std::call_once(atexit_once_, [] { std::atexit([] { trace_flush(); }); });
+  }
+
+  std::atomic<bool> enabled_{false};
+  WallTimer epoch_;  // process-relative timestamps; never reset
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::once_flag atexit_once_;
+};
+
+}  // namespace
+
+bool trace_enabled() noexcept { return Recorder::instance().enabled(); }
+
+void trace_enable(std::string path) {
+  Recorder::instance().enable(std::move(path));
+}
+
+void trace_flush() { Recorder::instance().flush(); }
+
+TraceSpan::TraceSpan(const char* name, std::uint64_t arg) noexcept
+    : name_(name), arg_(arg), start_ns_(0), live_(trace_enabled()) {
+  if (live_) start_ns_ = Recorder::instance().now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!live_) return;
+  Recorder& r = Recorder::instance();
+  r.record({name_, start_ns_, r.now_ns() - start_ns_, arg_});
+}
+
+}  // namespace lrb::obs

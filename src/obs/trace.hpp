@@ -1,0 +1,62 @@
+// RAII trace spans dumping Chrome trace_event JSON — the timeline half of
+// the lrb::obs flight recorder.
+//
+// A TraceSpan marks a scope on the process timeline: construction stamps
+// the start against a process-wide steady-clock epoch (common/timer's
+// WallTimer — the same clock every other measurement uses), destruction
+// stamps the duration, and the completed event lands in a per-thread
+// buffer.  Nesting needs no bookkeeping: Chrome's `trace_event` viewer (and
+// Perfetto at https://ui.perfetto.dev) reconstructs the stack per thread
+// from ts/dur containment, so a collective span naturally encloses its
+// per-round child spans.
+//
+// Recording is off until enabled, and a disabled span costs one relaxed
+// atomic load — cheap enough to leave LRB_TRACE_SPAN in the dist round
+// loops unconditionally.  Enable by either
+//
+//   * setting `LRB_TRACE=<path>` in the environment (read lazily on the
+//     first span), or
+//   * calling trace_enable(path) (what `lrb --trace=<path>` does).
+//
+// Events flush to the path as Chrome trace JSON at process exit, or
+// eagerly via trace_flush().  Flushing synchronizes with writers, so a
+// mid-run flush is safe — spans still open at flush time are simply not in
+// that dump (only completed events are buffered).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lrb::obs {
+
+/// True when span recording is active (env var seen or trace_enable called).
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Start recording spans; completed events will flush to `path` (Chrome
+/// trace JSON) at exit or on trace_flush().  Overrides any LRB_TRACE value.
+void trace_enable(std::string path);
+
+/// Write everything recorded so far to the enabled path.  No-op when
+/// recording was never enabled.  Safe to call repeatedly; each call
+/// rewrites the file with the full event list.
+void trace_flush();
+
+class TraceSpan {
+ public:
+  /// `name` must outlive the process dump (string literals in practice);
+  /// `arg` is an optional numeric payload shown in the viewer (round index,
+  /// batch size, ...).
+  explicit TraceSpan(const char* name, std::uint64_t arg = 0) noexcept;
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t arg_;
+  std::uint64_t start_ns_;
+  bool live_;
+};
+
+}  // namespace lrb::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace lrb::parallel {
 
@@ -50,6 +51,17 @@ void ThreadPool::worker_loop(std::size_t lane) {
 
 void ThreadPool::run_spmd(
     const std::function<void(std::size_t lane, std::size_t lanes)>& fn) {
+  // The pool runs one SPMD job at a time, so "queue depth" is the number of
+  // lanes the in-flight job occupies: the gauge reads 0 when idle, lanes_
+  // while a job runs (nested/concurrent run_spmd callers stack additively).
+  LRB_TRACE_SPAN_ARG("pool_job", lanes_);
+  LRB_OBS_SCOPED_NS("lrb_pool_job_ns");
+  LRB_OBS_COUNTER_ADD("lrb_pool_jobs_total", 1);
+  LRB_OBS_GAUGE_ADD("lrb_pool_active_lanes", lanes_);
+  struct LanesGaugeReset {
+    std::size_t lanes;
+    ~LanesGaugeReset() { LRB_OBS_GAUGE_SUB("lrb_pool_active_lanes", lanes); }
+  } gauge_reset{lanes_};
   if (lanes_ == 1) {
     fn(0, 1);
     return;

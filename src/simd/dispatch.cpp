@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/obs.hpp"
 #include "simd/kernels.hpp"
 
 namespace lrb::simd {
@@ -50,6 +51,7 @@ const Ops* resolve() noexcept {
       env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
     Target requested;
     if (!parse_target(env, requested)) {
+      LRB_OBS_COUNTER_ADD("lrb_simd_env_fallback_total", 1);
       std::fprintf(stderr,
                    "lrb: LRB_SIMD=%s is not a target "
                    "(scalar | avx2 | avx512 | auto); using auto\n",
@@ -57,6 +59,7 @@ const Ops* resolve() noexcept {
     } else if (const Ops* table = ops_for(requested)) {
       return table;
     } else {
+      LRB_OBS_COUNTER_ADD("lrb_simd_env_fallback_total", 1);
       std::fprintf(stderr,
                    "lrb: LRB_SIMD=%s unavailable on this "
                    "machine/build; using auto\n",
@@ -101,6 +104,10 @@ const Ops& ops() noexcept {
     // Benign race: concurrent first calls resolve to the same table.
     active = resolve();
     g_active.store(active, std::memory_order_release);
+    // Resolved target as a gauge (Target enum value) so an exported
+    // snapshot records which kernel table this process actually ran.
+    LRB_OBS_GAUGE_SET("lrb_simd_active_target",
+                      static_cast<int>(active->target));
   }
   return *active;
 }
@@ -109,6 +116,8 @@ bool force_target(Target target) noexcept {
   const Ops* table = ops_for(target);
   if (table == nullptr) return false;
   g_active.store(table, std::memory_order_release);
+  LRB_OBS_COUNTER_ADD("lrb_simd_force_target_total", 1);
+  LRB_OBS_GAUGE_SET("lrb_simd_active_target", static_cast<int>(table->target));
   return true;
 }
 

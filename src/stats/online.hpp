@@ -21,6 +21,19 @@ class OnlineMoments {
     max_ = std::max(max_, x);
   }
 
+  /// Adds `n` copies of `x` in O(1) — a merge with the degenerate
+  /// accumulator {count=n, mean=x, m2=0}.  Used by the obs histogram
+  /// exporters to fold log2 buckets into moments without replaying samples.
+  void add_repeated(double x, std::uint64_t n) noexcept {
+    if (n == 0) return;
+    OnlineMoments batch;
+    batch.count_ = n;
+    batch.mean_ = x;
+    batch.min_ = x;
+    batch.max_ = x;
+    merge(batch);
+  }
+
   /// Merges another accumulator (Chan's parallel formula).
   void merge(const OnlineMoments& other) noexcept {
     if (other.count_ == 0) return;

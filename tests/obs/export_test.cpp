@@ -1,0 +1,107 @@
+// Exporter contracts: the Prometheus text is golden-file exact (the
+// exposition format is a wire protocol, not a pretty-printer) and the JSON
+// export parses with the repo's own reader (tools/json_read.hpp) back to
+// the recorded values.  Both run against a private Registry so global
+// instrumentation can't leak rows into the goldens.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "json_read.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+
+namespace {
+
+/// One deterministic registry: a counter, a (negative) gauge, and a
+/// histogram spanning buckets 0, 1, 3 and 10.
+lrb::obs::Snapshot golden_snapshot() {
+  lrb::obs::Registry reg;
+  reg.counter("lrb_test_events_total").add(3);
+  reg.gauge("lrb_test_depth").set(-2);
+  lrb::obs::LatencyHistogram& h = reg.histogram("lrb_test_latency_ns");
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(1000);
+  return reg.snapshot();
+}
+
+TEST(PrometheusExport, GoldenText) {
+  const std::string expected =
+      "# TYPE lrb_test_events_total counter\n"
+      "lrb_test_events_total 3\n"
+      "# TYPE lrb_test_depth gauge\n"
+      "lrb_test_depth -2\n"
+      "# TYPE lrb_test_latency_ns histogram\n"
+      // Cumulative buckets up to the highest non-empty one (le = 2^i - 1),
+      // then the canonical +Inf / _sum / _count triple.
+      "lrb_test_latency_ns_bucket{le=\"0\"} 1\n"
+      "lrb_test_latency_ns_bucket{le=\"1\"} 2\n"
+      "lrb_test_latency_ns_bucket{le=\"3\"} 2\n"
+      "lrb_test_latency_ns_bucket{le=\"7\"} 3\n"
+      "lrb_test_latency_ns_bucket{le=\"15\"} 3\n"
+      "lrb_test_latency_ns_bucket{le=\"31\"} 3\n"
+      "lrb_test_latency_ns_bucket{le=\"63\"} 3\n"
+      "lrb_test_latency_ns_bucket{le=\"127\"} 3\n"
+      "lrb_test_latency_ns_bucket{le=\"255\"} 3\n"
+      "lrb_test_latency_ns_bucket{le=\"511\"} 3\n"
+      "lrb_test_latency_ns_bucket{le=\"1023\"} 4\n"
+      "lrb_test_latency_ns_bucket{le=\"+Inf\"} 4\n"
+      "lrb_test_latency_ns_sum 1006\n"
+      "lrb_test_latency_ns_count 4\n";
+  EXPECT_EQ(lrb::obs::prometheus_text(golden_snapshot()), expected);
+}
+
+TEST(PrometheusExport, EmptyHistogramEmitsOnlyInfBucket) {
+  lrb::obs::Registry reg;
+  (void)reg.histogram("lrb_test_idle_ns");
+  const std::string expected =
+      "# TYPE lrb_test_idle_ns histogram\n"
+      "lrb_test_idle_ns_bucket{le=\"+Inf\"} 0\n"
+      "lrb_test_idle_ns_sum 0\n"
+      "lrb_test_idle_ns_count 0\n";
+  EXPECT_EQ(lrb::obs::prometheus_text(reg.snapshot()), expected);
+}
+
+TEST(JsonExport, RoundTripsThroughJsonRead) {
+  const lrb::tools::JsonValue doc =
+      lrb::tools::parse_json(lrb::obs::json_text(golden_snapshot()));
+  EXPECT_EQ(doc.at("schema").as_string(), "lrb-obs-metrics/v1");
+  EXPECT_EQ(doc.at("counters").at("lrb_test_events_total").as_number(-1), 3.0);
+  EXPECT_EQ(doc.at("gauges").at("lrb_test_depth").as_number(0), -2.0);
+
+  const auto& hists = doc.at("histograms").items();
+  ASSERT_EQ(hists.size(), 1u);
+  const lrb::tools::JsonValue& h = hists.front();
+  EXPECT_EQ(h.at("name").as_string(), "lrb_test_latency_ns");
+  EXPECT_EQ(h.at("count").as_number(0), 4.0);
+  EXPECT_EQ(h.at("sum").as_number(0), 1006.0);
+  EXPECT_EQ(h.at("min").as_number(-1), 0.0);
+  EXPECT_EQ(h.at("max").as_number(0), 1000.0);
+  for (const char* q : {"p50", "p99", "p999"}) {
+    const double p = h.at(q).as_number(-1);
+    EXPECT_GE(p, 0.0) << q;
+    EXPECT_LE(p, 1000.0) << q << " must stay within [min, max]";
+  }
+  // Only non-empty buckets are emitted: 0, 1, 5 and 1000 occupy exactly
+  // four log2 buckets.
+  const auto& buckets = h.at("buckets").items();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].at("le").as_number(-1), 0.0);
+  EXPECT_EQ(buckets[3].at("le").as_number(-1), 1023.0);
+  for (const lrb::tools::JsonValue& b : buckets) {
+    EXPECT_EQ(b.at("count").as_number(0), 1.0);
+  }
+}
+
+TEST(JsonExport, EmptySnapshotIsValidJson) {
+  const lrb::obs::Registry reg;
+  const lrb::tools::JsonValue doc =
+      lrb::tools::parse_json(lrb::obs::json_text(reg.snapshot()));
+  EXPECT_TRUE(doc.at("counters").is_object());
+  EXPECT_TRUE(doc.at("histograms").is_array());
+  EXPECT_TRUE(doc.at("histograms").items().empty());
+}
+
+}  // namespace

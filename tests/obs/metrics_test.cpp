@@ -1,0 +1,164 @@
+// lrb::obs data plane: sharded counters/gauges/histograms must be EXACT
+// under concurrency — every write lands in exactly one shard and joined
+// readers see the full total.  The concurrent cases hammer each primitive
+// from every ThreadPool lane and assert the arithmetic, not a tolerance.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/online.hpp"
+
+namespace {
+
+TEST(Counter, StartsAtZeroAndSumsAdds) {
+  lrb::obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ExactUnderConcurrentWriters) {
+  lrb::parallel::ThreadPool pool(8);
+  lrb::obs::Counter c;
+  constexpr std::uint64_t kPerLane = 200'000;
+  pool.run_spmd([&](std::size_t, std::size_t) {
+    for (std::uint64_t i = 0; i < kPerLane; ++i) c.add();
+  });
+  // run_spmd joins every lane, so the sum-over-shards read is exact.
+  EXPECT_EQ(c.value(), kPerLane * pool.lanes());
+}
+
+TEST(Gauge, SetAddSub) {
+  lrb::obs::Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(-5);
+  g.add(7);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Gauge, PairedAddSubNetsToZeroUnderConcurrency) {
+  lrb::parallel::ThreadPool pool(8);
+  lrb::obs::Gauge g;
+  pool.run_spmd([&](std::size_t lane, std::size_t) {
+    for (int i = 0; i < 50'000; ++i) {
+      g.add(static_cast<std::int64_t>(lane) + 1);
+      g.sub(static_cast<std::int64_t>(lane) + 1);
+    }
+  });
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(LatencyHistogram, BucketPlacementIsBitWidth) {
+  lrb::obs::LatencyHistogram h;
+  h.record(0);     // bit_width 0  -> bucket 0 (le 0)
+  h.record(1);     // bit_width 1  -> bucket 1 (le 1)
+  h.record(5);     // bit_width 3  -> bucket 3 (le 7)
+  h.record(1000);  // bit_width 10 -> bucket 10 (le 1023)
+  const lrb::obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 1006u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.buckets[10], 1u);
+  EXPECT_EQ(lrb::obs::HistogramSnapshot::bucket_le(10), 1023u);
+}
+
+TEST(LatencyHistogram, HugeValuesSaturateIntoLastBucket) {
+  lrb::obs::LatencyHistogram h;
+  const std::uint64_t huge = std::uint64_t{1} << 60;  // bit_width 61 > 47
+  h.record(huge);
+  const lrb::obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.buckets[lrb::obs::HistogramSnapshot::kBuckets - 1], 1u);
+  EXPECT_EQ(s.max, huge);
+}
+
+TEST(LatencyHistogram, PercentileStaysInObservedRangeAndIsMonotone) {
+  lrb::obs::LatencyHistogram h;
+  for (std::uint64_t v : {3u, 9u, 80u, 700u, 6000u}) h.record(v);
+  const lrb::obs::HistogramSnapshot s = h.snapshot();
+  double prev = 0.0;
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const double p = s.percentile(q);
+    EXPECT_GE(p, static_cast<double>(s.min));
+    EXPECT_LE(p, static_cast<double>(s.max));
+    EXPECT_GE(p, prev) << "percentile must be monotone in q";
+    prev = p;
+  }
+  // Empty histogram: percentile is a defined 0, not UB.
+  EXPECT_EQ(lrb::obs::HistogramSnapshot{}.percentile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, MomentsFoldBucketsThroughOnlineMoments) {
+  lrb::obs::LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(6);  // bucket 3 = [4, 7], midpoint 5.5
+  const lrb::stats::OnlineMoments m = h.snapshot().moments();
+  EXPECT_EQ(m.count(), 10u);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.5);
+  EXPECT_DOUBLE_EQ(m.stddev(), 0.0);
+}
+
+TEST(LatencyHistogram, ExactTotalsUnderConcurrentWriters) {
+  lrb::parallel::ThreadPool pool(8);
+  lrb::obs::LatencyHistogram h;
+  constexpr std::uint64_t kPerLane = 100'000;
+  pool.run_spmd([&](std::size_t lane, std::size_t) {
+    for (std::uint64_t i = 0; i < kPerLane; ++i) h.record(lane + 1);
+  });
+  const lrb::obs::HistogramSnapshot s = h.snapshot();
+  const std::uint64_t lanes = pool.lanes();
+  EXPECT_EQ(s.count, kPerLane * lanes);
+  EXPECT_EQ(s.sum, kPerLane * lanes * (lanes + 1) / 2);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, lanes);
+  std::uint64_t bucketed = 0;
+  for (std::uint64_t b : s.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, s.count) << "every record lands in exactly one bucket";
+}
+
+TEST(Registry, GetOrCreateReturnsStableReferences) {
+  lrb::obs::Registry reg;
+  lrb::obs::Counter& a = reg.counter("lrb_test_x_total");
+  lrb::obs::Counter& b = reg.counter("lrb_test_x_total");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  // Distinct kinds with distinct names live side by side.
+  reg.gauge("lrb_test_depth").set(2);
+  reg.histogram("lrb_test_ns").record(9);
+  const lrb::obs::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "lrb_test_x_total");
+  EXPECT_EQ(snap.counters[0].second, 3u);
+  EXPECT_EQ(snap.gauges[0].second, 2);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+}
+
+TEST(Registry, GlobalIsOneInstance) {
+  EXPECT_EQ(&lrb::obs::Registry::global(), &lrb::obs::Registry::global());
+}
+
+TEST(Registry, ConcurrentGetOrCreateNeverLosesWrites) {
+  lrb::parallel::ThreadPool pool(8);
+  lrb::obs::Registry reg;
+  constexpr std::uint64_t kPerLane = 20'000;
+  pool.run_spmd([&](std::size_t, std::size_t) {
+    for (std::uint64_t i = 0; i < kPerLane; ++i) {
+      reg.counter("lrb_test_races_total").add();
+    }
+  });
+  EXPECT_EQ(reg.counter("lrb_test_races_total").value(),
+            kPerLane * pool.lanes());
+}
+
+}  // namespace

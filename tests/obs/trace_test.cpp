@@ -1,0 +1,117 @@
+// Trace span contract, end to end: enable programmatically, run a
+// distributed batched selection at P = 8, flush, and parse the dump with
+// the repo's JSON reader.  The file must be Chrome trace_event / Perfetto
+// loadable ('X' complete events, µs timestamps) and the span tree must
+// show each dissemination "round" nested inside its collective, which is
+// nested inside the distributed_bidding_batch scaffold — the per-round
+// latency story the flight recorder exists to tell.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/selection.hpp"
+#include "dist/sharding.hpp"
+#include "json_read.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+struct Span {
+  std::string name;
+  double ts = 0.0;   // µs
+  double dur = 0.0;  // µs
+  double tid = 0.0;
+  double arg = 0.0;
+};
+
+/// `inner` lies within `outer` on the same thread lane.  Timestamps are
+/// exact (ns-resolution %.3f µs), the epsilon only absorbs double addition
+/// rounding.
+bool contained_in(const Span& inner, const Span& outer) {
+  constexpr double kEps = 0.0005;
+  return inner.tid == outer.tid && inner.ts >= outer.ts - kEps &&
+         inner.ts + inner.dur <= outer.ts + outer.dur + kEps;
+}
+
+TEST(Trace, DistributedBatchDumpsNestedPerfettoSpans) {
+  const std::string path = ::testing::TempDir() + "/lrb_trace_test.json";
+  lrb::obs::trace_enable(path);
+  {
+    std::vector<double> fitness(512);
+    for (std::size_t i = 0; i < fitness.size(); ++i) {
+      fitness[i] = (i % 3 == 0) ? 0.0 : 1.0 + static_cast<double>(i % 7);
+    }
+    const lrb::dist::ShardedFitness shards(fitness, 8);
+    const auto result = lrb::dist::distributed_bidding_batch(shards, 4, 7);
+    ASSERT_EQ(result.indices.size(), 4u);
+  }
+  lrb::obs::trace_flush();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "trace file missing: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const lrb::tools::JsonValue doc = lrb::tools::parse_json(buffer.str());
+
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ns");
+  std::vector<Span> scaffolds, collectives, rounds;
+  for (const lrb::tools::JsonValue& ev : doc.at("traceEvents").items()) {
+    EXPECT_EQ(ev.at("ph").as_string(), "X") << "only complete events";
+    EXPECT_EQ(ev.at("pid").as_number(-1), 1.0);
+    Span span;
+    span.name = ev.at("name").as_string();
+    span.ts = ev.at("ts").as_number(-1);
+    span.dur = ev.at("dur").as_number(-1);
+    span.tid = ev.at("tid").as_number(-1);
+    span.arg = ev.at("args").at("v").as_number(-1);
+    EXPECT_GE(span.ts, 0.0);
+    EXPECT_GE(span.dur, 0.0);
+    if (span.name == "distributed_bidding_batch") scaffolds.push_back(span);
+    if (span.name == "allreduce_argmax_batch") collectives.push_back(span);
+    if (span.name == "round") rounds.push_back(span);
+  }
+
+  ASSERT_GE(scaffolds.size(), 1u);
+  ASSERT_GE(collectives.size(), 1u);
+  // P = 8 means ceil(log2 8) = 3 dissemination rounds per collective.
+  ASSERT_GE(rounds.size(), 3u * collectives.size());
+  EXPECT_EQ(scaffolds.front().arg, 4.0) << "scaffold arg is the batch size";
+
+  for (const Span& c : collectives) {
+    bool inside = false;
+    for (const Span& s : scaffolds) inside = inside || contained_in(c, s);
+    EXPECT_TRUE(inside) << "collective at ts=" << c.ts
+                        << " outside every scaffold span";
+  }
+  for (const Span& r : rounds) {
+    bool inside = false;
+    for (const Span& c : collectives) inside = inside || contained_in(r, c);
+    EXPECT_TRUE(inside) << "round at ts=" << r.ts
+                        << " outside every collective span";
+  }
+}
+
+TEST(Trace, FlushIsIdempotentAndRewritesWholeFile) {
+  // Each ctest case is its own process (gtest_discover_tests), so enable
+  // here too; repeated flushes must each rewrite a parseable file.
+  const std::string path = ::testing::TempDir() + "/lrb_trace_flush_test.json";
+  lrb::obs::trace_enable(path);
+  {
+    lrb::obs::TraceSpan span("flush_test", 1);
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    lrb::obs::trace_flush();
+    std::ifstream in(path);
+    ASSERT_TRUE(in);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const lrb::tools::JsonValue doc = lrb::tools::parse_json(buffer.str());
+    ASSERT_TRUE(doc.at("traceEvents").is_array());
+    EXPECT_GE(doc.at("traceEvents").items().size(), 1u);
+  }
+}
+
+}  // namespace

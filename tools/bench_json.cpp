@@ -1,7 +1,7 @@
 // bench_json — the repo's perf trajectory, as a machine-readable artifact.
 //
 // Runs the sweeps the batched hot path is accountable for and emits one JSON
-// document (schema "lrb-bench-selection/v4", default BENCH_selection.json)
+// document (schema "lrb-bench-selection/v5", default BENCH_selection.json)
 // that future PRs can regress against:
 //
 //   * serial_draw_many — n in {1e4, 1e6} x {dense, sparse} x m: ns/draw of a
@@ -16,7 +16,14 @@
 //     the implied kAliasCrossover factor n / (m* k) the heuristic in
 //     core/batch.hpp is calibrated from;
 //   * distributed_batch / deterministic_parity — unchanged from v3: the
-//     CommLedger invariants and the end-to-end P-invariance contract.
+//     CommLedger invariants and the end-to-end P-invariance contract;
+//   * obs_overhead — ns/draw of the hot batched path at the headline shapes,
+//     stamped with whether the lrb::obs flight recorder was compiled in.
+//     The <= 2% instrumentation-tax contract spans TWO builds (-DLRB_OBS=ON
+//     vs OFF), so a single run only records its side; CI's obs-overhead job
+//     builds both, runs `bench_json --obs-overhead` in each, and diffs with
+//     --compare --sections=obs_overhead --timing=enforce
+//     --max-regression=0.02.
 //
 // The full run (default) also enforces the acceptance invariants — draw_many
 // >= 2x the serial loop and the SIMD engine >= 1.5x forced-scalar at
@@ -30,23 +37,32 @@
 // ad-hoc scripts:
 //
 //   bench_json --compare=old.json new.json [--max-regression=0.10]
-//              [--timing=enforce|report]
+//              [--timing=enforce|report] [--sections=invariants,serial,...]
 //
 // diffs the invariant blocks (any true -> false is fatal in both modes) and
-// the matching serial *_ns_per_draw cells (ratio > 1 + max-regression is
-// fatal under --timing=enforce; --timing=report prints ratios without
-// failing, for cross-machine diffs like CI-runner vs committed baseline).
+// the matching *_ns_per_draw cells of the timing sections, rows keyed by
+// (n, density, m) (ratio > 1 + max-regression is fatal under
+// --timing=enforce; --timing=report prints ratios without failing, for
+// cross-machine diffs like CI-runner vs committed baseline).  By default
+// every known section present in BOTH artifacts is compared — a missing
+// section (e.g. no obs_overhead in a pre-v5 baseline) is skipped with a
+// note; --sections=... restricts the diff to exactly the named sections
+// (invariants, serial, obs_overhead) and then a missing one is an error.
 //
 // Schema history: v2 added the deterministic columns/parity, v3 the backend
 // stamps; v4 adds the top-level "simd" object (best target, available
 // targets), per-serial-row simd_target / draw_many_scalar_ns_per_draw /
 // deterministic_scalar_ns_per_draw / simd_speedup_draw_many /
 // simd_speedup_deterministic / philox_cost_scalar_dispatch, the "crossover"
-// array, and the simd_* invariants — purely additive over v3.
+// array, and the simd_* invariants; v5 adds the top-level "obs" object
+// ({"compiled": bool} — deliberately NOT an invariant, so ON and OFF
+// artifacts stay comparable) and the "obs_overhead" array — purely additive
+// over v4.
 //
 // Usage: bench_json [--quick] [--reps=3] [--out=BENCH_selection.json]
+//        bench_json --obs-overhead [--reps=9] [--out=BENCH_obs_overhead.json]
 //        bench_json --compare=old.json new.json [--max-regression=0.10]
-//                   [--timing=enforce|report]
+//                   [--timing=enforce|report] [--sections=serial,...]
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -149,20 +165,23 @@ std::vector<double> make_fitness(std::size_t n, bool dense) {
 
 volatile std::size_t g_sink = 0;  // keeps the timed loops honest
 
+// Every timed cell below is lrb::time_best_of (common/timer.hpp) — the
+// repo's one definition of best-of-reps.  The per-rep seed bump and sink
+// write land inside the timed region; both are O(1) noise next to the m
+// O(n)-or-O(k) draws being measured.
+
 /// Best-of-reps ns/draw of `m_timed` select_bidding() calls.
 double time_serial_loop(const std::vector<double>& fitness, std::size_t m_timed,
                         int reps) {
-  double best = std::numeric_limits<double>::infinity();
-  for (int rep = 0; rep < reps; ++rep) {
-    lrb::rng::Xoshiro256StarStar gen(1000 + static_cast<std::uint64_t>(rep));
-    const lrb::WallTimer timer;
+  std::uint64_t rep = 0;
+  const double best = lrb::time_best_of(reps, [&] {
+    lrb::rng::Xoshiro256StarStar gen(1000 + rep++);
     std::size_t sink = 0;
     for (std::size_t t = 0; t < m_timed; ++t) {
       sink ^= lrb::core::select_bidding(fitness, gen);
     }
-    best = std::min(best, timer.elapsed_seconds());
     g_sink = g_sink ^ sink;
-  }
+  });
   return best * 1e9 / static_cast<double>(m_timed);
 }
 
@@ -170,29 +189,25 @@ double time_serial_loop(const std::vector<double>& fitness, std::size_t m_timed,
 /// the CURRENT dispatch target.
 double time_draw_many(const std::vector<double>& fitness, std::size_t m,
                       int reps) {
-  double best = std::numeric_limits<double>::infinity();
-  for (int rep = 0; rep < reps; ++rep) {
-    lrb::rng::Xoshiro256StarStar gen(2000 + static_cast<std::uint64_t>(rep));
-    const lrb::WallTimer timer;
+  std::uint64_t rep = 0;
+  const double best = lrb::time_best_of(reps, [&] {
+    lrb::rng::Xoshiro256StarStar gen(2000 + rep++);
     const auto batch = lrb::core::draw_many(fitness, m, gen);
-    best = std::min(best, timer.elapsed_seconds());
     g_sink = g_sink ^ batch.back();
-  }
+  });
   return best * 1e9 / static_cast<double>(m);
 }
 
 /// Best-of-reps ns/draw of one alias build + m O(1) draws.
 double time_alias(const std::vector<double>& fitness, std::size_t m, int reps) {
-  double best = std::numeric_limits<double>::infinity();
-  for (int rep = 0; rep < reps; ++rep) {
-    lrb::rng::Xoshiro256StarStar gen(3000 + static_cast<std::uint64_t>(rep));
-    const lrb::WallTimer timer;
+  std::uint64_t rep = 0;
+  const double best = lrb::time_best_of(reps, [&] {
+    lrb::rng::Xoshiro256StarStar gen(3000 + rep++);
     const lrb::core::AliasTable table(fitness);
     std::size_t sink = 0;
     for (std::size_t t = 0; t < m; ++t) sink ^= table.select(gen);
-    best = std::min(best, timer.elapsed_seconds());
     g_sink = g_sink ^ sink;
-  }
+  });
   return best * 1e9 / static_cast<double>(m);
 }
 
@@ -203,14 +218,12 @@ double time_alias(const std::vector<double>& fitness, std::size_t m, int reps) {
 /// timed over a capped draw count and reported per draw.
 double time_deterministic(const std::vector<double>& fitness,
                           std::size_t m_timed, int reps) {
-  double best = std::numeric_limits<double>::infinity();
-  for (int rep = 0; rep < reps; ++rep) {
-    const lrb::WallTimer timer;
-    const auto batch = lrb::core::batch_select_deterministic(
-        fitness, m_timed, 4000 + static_cast<std::uint64_t>(rep));
-    best = std::min(best, timer.elapsed_seconds());
+  std::uint64_t rep = 0;
+  const double best = lrb::time_best_of(reps, [&] {
+    const auto batch =
+        lrb::core::batch_select_deterministic(fitness, m_timed, 4000 + rep++);
     g_sink = g_sink ^ batch.back();
-  }
+  });
   return best * 1e9 / static_cast<double>(m_timed);
 }
 
@@ -223,6 +236,90 @@ double timed_on_scalar(Fn&& fn) {
   const double result = fn();
   (void)lrb::simd::force_target(previous);
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Obs overhead section.
+
+/// Whether this binary carries the lrb::obs flight recorder.  Stamped into
+/// the top-level "obs" object and every obs_overhead row so --compare can
+/// tell an ON artifact from an OFF one.
+#if defined(LRB_OBS_ENABLED)
+constexpr bool kObsCompiled = true;
+#else
+constexpr bool kObsCompiled = false;
+#endif
+
+/// The instrumentation tax, measured: best-of-reps ns/draw of draw_many()
+/// at the headline dense shapes.  The <= 2% ON-vs-OFF contract needs two
+/// binaries, so one run only records its own side; CI's obs-overhead job
+/// diffs the two artifacts (see the header comment).
+void emit_obs_overhead(Json& json, bool quick, int reps) {
+  struct Shape {
+    std::size_t n;
+    std::size_t m;
+  };
+  const std::vector<Shape> shapes = quick
+                                        ? std::vector<Shape>{{10'000, 64}}
+                                        : std::vector<Shape>{{100'000, 1024},
+                                                             {1'000'000, 1024}};
+  std::printf("obs overhead sweep (reps=%d, obs_compiled=%s)...\n", reps,
+              kObsCompiled ? "true" : "false");
+  json.begin_array("obs_overhead");
+  for (const Shape& shape : shapes) {
+    const std::vector<double> fitness = make_fitness(shape.n, true);
+    const double many_ns = time_draw_many(fitness, shape.m, reps);
+    json.begin_object();
+    json.field("n", static_cast<std::uint64_t>(shape.n));
+    json.field("density", "dense");
+    json.field("m", static_cast<std::uint64_t>(shape.m));
+    json.field("reps", static_cast<std::uint64_t>(reps));
+    json.field("draw_many_ns_per_draw", many_ns);
+    json.field("obs_compiled", kObsCompiled);
+    json.end_object();
+    std::printf("  n=%-8zu m=%-5zu draw_many=%9.1f ns/draw\n", shape.n,
+                shape.m, many_ns);
+  }
+  json.end_array();
+}
+
+/// Dedicated --obs-overhead mode: the overhead sweep alone, at full scale
+/// and higher default reps (the 2% tolerance needs quieter cells than the
+/// headline 10%).  Emits a v5 document with an empty invariants block so
+/// --compare accepts it; default out path avoids clobbering the committed
+/// full artifact.
+int run_obs_overhead(const lrb::CliArgs& args) {
+  const int reps = static_cast<int>(args.get_u64("reps", 9));
+  const std::string out_path =
+      args.get_string("out", "BENCH_obs_overhead.json", "LRB_BENCH_OUT");
+  Json json;
+  json.begin_object();
+  json.field("schema", "lrb-bench-selection/v5");
+  json.field("generated_by", "tools/bench_json --obs-overhead");
+  json.field("backend", std::string(lrb::dist::simulated_backend().name()));
+  json.begin_object("simd");
+  json.field("target", std::string(lrb::simd::target_name()));
+  json.end_object();
+  json.begin_object("obs");
+  json.field("compiled", kObsCompiled);
+  json.end_object();
+  json.begin_object("config");
+  json.field("mode", "obs-overhead");
+  json.field("reps", static_cast<std::uint64_t>(reps));
+  json.end_object();
+  emit_obs_overhead(json, /*quick=*/false, reps);
+  json.begin_object("invariants");
+  json.end_object();
+  json.end_object();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -248,16 +345,45 @@ std::string serial_row_key(const lrb::tools::JsonValue& row) {
   return std::string(buf);
 }
 
+/// The sections --compare knows how to diff.  "invariants" is the boolean
+/// block; the rest are row arrays whose *_ns_per_draw cells are compared by
+/// (n, density, m) key.
+const std::vector<std::pair<std::string, std::string>> kTimingSections = {
+    {"serial", "serial_draw_many"},
+    {"obs_overhead", "obs_overhead"},
+};
+
+bool known_section(const std::string& name) {
+  if (name == "invariants") return true;
+  for (const auto& [flag, key] : kTimingSections) {
+    if (name == flag) return true;
+    static_cast<void>(key);
+  }
+  return false;
+}
+
+/// Parses --sections=a,b,c (empty string -> empty list = default mode).
+std::vector<std::string> parse_sections(const std::string& spec) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream in(spec);
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
 /// The machine-readable regression diff: invariant-block equality (always
-/// fatal on true -> false) + matching serial timing cells (fatal beyond
-/// --max-regression under --timing=enforce).  Exit codes: 0 clean, 1
+/// fatal on true -> false) + matching timing cells per section (fatal
+/// beyond --max-regression under --timing=enforce).  Exit codes: 0 clean, 1
 /// regression, 2 unusable input.
 int run_compare(const lrb::CliArgs& args) {
   const std::string old_path = args.get_string("compare", "");
   if (old_path.empty() || args.positionals().empty()) {
     std::fprintf(stderr,
                  "usage: bench_json --compare=old.json new.json "
-                 "[--max-regression=0.10] [--timing=enforce|report]\n");
+                 "[--max-regression=0.10] [--timing=enforce|report] "
+                 "[--sections=invariants,serial,obs_overhead]\n");
     return 2;
   }
   const std::string new_path = args.positionals().front();
@@ -267,6 +393,27 @@ int run_compare(const lrb::CliArgs& args) {
     std::fprintf(stderr, "bench_json: --timing must be enforce|report\n");
     return 2;
   }
+  // Default mode (no --sections) diffs every known section present in both
+  // artifacts and skips absent ones with a note — a v5 run stays comparable
+  // against a pre-obs_overhead baseline.  An explicitly requested section
+  // that is missing is an error: CI asking for the obs tax must not pass
+  // because the artifact silently lacked the rows.
+  const std::vector<std::string> selected =
+      parse_sections(args.get_string("sections", ""));
+  const bool explicit_sections = !selected.empty();
+  for (const std::string& name : selected) {
+    if (!known_section(name)) {
+      std::fprintf(stderr,
+                   "bench_json: unknown section %s (invariants, serial, "
+                   "obs_overhead)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+  const auto section_selected = [&](const std::string& name) {
+    if (!explicit_sections) return true;
+    return std::find(selected.begin(), selected.end(), name) != selected.end();
+  };
 
   lrb::tools::JsonValue old_doc, new_doc;
   try {
@@ -284,52 +431,70 @@ int run_compare(const lrb::CliArgs& args) {
   // must still be true (keys the new run does not compute — e.g. the
   // timing-based ones under --quick — are not compared).
   int invariant_regressions = 0;
-  int invariants_held = 0;
-  const lrb::tools::JsonValue& old_inv = old_doc.at("invariants");
-  const lrb::tools::JsonValue& new_inv = new_doc.at("invariants");
-  if (!old_inv.is_object() || !new_inv.is_object()) {
-    std::fprintf(stderr, "bench_json: missing invariants block\n");
-    return 2;
-  }
-  for (const auto& [key, old_value] : *old_inv.object) {
-    if (!old_value.is_bool() || !old_value.boolean) continue;
-    if (!new_inv.has(key)) continue;
-    if (new_inv.at(key).as_bool(false)) {
-      ++invariants_held;
-    } else {
-      ++invariant_regressions;
-      std::printf("REGRESSED invariant %s: true -> false\n", key.c_str());
+  if (section_selected("invariants")) {
+    int invariants_held = 0;
+    const lrb::tools::JsonValue& old_inv = old_doc.at("invariants");
+    const lrb::tools::JsonValue& new_inv = new_doc.at("invariants");
+    if (!old_inv.is_object() || !new_inv.is_object()) {
+      std::fprintf(stderr, "bench_json: missing invariants block\n");
+      return 2;
     }
+    for (const auto& [key, old_value] : *old_inv.object) {
+      if (!old_value.is_bool() || !old_value.boolean) continue;
+      if (!new_inv.has(key)) continue;
+      if (new_inv.at(key).as_bool(false)) {
+        ++invariants_held;
+      } else {
+        ++invariant_regressions;
+        std::printf("REGRESSED invariant %s: true -> false\n", key.c_str());
+      }
+    }
+    std::printf("invariants: %d held, %d regressed\n", invariants_held,
+                invariant_regressions);
   }
-  std::printf("invariants: %d held, %d regressed\n", invariants_held,
-              invariant_regressions);
 
-  // --- Timing cells: serial rows matched by (n, density, m); every
-  // *_ns_per_draw column present in both rows is compared as new/old.
+  // --- Timing cells: rows matched by (n, density, m) within each selected
+  // section; every *_ns_per_draw column present in both rows is compared as
+  // new/old.
   int timing_cells = 0;
   int timing_regressions = 0;
   double worst_ratio = 0.0;
-  for (const lrb::tools::JsonValue& old_row :
-       old_doc.at("serial_draw_many").items()) {
-    const std::string key = serial_row_key(old_row);
-    for (const lrb::tools::JsonValue& new_row :
-         new_doc.at("serial_draw_many").items()) {
-      if (serial_row_key(new_row) != key) continue;
-      for (const auto& [column, old_cell] : *old_row.object) {
-        if (!old_cell.is_number() || old_cell.number <= 0.0) continue;
-        if (column.find("_ns_per_draw") == std::string::npos) continue;
-        if (!new_row.has(column) || !new_row.at(column).is_number()) continue;
-        const double ratio = new_row.at(column).number / old_cell.number;
-        ++timing_cells;
-        worst_ratio = std::max(worst_ratio, ratio);
-        const bool regressed = ratio > 1.0 + tolerance;
-        if (regressed || ratio < 1.0 / (1.0 + tolerance)) {
-          std::printf("%s %s %s: %.1f -> %.1f ns/draw (ratio %.3f)\n",
-                      regressed ? "REGRESSED" : "improved", key.c_str(),
-                      column.c_str(), old_cell.number,
-                      new_row.at(column).number, ratio);
+  for (const auto& [flag, array_key] : kTimingSections) {
+    if (!section_selected(flag)) continue;
+    const bool in_old = old_doc.has(array_key);
+    const bool in_new = new_doc.has(array_key);
+    if (!in_old || !in_new) {
+      if (explicit_sections) {
+        std::fprintf(stderr, "bench_json: section %s missing from %s\n",
+                     flag.c_str(), in_old ? new_path.c_str() : old_path.c_str());
+        return 2;
+      }
+      std::printf("section %s absent from %s artifact; skipped\n", flag.c_str(),
+                  in_old ? "new" : "old");
+      continue;
+    }
+    for (const lrb::tools::JsonValue& old_row :
+         old_doc.at(array_key).items()) {
+      const std::string key = serial_row_key(old_row);
+      for (const lrb::tools::JsonValue& new_row :
+           new_doc.at(array_key).items()) {
+        if (serial_row_key(new_row) != key) continue;
+        for (const auto& [column, old_cell] : *old_row.object) {
+          if (!old_cell.is_number() || old_cell.number <= 0.0) continue;
+          if (column.find("_ns_per_draw") == std::string::npos) continue;
+          if (!new_row.has(column) || !new_row.at(column).is_number()) continue;
+          const double ratio = new_row.at(column).number / old_cell.number;
+          ++timing_cells;
+          worst_ratio = std::max(worst_ratio, ratio);
+          const bool regressed = ratio > 1.0 + tolerance;
+          if (regressed || ratio < 1.0 / (1.0 + tolerance)) {
+            std::printf("%s %s %s %s: %.1f -> %.1f ns/draw (ratio %.3f)\n",
+                        regressed ? "REGRESSED" : "improved", flag.c_str(),
+                        key.c_str(), column.c_str(), old_cell.number,
+                        new_row.at(column).number, ratio);
+          }
+          if (regressed) ++timing_regressions;
         }
-        if (regressed) ++timing_regressions;
       }
     }
   }
@@ -356,6 +521,7 @@ int run_compare(const lrb::CliArgs& args) {
 int main(int argc, char** argv) {
   const lrb::CliArgs args(argc, argv);
   if (args.has("compare")) return run_compare(args);
+  if (args.get_bool("obs-overhead", false)) return run_obs_overhead(args);
 
   const bool quick = args.get_bool("quick", false);
   const int reps = static_cast<int>(args.get_u64("reps", quick ? 1 : 3));
@@ -399,7 +565,7 @@ int main(int argc, char** argv) {
 
   Json json;
   json.begin_object();
-  json.field("schema", "lrb-bench-selection/v4");
+  json.field("schema", "lrb-bench-selection/v5");
   json.field("generated_by", "tools/bench_json");
   json.field("backend", backend);
   json.begin_object("simd");
@@ -415,6 +581,11 @@ int main(int argc, char** argv) {
     }
   }
   json.end_array();
+  json.end_object();
+  // Build stamp, not an invariant: an OFF artifact must stay comparable
+  // against an ON one (that diff IS the overhead measurement).
+  json.begin_object("obs");
+  json.field("compiled", kObsCompiled);
   json.end_object();
   json.begin_object("config");
   json.field("quick", quick);
@@ -580,6 +751,9 @@ int main(int argc, char** argv) {
                 row.implied_factor, lrb::core::kAliasCrossover);
   }
   json.end_array();
+
+  // ------------------------------------------------------- obs overhead --
+  emit_obs_overhead(json, quick, reps);
 
   // --------------------------------------------------------- distributed --
   std::printf("distributed batch sweep (n=%zu, P=2..%zu)...\n", dist_n, p_max);

@@ -17,6 +17,13 @@
 //   lrb list
 //       available selector algorithms.
 //
+// Global flags (any subcommand):
+//   --stats         print the lrb::obs Registry snapshot (counters, gauges,
+//                   histograms) as a table after the run
+//   --trace=<path>  dump Chrome trace_event JSON of the run's spans to
+//                   <path> (same as setting LRB_TRACE=<path>)
+// Both are inert — with a warning — when built with -DLRB_OBS=OFF.
+//
 // Exit status: 0 on success (validate: consistent), 1 on inconsistency,
 // 2 on usage errors.
 #include <cstdio>
@@ -145,7 +152,71 @@ void usage() {
   std::fprintf(stderr,
                "usage: lrb <select|sample|shuffle|validate|race|list> "
                "[options] [weights... | -]\n"
+               "global flags: --stats (metrics table after the run), "
+               "--trace=<path> (Chrome trace JSON)\n"
                "run `lrb list` to see the selector algorithms.\n");
+}
+
+#if defined(LRB_OBS_ENABLED)
+
+/// Renders the global Registry snapshot through common/table.hpp: counters
+/// and gauges as plain values, histograms with their exact count/mean and
+/// the log2-resolution tail quantiles.
+void print_stats() {
+  const lrb::obs::Snapshot snap = lrb::obs::Registry::global().snapshot();
+  if (snap.empty()) {
+    std::fprintf(stderr, "lrb: no metrics recorded\n");
+    return;
+  }
+  lrb::Table table({"metric", "type", "value", "mean", "p50", "p99", "p999",
+                    "max"});
+  table.set_align(0, lrb::Align::kLeft);
+  table.set_align(1, lrb::Align::kLeft);
+  for (const auto& [name, value] : snap.counters) {
+    table.add_row({name, "counter", lrb::format_count(value), "", "", "", "",
+                   ""});
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    table.add_row({name, "gauge", std::to_string(value), "", "", "", "", ""});
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    table.add_row({name, "histogram", lrb::format_count(h.count),
+                   lrb::format_fixed(h.mean(), 1),
+                   lrb::format_fixed(h.percentile(0.50), 0),
+                   lrb::format_fixed(h.percentile(0.99), 0),
+                   lrb::format_fixed(h.percentile(0.999), 0),
+                   h.count == 0 ? "" : lrb::format_count(h.max)});
+  }
+  table.print(std::cout);
+}
+
+#endif  // LRB_OBS_ENABLED
+
+/// Applies --trace before the run; returns whether --stats should print
+/// after it.  Under -DLRB_OBS=OFF both flags warn instead of silently doing
+/// nothing — an operator asking for metrics should learn why there are none.
+bool handle_obs_flags(const lrb::CliArgs& args) {
+  const bool want_stats = args.get_bool("stats", false);
+#if defined(LRB_OBS_ENABLED)
+  if (args.has("trace")) lrb::obs::trace_enable(args.get_string("trace", ""));
+#else
+  if (want_stats || args.has("trace")) {
+    std::fprintf(stderr,
+                 "lrb: built with -DLRB_OBS=OFF; --stats/--trace are inert\n");
+  }
+#endif
+  return want_stats;
+}
+
+void finish_obs(bool want_stats) {
+#if defined(LRB_OBS_ENABLED)
+  // Flush eagerly so the trace file exists even on exception exit paths
+  // (atexit still rewrites it with any later events).
+  lrb::obs::trace_flush();
+  if (want_stats) print_stats();
+#else
+  static_cast<void>(want_stats);
+#endif
 }
 
 }  // namespace
@@ -158,19 +229,25 @@ int main(int argc, char** argv) {
       return 2;
     }
     const std::string& cmd = args.positionals()[0];
+    const bool want_stats = handle_obs_flags(args);
     if (cmd == "list") return cmd_list();
     const auto weights = read_weights(args);
     if (weights.empty()) {
       std::fprintf(stderr, "lrb: no weights given (args or stdin)\n");
       return 2;
     }
-    if (cmd == "select") return cmd_select(args, weights);
-    if (cmd == "sample") return cmd_sample(args, weights);
-    if (cmd == "shuffle") return cmd_shuffle(args, weights);
-    if (cmd == "validate") return cmd_validate(args, weights);
-    if (cmd == "race") return cmd_race(args, weights);
-    usage();
-    return 2;
+    int rc = 2;
+    if (cmd == "select") rc = cmd_select(args, weights);
+    else if (cmd == "sample") rc = cmd_sample(args, weights);
+    else if (cmd == "shuffle") rc = cmd_shuffle(args, weights);
+    else if (cmd == "validate") rc = cmd_validate(args, weights);
+    else if (cmd == "race") rc = cmd_race(args, weights);
+    else {
+      usage();
+      return 2;
+    }
+    finish_obs(want_stats);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lrb: %s\n", e.what());
     return 2;
