@@ -12,6 +12,18 @@ InvalidFitnessError::InvalidFitnessError(const std::string& what_arg)
   LRB_OBS_COUNTER_ADD("lrb_errors_invalid_fitness_total", 1);
 }
 
+CommTimeoutError::CommTimeoutError(const std::string& what_arg)
+    : CommError(what_arg) {
+  LRB_OBS_COUNTER_ADD("lrb_fault_detected_total", 1);
+  LRB_OBS_COUNTER_ADD("lrb_fault_timeouts_total", 1);
+}
+
+RankFailedError::RankFailedError(std::size_t rank, const std::string& what_arg)
+    : CommError(what_arg), rank_(rank) {
+  LRB_OBS_COUNTER_ADD("lrb_fault_detected_total", 1);
+  LRB_OBS_COUNTER_ADD("lrb_fault_rank_failures_total", 1);
+}
+
 }  // namespace lrb
 
 namespace lrb::detail {

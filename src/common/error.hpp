@@ -5,6 +5,7 @@
 // indicate a library bug rather than a user mistake.
 #pragma once
 
+#include <cstddef>
 #include <source_location>
 #include <stdexcept>
 #include <string>
@@ -33,6 +34,46 @@ class InvalidFitnessError : public Error {
 class InvalidArgumentError : public Error {
  public:
   using Error::Error;
+};
+
+/// Base of the communication-fault exceptions a CommBackend may surface.
+/// Distinct from InvalidArgumentError/InvalidFitnessError: those mean the
+/// caller handed the library bad input, these mean the *machine* misbehaved —
+/// which the dist layer can detect, retry, and recover from (src/fault/).
+class CommError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An exchange exceeded its deadline (dropped or delayed message, hung
+/// peer).  Transient by contract: the collective layer retries these with
+/// exponential backoff (CommBackend::retry_policy) before escalating.
+///
+/// Out-of-line constructor (common/error.cpp): every construction — i.e.
+/// every detected timeout, from the fault injector or a real MpiBackend
+/// deadline — increments `lrb_fault_detected_total` and
+/// `lrb_fault_timeouts_total`, so fault rates are countable in production.
+class CommTimeoutError : public CommError {
+ public:
+  explicit CommTimeoutError(const std::string& what_arg);
+};
+
+/// A rank failed permanently (fail-stop).  Never retried: the recovery
+/// driver (fault/recovery.hpp) reshards onto the survivors and resumes from
+/// the deterministic cursor instead.  Carries the failed rank so recovery
+/// knows who to exclude.
+///
+/// Out-of-line constructor increments `lrb_fault_detected_total` and
+/// `lrb_fault_rank_failures_total`.
+class RankFailedError : public CommError {
+ public:
+  RankFailedError(std::size_t rank, const std::string& what_arg);
+
+  /// The rank that failed (as numbered by the topology that detected it).
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+
+ private:
+  std::size_t rank_;
 };
 
 /// The PRAM simulator detected an access that the configured machine model

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -41,6 +42,24 @@
 #include "dist/topology.hpp"
 
 namespace lrb::dist {
+
+/// How the collective layer (dist/collectives.cpp) reacts to a transient
+/// CommTimeoutError from a backend: up to `max_attempts` total tries, with
+/// exponential backoff between them.  RankFailedError is permanent and never
+/// retried — it escalates straight to the recovery driver (fault/recovery.hpp).
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;    ///< 1 initial attempt + 3 retries
+  std::uint64_t base_delay_ns = 0;   ///< backoff before retry k: base * mult^k
+  std::uint32_t multiplier = 2;
+
+  /// Backoff before the (retry+1)-th re-attempt (retry counts from 0).
+  [[nodiscard]] constexpr std::uint64_t delay_ns(std::uint32_t retry)
+      const noexcept {
+    std::uint64_t d = base_delay_ns;
+    for (std::uint32_t i = 0; i < retry; ++i) d *= multiplier;
+    return d;
+  }
+};
 
 /// Executes the model's collectives.  Implementations are stateless or
 /// immutable after construction (const methods), so one instance can be
@@ -52,6 +71,15 @@ class CommBackend {
   /// Stable identifier reported by tools ("simulated", "mpi") so benchmark
   /// and parity JSON can never silently mix backends.
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// The retry discipline for transient faults surfaced by this backend.
+  /// The default is deliberate for test determinism: retries happen (4
+  /// attempts) but with zero backoff sleep, so a seeded fault schedule
+  /// replays identically regardless of wall-clock speed.  Backends fronting
+  /// a real network (or the fault injector, configurably) override this.
+  [[nodiscard]] virtual RetryPolicy retry_policy() const noexcept {
+    return RetryPolicy{};
+  }
 
   /// True when this process computes rank `rank`'s local work (sub-races,
   /// shard sums).  The simulation embodies every rank; an MPI process

@@ -6,6 +6,9 @@
 // backend-dispatch tests pin.
 #include "dist/collectives.hpp"
 
+#include <chrono>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -19,6 +22,60 @@ namespace {
 void require_one_entry_per_rank(const Topology& topo, std::size_t entries) {
   LRB_REQUIRE(entries == topo.ranks(), InvalidArgumentError,
               "collective input must have one entry per rank");
+}
+
+/// Flushes a demoted (failed-attempt) ledger delta to the obs counters.
+/// The CommLedger's retried axes already hold this traffic for collectives
+/// that eventually succeed; the counters additionally capture attempts that
+/// escalate — whose local ledger dies with the propagating exception — so
+/// the flight recorder never under-reports wasted wire traffic.
+void note_demoted(const CommLedger& before, const CommLedger& after) {
+#if defined(LRB_OBS_ENABLED)
+  LRB_OBS_COUNTER_ADD("lrb_fault_retried_rounds_total",
+                      after.retried_rounds - before.retried_rounds);
+  LRB_OBS_COUNTER_ADD("lrb_fault_retried_words_total",
+                      after.retried_words - before.retried_words);
+#else
+  static_cast<void>(before);
+  static_cast<void>(after);
+#endif
+}
+
+/// Detection & bounded retry around one backend collective.  Transient
+/// faults (CommTimeoutError) are retried under the backend's RetryPolicy
+/// with exponential backoff; each failed attempt's ledger charges are
+/// reclassified to the retried axes, so the useful bill of a collective
+/// that eventually succeeds is exactly the unfaulted bill.  Permanent
+/// faults (RankFailedError) escalate immediately to the caller — typically
+/// the recovery driver in fault/recovery.hpp.  On the clean path this is
+/// one ledger copy (already needed for note_collective) and zero branches
+/// taken: the zero-overhead contract the obs suite pins.
+template <typename Fn>
+auto with_retry(const Topology& topo, CommLedger& ledger, Fn&& fn)
+    -> decltype(fn()) {
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    const CommLedger checkpoint = ledger;
+    try {
+      return fn();
+    } catch (const RankFailedError&) {
+      ledger.demote_to_retried(checkpoint);
+      note_demoted(checkpoint, ledger);
+      throw;  // fail-stop: nothing to retry against, recovery reshards
+    } catch (const CommTimeoutError&) {
+      ledger.demote_to_retried(checkpoint);
+      note_demoted(checkpoint, ledger);
+      const RetryPolicy policy = topo.backend().retry_policy();
+      if (attempt >= policy.max_attempts) {
+        LRB_OBS_COUNTER_ADD("lrb_fault_retry_exhausted_total", 1);
+        throw;  // escalation: the transient fault was not transient enough
+      }
+      LRB_OBS_COUNTER_ADD("lrb_fault_retries_total", 1);
+      const std::uint64_t delay = policy.delay_ns(attempt - 1);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+      }
+    }
+  }
 }
 
 /// Rolls one completed collective's CommLedger delta into the obs counters:
@@ -54,7 +111,9 @@ std::vector<double> allreduce_max(const Topology& topo,
   LRB_TRACE_SPAN("allreduce_max");
   LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
   const CommLedger before = ledger;
-  auto out = topo.backend().allreduce_max(topo, local, ledger);
+  auto out = with_retry(
+      topo, ledger,
+      [&] { return topo.backend().allreduce_max(topo, local, ledger); });
   note_collective("allreduce_max", before, ledger);
   return out;
 }
@@ -66,7 +125,9 @@ std::vector<ArgMax> allreduce_argmax(const Topology& topo,
   LRB_TRACE_SPAN("allreduce_argmax");
   LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
   const CommLedger before = ledger;
-  auto out = topo.backend().allreduce_argmax(topo, local, ledger);
+  auto out = with_retry(
+      topo, ledger,
+      [&] { return topo.backend().allreduce_argmax(topo, local, ledger); });
   note_collective("allreduce_argmax", before, ledger);
   return out;
 }
@@ -85,7 +146,9 @@ std::vector<std::vector<ArgMax>> allreduce_argmax_batch(
   LRB_TRACE_SPAN_ARG("allreduce_argmax_batch", batch);
   LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
   const CommLedger before = ledger;
-  auto out = topo.backend().allreduce_argmax_batch(topo, local, ledger);
+  auto out = with_retry(topo, ledger, [&] {
+    return topo.backend().allreduce_argmax_batch(topo, local, ledger);
+  });
   note_collective("allreduce_argmax_batch", before, ledger);
   return out;
 }
@@ -97,7 +160,9 @@ std::vector<double> allreduce_sum(const Topology& topo,
   LRB_TRACE_SPAN("allreduce_sum");
   LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
   const CommLedger before = ledger;
-  auto out = topo.backend().allreduce_sum(topo, local, ledger);
+  auto out = with_retry(
+      topo, ledger,
+      [&] { return topo.backend().allreduce_sum(topo, local, ledger); });
   note_collective("allreduce_sum", before, ledger);
   return out;
 }
@@ -109,7 +174,9 @@ std::vector<double> exclusive_scan_sum(const Topology& topo,
   LRB_TRACE_SPAN("exclusive_scan_sum");
   LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
   const CommLedger before = ledger;
-  auto out = topo.backend().exclusive_scan_sum(topo, local, ledger);
+  auto out = with_retry(
+      topo, ledger,
+      [&] { return topo.backend().exclusive_scan_sum(topo, local, ledger); });
   note_collective("exclusive_scan_sum", before, ledger);
   return out;
 }
@@ -122,7 +189,9 @@ double reduce_sum(const Topology& topo, std::span<const double> local,
   LRB_TRACE_SPAN("reduce_sum");
   LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
   const CommLedger before = ledger;
-  const double out = topo.backend().reduce_sum(topo, local, root, ledger);
+  const double out = with_retry(topo, ledger, [&] {
+    return topo.backend().reduce_sum(topo, local, root, ledger);
+  });
   note_collective("reduce_sum", before, ledger);
   return out;
 }
@@ -134,7 +203,9 @@ std::vector<double> broadcast(const Topology& topo, double value,
   LRB_TRACE_SPAN("broadcast");
   LRB_OBS_SCOPED_NS("lrb_dist_collective_ns");
   const CommLedger before = ledger;
-  auto out = topo.backend().broadcast(topo, value, root, ledger);
+  auto out = with_retry(
+      topo, ledger,
+      [&] { return topo.backend().broadcast(topo, value, root, ledger); });
   note_collective("broadcast", before, ledger);
   return out;
 }

@@ -4,7 +4,9 @@
 
 #include <mpi.h>
 
+#include <chrono>
 #include <cstdint>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -23,30 +25,67 @@ namespace {
 static_assert(std::is_trivially_copyable_v<ArgMax> && sizeof(ArgMax) == 16,
               "ArgMax must be wire-safe as 2 words");
 
-/// One blocking exchange with this round's neighbors; either side may be
+/// What one exchange needs to know about the backend: which communicator to
+/// ride and whether a deadline is armed.
+struct Wire {
+  MPI_Comm comm;
+  std::uint64_t deadline_ns;
+};
+
+/// One exchange with this round's neighbors; either side may be
 /// MPI_PROC_NULL (one-way rounds of the fold/tree schedules), which MPI
-/// turns into a no-op on that side.  One call per modeled round is the
-/// invariant tools/mpi_parity counts via PMPI.
-void sendrecv_bytes(const void* send, std::size_t bytes, int dest, void* recv,
-                    int src, int tag) {
-  MPI_Sendrecv(send, static_cast<int>(bytes), MPI_BYTE, dest, tag, recv,
-               static_cast<int>(bytes), MPI_BYTE, src, tag, MPI_COMM_WORLD,
-               MPI_STATUS_IGNORE);
+/// turns into a no-op on that side.
+///
+/// Deadline off (the default): a single blocking MPI_Sendrecv — one call per
+/// modeled round is the invariant tools/mpi_parity counts via PMPI.
+/// Deadline armed: the same dataflow as a nonblocking pair polled against
+/// the clock; expiry throws CommTimeoutError, the typed transient failure
+/// the collective retry loop (dist/collectives.cpp) retries with backoff.
+void sendrecv_bytes(const Wire& wire, const void* send, std::size_t bytes,
+                    int dest, void* recv, int src, int tag) {
+  if (wire.deadline_ns == 0) {
+    MPI_Sendrecv(send, static_cast<int>(bytes), MPI_BYTE, dest, tag, recv,
+                 static_cast<int>(bytes), MPI_BYTE, src, tag, wire.comm,
+                 MPI_STATUS_IGNORE);
+    return;
+  }
+  MPI_Request requests[2];
+  MPI_Irecv(recv, static_cast<int>(bytes), MPI_BYTE, src, tag, wire.comm,
+            &requests[0]);
+  MPI_Isend(send, static_cast<int>(bytes), MPI_BYTE, dest, tag, wire.comm,
+            &requests[1]);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(wire.deadline_ns);
+  for (;;) {
+    int done = 0;
+    MPI_Testall(2, requests, &done, MPI_STATUSES_IGNORE);
+    if (done != 0) return;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // Best-effort cancellation; an unfinished request we abandon here is
+      // acceptable on what is an error path headed for retry-or-escalate.
+      MPI_Cancel(&requests[0]);
+      MPI_Request_free(&requests[0]);
+      MPI_Request_free(&requests[1]);
+      throw CommTimeoutError("mpi exchange exceeded deadline (" +
+                             std::to_string(wire.deadline_ns) + " ns)");
+    }
+  }
 }
 
 int as_int(std::size_t v) { return static_cast<int>(v); }
 
 }  // namespace
 
-MpiBackend::MpiBackend() {
+MpiBackend::MpiBackend(MPI_Comm comm, std::uint64_t exchange_deadline_ns)
+    : comm_(comm), deadline_ns_(exchange_deadline_ns) {
   int initialized = 0;
   MPI_Initialized(&initialized);
   LRB_REQUIRE(initialized != 0, InvalidArgumentError,
               "MpiBackend requires MPI_Init to have run");
   int rank = 0;
   int size = 1;
-  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
-  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  MPI_Comm_rank(comm_, &rank);
+  MPI_Comm_size(comm_, &size);
   rank_ = static_cast<std::size_t>(rank);
   size_ = static_cast<std::size_t>(size);
 }
@@ -69,9 +108,10 @@ void require_world_sized(const Topology& topo, std::size_t world) {
 /// reaches P, so every round is a genuine two-sided exchange.  Same combine,
 /// same order as the simulation's current[to] = combine(current[to], sent).
 template <typename T, typename Combine>
-void mpi_dissemination(const Topology& topo, std::size_t me, T* mine,
-                       std::size_t count, std::uint64_t words_per_message,
-                       CommLedger& ledger, Combine&& combine) {
+void mpi_dissemination(const Wire& wire, const Topology& topo, std::size_t me,
+                       T* mine, std::size_t count,
+                       std::uint64_t words_per_message, CommLedger& ledger,
+                       Combine&& combine) {
   const std::size_t p = topo.ranks();
   std::vector<T> received(count);
   for (std::uint32_t r = 0; r < topo.log_rounds(); ++r) {
@@ -83,7 +123,7 @@ void mpi_dissemination(const Topology& topo, std::size_t me, T* mine,
     const std::size_t shift = std::size_t{1} << r;
     const int dest = as_int((me + shift) % p);
     const int src = as_int((me + p - shift) % p);
-    sendrecv_bytes(mine, count * sizeof(T), dest, received.data(), src,
+    sendrecv_bytes(wire, mine, count * sizeof(T), dest, received.data(), src,
                    as_int(r));
     for (std::size_t t = 0; t < count; ++t) {
       mine[t] = combine(mine[t], received[t]);
@@ -98,8 +138,10 @@ std::vector<double> MpiBackend::allreduce_max(const Topology& topo,
                                               std::span<const double> local,
                                               CommLedger& ledger) const {
   require_world_sized(topo, size_);
+  const Wire wire{comm_, deadline_ns_};
   double mine = local[rank_];
-  mpi_dissemination(topo, rank_, &mine, 1, /*words_per_message=*/1, ledger,
+  mpi_dissemination(wire, topo, rank_, &mine, 1, /*words_per_message=*/1,
+                    ledger,
                     [](double a, double b) { return a > b ? a : b; });
   return std::vector<double>(topo.ranks(), mine);
 }
@@ -108,8 +150,10 @@ std::vector<ArgMax> MpiBackend::allreduce_argmax(const Topology& topo,
                                                  std::span<const ArgMax> local,
                                                  CommLedger& ledger) const {
   require_world_sized(topo, size_);
+  const Wire wire{comm_, deadline_ns_};
   ArgMax mine = local[rank_];
-  mpi_dissemination(topo, rank_, &mine, 1, /*words_per_message=*/2, ledger,
+  mpi_dissemination(wire, topo, rank_, &mine, 1, /*words_per_message=*/2,
+                    ledger,
                     [](const ArgMax& a, const ArgMax& b) {
                       return argmax_combine(a, b);
                     });
@@ -120,9 +164,10 @@ std::vector<std::vector<ArgMax>> MpiBackend::allreduce_argmax_batch(
     const Topology& topo, std::span<const std::vector<ArgMax>> local,
     CommLedger& ledger) const {
   require_world_sized(topo, size_);
+  const Wire wire{comm_, deadline_ns_};
   const std::size_t batch = local.front().size();
   std::vector<ArgMax> mine = local[rank_];
-  mpi_dissemination(topo, rank_, mine.data(), batch,
+  mpi_dissemination(wire, topo, rank_, mine.data(), batch,
                     /*words_per_message=*/2 * batch, ledger,
                     [](const ArgMax& a, const ArgMax& b) {
                       return argmax_combine(a, b);
@@ -134,6 +179,7 @@ std::vector<double> MpiBackend::allreduce_sum(const Topology& topo,
                                               std::span<const double> local,
                                               CommLedger& ledger) const {
   require_world_sized(topo, size_);
+  const Wire wire{comm_, deadline_ns_};
   const std::size_t p = topo.ranks();
   const std::size_t me = rank_;
   double mine = local[me];
@@ -148,7 +194,7 @@ std::vector<double> MpiBackend::allreduce_sum(const Topology& topo,
     double received = 0.0;
     const int dest = me >= m ? as_int(me - m) : MPI_PROC_NULL;
     const int src = me < extra ? as_int(me + m) : MPI_PROC_NULL;
-    sendrecv_bytes(&mine, sizeof mine, dest, &received, src, 0);
+    sendrecv_bytes(wire, &mine, sizeof mine, dest, &received, src, 0);
     if (me < extra) mine += received;
     ledger.charge_round(extra, 1);
   }
@@ -158,7 +204,7 @@ std::vector<double> MpiBackend::allreduce_sum(const Topology& topo,
     if (me < m) {
       const int partner = as_int(topo.hypercube_partner(me, bit));
       double received = 0.0;
-      sendrecv_bytes(&mine, sizeof mine, partner, &received, partner,
+      sendrecv_bytes(wire, &mine, sizeof mine, partner, &received, partner,
                      as_int(1 + bit));
       mine += received;
     }
@@ -168,7 +214,7 @@ std::vector<double> MpiBackend::allreduce_sum(const Topology& topo,
     double received = 0.0;
     const int dest = me < extra ? as_int(me + m) : MPI_PROC_NULL;
     const int src = me >= m ? as_int(me - m) : MPI_PROC_NULL;
-    sendrecv_bytes(&mine, sizeof mine, dest, &received, src, 0);
+    sendrecv_bytes(wire, &mine, sizeof mine, dest, &received, src, 0);
     if (me >= m) mine = received;
     ledger.charge_round(extra, 1);
   }
@@ -183,6 +229,7 @@ std::vector<double> MpiBackend::exclusive_scan_sum(const Topology& topo,
                                                    std::span<const double> local,
                                                    CommLedger& ledger) const {
   require_world_sized(topo, size_);
+  const Wire wire{comm_, deadline_ns_};
   const std::size_t p = topo.ranks();
   const std::size_t me = rank_;
   // Hillis–Steele, simulation order: my exclusive prefix accumulates exactly
@@ -197,7 +244,7 @@ std::vector<double> MpiBackend::exclusive_scan_sum(const Topology& topo,
     double received = 0.0;
     const int dest = me + shift < p ? as_int(me + shift) : MPI_PROC_NULL;
     const int src = me >= shift ? as_int(me - shift) : MPI_PROC_NULL;
-    sendrecv_bytes(&sent, sizeof sent, dest, &received, src, tag++);
+    sendrecv_bytes(wire, &sent, sizeof sent, dest, &received, src, tag++);
     if (me >= shift) {
       excl += received;
       incl += received;
@@ -208,8 +255,7 @@ std::vector<double> MpiBackend::exclusive_scan_sum(const Topology& topo,
   // offset vector the simulation-shaped ownership scan reads (see the
   // header note) and is deliberately not billed.
   std::vector<double> offsets(p, 0.0);
-  MPI_Allgather(&excl, 1, MPI_DOUBLE, offsets.data(), 1, MPI_DOUBLE,
-                MPI_COMM_WORLD);
+  MPI_Allgather(&excl, 1, MPI_DOUBLE, offsets.data(), 1, MPI_DOUBLE, comm_);
   return offsets;
 }
 
@@ -217,6 +263,7 @@ double MpiBackend::reduce_sum(const Topology& topo,
                               std::span<const double> local, std::size_t root,
                               CommLedger& ledger) const {
   require_world_sized(topo, size_);
+  const Wire wire{comm_, deadline_ns_};
   const std::size_t p = topo.ranks();
   const std::size_t rel = (rank_ + p - root) % p;
   double mine = local[rank_];
@@ -231,11 +278,11 @@ double MpiBackend::reduce_sum(const Topology& topo,
 
     if (rel % (2 * stride) == stride) {
       double unused = 0.0;
-      sendrecv_bytes(&mine, sizeof mine, as_int((root + rel - stride) % p),
+      sendrecv_bytes(wire, &mine, sizeof mine, as_int((root + rel - stride) % p),
                      &unused, MPI_PROC_NULL, as_int(r));
     } else if (rel % (2 * stride) == 0 && rel + stride < p) {
       double received = 0.0;
-      sendrecv_bytes(&mine, sizeof mine, MPI_PROC_NULL, &received,
+      sendrecv_bytes(wire, &mine, sizeof mine, MPI_PROC_NULL, &received,
                      as_int((root + rel + stride) % p), as_int(r));
       mine += received;
     }
@@ -250,6 +297,7 @@ std::vector<double> MpiBackend::broadcast(const Topology& topo, double value,
                                           std::size_t root,
                                           CommLedger& ledger) const {
   require_world_sized(topo, size_);
+  const Wire wire{comm_, deadline_ns_};
   const std::size_t p = topo.ranks();
   const std::size_t rel = (rank_ + p - root) % p;
   double mine = rel == 0 ? value : 0.0;
@@ -265,11 +313,11 @@ std::vector<double> MpiBackend::broadcast(const Topology& topo, double value,
 
     if (rel % (2 * stride) == 0 && rel + stride < p) {
       double unused = 0.0;
-      sendrecv_bytes(&mine, sizeof mine, as_int((rank_ + stride) % p), &unused,
+      sendrecv_bytes(wire, &mine, sizeof mine, as_int((rank_ + stride) % p), &unused,
                      MPI_PROC_NULL, as_int(r));
     } else if (rel % (2 * stride) == stride) {
       double received = 0.0;
-      sendrecv_bytes(&mine, sizeof mine, MPI_PROC_NULL, &received,
+      sendrecv_bytes(wire, &mine, sizeof mine, MPI_PROC_NULL, &received,
                      as_int((rank_ + p - stride) % p), as_int(r));
       mine = received;
     }

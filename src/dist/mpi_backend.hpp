@@ -29,22 +29,43 @@
 
 #if defined(LRB_HAS_MPI)
 
+#include <mpi.h>
+
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dist/backend.hpp"
 
 namespace lrb::dist {
 
-/// One process per rank over MPI_COMM_WORLD.  Construct after MPI_Init;
-/// every Topology routed here must have exactly world-size ranks.
+/// One process per rank of a communicator (default MPI_COMM_WORLD).
+/// Construct after MPI_Init; every Topology routed here must have exactly
+/// as many ranks as the communicator has processes.
+///
+/// The communicator parameter is the fault-recovery hook: after a rank
+/// failure the survivors MPI_Comm_split themselves a smaller world and bind
+/// a fresh MpiBackend to it, then ShardedFitness::reshard(P-1, backend)
+/// resumes selection on the remnant (tools/mpi_parity's rank-failure drill).
+///
+/// `exchange_deadline_ns` > 0 arms a per-exchange deadline: each modeled
+/// round runs as a nonblocking send/recv pair polled against the deadline,
+/// and expiry throws CommTimeoutError (common/error.hpp) — the typed,
+/// retryable failure the collective retry loop understands.  The default 0
+/// keeps the blocking MPI_Sendrecv fast path, whose one-call-per-round shape
+/// is what mpi_parity's PMPI counter cross-checks.
 class MpiBackend final : public CommBackend {
  public:
-  MpiBackend();
+  explicit MpiBackend(MPI_Comm comm = MPI_COMM_WORLD,
+                      std::uint64_t exchange_deadline_ns = 0);
 
-  /// This process's MPI rank / the world size.
+  /// This process's rank / the size of the bound communicator.
   [[nodiscard]] std::size_t self_rank() const noexcept { return rank_; }
   [[nodiscard]] std::size_t world_size() const noexcept { return size_; }
+  [[nodiscard]] MPI_Comm comm() const noexcept { return comm_; }
+  [[nodiscard]] std::uint64_t exchange_deadline_ns() const noexcept {
+    return deadline_ns_;
+  }
 
   [[nodiscard]] std::string_view name() const noexcept override;
   [[nodiscard]] bool owns_rank(std::size_t rank) const noexcept override;
@@ -72,6 +93,8 @@ class MpiBackend final : public CommBackend {
                                               CommLedger& ledger) const override;
 
  private:
+  MPI_Comm comm_ = MPI_COMM_WORLD;
+  std::uint64_t deadline_ns_ = 0;
   std::size_t rank_ = 0;
   std::size_t size_ = 1;
 };

@@ -14,6 +14,14 @@
 // logarithmic bidding needs no prebuilt global structure, so a fitness update
 // touches one rank and nothing else (contrast a distributed Fenwick tree or
 // alias table, which must rebuild or ship O(log n) updates).
+//
+// Elasticity: the partition is stored as P+1 shard boundaries, so it can be
+// REPLACED mid-stream — reshard(P') repartitions over a different rank count
+// (the fault-recovery path: P -> P-1 after a rank failure) and the weighted
+// overload supports non-uniform splits for heterogeneous survivors.  Data
+// motion is O(moved cells) and ledger-charged; the deterministic selection
+// paths are partition-invariant (bids are keyed by GLOBAL index), so winners
+// before and after a reshard stitch into one bit-identical draw sequence.
 #pragma once
 
 #include <cstdint>
@@ -81,9 +89,57 @@ class ShardedFitness {
   /// InvalidFitnessError on the next draw, like every serial selector.
   void update(std::size_t index, double fitness);
 
+  /// Elastic repartition onto `new_ranks` uniform blocks (grow or shrink,
+  /// including the P'=1 collapse and P' > n with trailing empty shards),
+  /// keeping the current backend.  The result is indistinguishable from a
+  /// freshly constructed ShardedFitness(values, new_ranks) — same
+  /// boundaries, bit-identical cached shard sums (recomputed by the same
+  /// Kahan loop) — except that no validation pass runs: resharding is legal
+  /// mid-update-stream even while the global total is transiently zero.
+  ///
+  /// Returns the data-motion bill: O(moved) — `words` counts exactly the
+  /// cells whose owning rank changed, `messages` the distinct (old owner ->
+  /// new owner) transfers, `critical_path_words` the heaviest single new
+  /// rank's inbound volume, `rounds` 1 iff anything moved.  Deterministic
+  /// replay (the recovery contract) needs no more: surviving processes
+  /// replicate the values, so only ownership — who computes which sub-race —
+  /// actually moves.
+  CommLedger reshard(std::size_t new_ranks);
+
+  /// Same repartition, rebinding the collectives to `backend` — the
+  /// rank-failure path, where the survivors form a new (smaller)
+  /// communicator and need a backend bound to it.  Null keeps the default
+  /// simulated machine.
+  CommLedger reshard(std::size_t new_ranks,
+                     std::shared_ptr<const CommBackend> backend);
+
+  /// Non-uniform repartition for heterogeneous survivors: rank r's shard
+  /// size is proportional to capacities[r] (finite, >= 0, positive total),
+  /// boundaries at floor(n * cum_capacity / total_capacity).  Equal
+  /// capacities give a balanced split (sizes differ by at most one), though
+  /// not necessarily the same boundaries as reshard(new_ranks) — the floor
+  /// rule and partition_range place the remainder cells differently.  Same
+  /// bill and same O(moved) contract as reshard(new_ranks).
+  CommLedger reshard_weighted(std::span<const double> capacities);
+
+  CommLedger reshard_weighted(std::span<const double> capacities,
+                              std::shared_ptr<const CommBackend> backend);
+
  private:
+  /// Shared tail of construction and resharding: installs `begins` (size
+  /// ranks+1) and recomputes every cached shard sum / positive count from
+  /// values_ with the construction-time Kahan loop.
+  void install_partition(std::vector<std::size_t> begins);
+
+  CommLedger reshard_to(std::vector<std::size_t> new_begins,
+                        std::shared_ptr<const CommBackend> backend,
+                        bool keep_backend);
+
   Topology topology_;
   std::vector<double> values_;
+  /// Shard boundaries: rank r owns [begins_[r], begins_[r+1]).  Uniform
+  /// block partition at construction; replaced wholesale by reshard.
+  std::vector<std::size_t> begins_;
   std::vector<double> shard_sums_;
   std::vector<std::size_t> positive_counts_;
 };

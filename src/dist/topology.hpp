@@ -48,6 +48,18 @@ struct CommLedger {
   std::uint64_t words = 0;
   std::uint64_t critical_path_words = 0;
 
+  // The retransmission axes: traffic that was charged, then thrown away
+  // because the exchange failed (timeout, dead rank) and had to be re-sent
+  // or abandoned.  Kept separate from the useful axes above so the paper's
+  // cost invariants ("bidding moves strictly fewer words than prefix-sum")
+  // compare algorithm bills, not luck with the network: after a successful
+  // retry the useful axes equal an unfaulted run's exactly, and an unfaulted
+  // run has retries == 0 and zeros here (pinned by the dist tests).
+  std::uint64_t retries = 0;  ///< failed attempts that were reclassified
+  std::uint64_t retried_rounds = 0;
+  std::uint64_t retried_messages = 0;
+  std::uint64_t retried_words = 0;
+
   /// Charges one synchronous round carrying `message_count` point-to-point
   /// messages of `words_per_message` payload words each.
   constexpr void charge_round(std::uint64_t message_count,
@@ -58,12 +70,34 @@ struct CommLedger {
     if (message_count > 0) critical_path_words += words_per_message;
   }
 
+  /// Reclassifies everything charged to the useful axes since `checkpoint`
+  /// as retransmission: the useful axes roll back to the checkpoint, the
+  /// retried axes absorb the delta, and `retries` counts the failed attempt.
+  /// Called by the collective layer's retry loop (dist/collectives.cpp) with
+  /// the ledger snapshot it takes before each attempt — so a collective that
+  /// eventually succeeds bills its useful axes exactly once, no matter how
+  /// many attempts the fault schedule cost it.
+  constexpr void demote_to_retried(const CommLedger& checkpoint) noexcept {
+    retries += 1;
+    retried_rounds += rounds - checkpoint.rounds;
+    retried_messages += messages - checkpoint.messages;
+    retried_words += words - checkpoint.words;
+    rounds = checkpoint.rounds;
+    messages = checkpoint.messages;
+    words = checkpoint.words;
+    critical_path_words = checkpoint.critical_path_words;
+  }
+
   /// Accumulates another ledger (sequential composition of collectives).
   constexpr CommLedger& operator+=(const CommLedger& other) noexcept {
     rounds += other.rounds;
     messages += other.messages;
     words += other.words;
     critical_path_words += other.critical_path_words;
+    retries += other.retries;
+    retried_rounds += other.retried_rounds;
+    retried_messages += other.retried_messages;
+    retried_words += other.retried_words;
     return *this;
   }
 
@@ -93,6 +127,15 @@ class Topology {
   /// The backend executing this topology's collectives (the simulated
   /// machine unless one was injected).  Defined in dist/backend.cpp.
   [[nodiscard]] const CommBackend& backend() const noexcept;
+
+  /// The shareable backend handle this topology was constructed with (null
+  /// when it runs on the default simulated machine).  Lets elastic
+  /// operations — ShardedFitness::reshard shrinking P after a rank failure —
+  /// rebuild a differently-sized Topology on the SAME machine.
+  [[nodiscard]] const std::shared_ptr<const CommBackend>& backend_handle()
+      const noexcept {
+    return backend_;
+  }
 
   /// ceil(log2 P): the round count of dissemination collectives and binomial
   /// trees, and the lower bound for any P-rank reduction.

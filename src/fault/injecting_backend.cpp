@@ -1,0 +1,169 @@
+#include "fault/injecting_backend.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace lrb::fault {
+
+FaultInjectingBackend::FaultInjectingBackend(
+    std::shared_ptr<const dist::CommBackend> inner, FaultSchedule schedule,
+    dist::RetryPolicy policy)
+    : inner_(inner ? std::move(inner) : dist::make_simulated_backend()),
+      schedule_(std::move(schedule)),
+      policy_(policy),
+      name_("fault+" + std::string(inner_->name())),
+      remaining_(schedule_.size(), 0) {
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    const FaultEvent& event = schedule_.events()[i];
+    remaining_[i] = event.kind == FaultKind::kKillRank ? 1 : event.times;
+  }
+}
+
+std::string_view FaultInjectingBackend::name() const noexcept { return name_; }
+
+bool FaultInjectingBackend::owns_rank(std::size_t rank) const noexcept {
+  return inner_->owns_rank(rank);
+}
+
+dist::RetryPolicy FaultInjectingBackend::retry_policy() const noexcept {
+  return policy_;
+}
+
+std::uint64_t FaultInjectingBackend::exchanges_completed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+std::optional<std::size_t> FaultInjectingBackend::dead_rank() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dead_rank_;
+}
+
+void FaultInjectingBackend::mark_recovered() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  dead_rank_.reset();
+}
+
+void FaultInjectingBackend::before_exchange(
+    const dist::Topology& topo, dist::CommLedger& ledger,
+    std::uint64_t words_per_message) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // An unacknowledged dead rank fails everything: retries keep detecting the
+  // same failure until recovery reshards and calls mark_recovered().
+  if (dead_rank_.has_value()) {
+    throw RankFailedError(*dead_rank_,
+                          "rank " + std::to_string(*dead_rank_) +
+                              " is down (unrecovered)");
+  }
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    const FaultEvent& event = schedule_.events()[i];
+    if (event.at != completed_ || remaining_[i] == 0) continue;
+    remaining_[i] -= 1;
+    LRB_OBS_COUNTER_ADD("lrb_fault_injected_total", 1);
+    if (event.kind == FaultKind::kKillRank) {
+      LRB_OBS_COUNTER_ADD("lrb_fault_injected_kills_total", 1);
+      dead_rank_ = event.rank % topo.ranks();
+      throw RankFailedError(*dead_rank_,
+                            "injected fail-stop of rank " +
+                                std::to_string(*dead_rank_) + " at exchange " +
+                                std::to_string(completed_));
+    }
+    // Transient: the doomed attempt may complete (and charge) a few rounds
+    // before the loss surfaces — wasted traffic the retry loop will demote
+    // to the ledger's retried axes.
+    for (std::uint32_t r = 0; r < event.rounds_wasted; ++r) {
+      ledger.charge_round(topo.ranks(), words_per_message);
+    }
+    if (event.kind == FaultKind::kDropMessage) {
+      LRB_OBS_COUNTER_ADD("lrb_fault_injected_drops_total", 1);
+      throw CommTimeoutError("injected message drop at exchange " +
+                             std::to_string(completed_));
+    }
+    LRB_OBS_COUNTER_ADD("lrb_fault_injected_delays_total", 1);
+    throw CommTimeoutError("injected delay past deadline at exchange " +
+                           std::to_string(completed_));
+  }
+}
+
+void FaultInjectingBackend::note_completed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  completed_ += 1;
+}
+
+std::vector<double> FaultInjectingBackend::allreduce_max(
+    const dist::Topology& topo, std::span<const double> local,
+    dist::CommLedger& ledger) const {
+  before_exchange(topo, ledger, 1);
+  auto out = inner_->allreduce_max(topo, local, ledger);
+  note_completed();
+  return out;
+}
+
+std::vector<dist::ArgMax> FaultInjectingBackend::allreduce_argmax(
+    const dist::Topology& topo, std::span<const dist::ArgMax> local,
+    dist::CommLedger& ledger) const {
+  before_exchange(topo, ledger, 2);
+  auto out = inner_->allreduce_argmax(topo, local, ledger);
+  note_completed();
+  return out;
+}
+
+std::vector<std::vector<dist::ArgMax>>
+FaultInjectingBackend::allreduce_argmax_batch(
+    const dist::Topology& topo,
+    std::span<const std::vector<dist::ArgMax>> local,
+    dist::CommLedger& ledger) const {
+  const std::size_t batch = local.empty() ? 1 : local.front().size();
+  before_exchange(topo, ledger, 2 * batch);
+  auto out = inner_->allreduce_argmax_batch(topo, local, ledger);
+  note_completed();
+  return out;
+}
+
+std::vector<double> FaultInjectingBackend::allreduce_sum(
+    const dist::Topology& topo, std::span<const double> local,
+    dist::CommLedger& ledger) const {
+  before_exchange(topo, ledger, 1);
+  auto out = inner_->allreduce_sum(topo, local, ledger);
+  note_completed();
+  return out;
+}
+
+std::vector<double> FaultInjectingBackend::exclusive_scan_sum(
+    const dist::Topology& topo, std::span<const double> local,
+    dist::CommLedger& ledger) const {
+  before_exchange(topo, ledger, 1);
+  auto out = inner_->exclusive_scan_sum(topo, local, ledger);
+  note_completed();
+  return out;
+}
+
+double FaultInjectingBackend::reduce_sum(const dist::Topology& topo,
+                                         std::span<const double> local,
+                                         std::size_t root,
+                                         dist::CommLedger& ledger) const {
+  before_exchange(topo, ledger, 1);
+  const double out = inner_->reduce_sum(topo, local, root, ledger);
+  note_completed();
+  return out;
+}
+
+std::vector<double> FaultInjectingBackend::broadcast(
+    const dist::Topology& topo, double value, std::size_t root,
+    dist::CommLedger& ledger) const {
+  before_exchange(topo, ledger, 1);
+  auto out = inner_->broadcast(topo, value, root, ledger);
+  note_completed();
+  return out;
+}
+
+std::shared_ptr<const FaultInjectingBackend> make_fault_injecting_backend(
+    FaultSchedule schedule, dist::RetryPolicy policy) {
+  return std::make_shared<const FaultInjectingBackend>(
+      nullptr, std::move(schedule), policy);
+}
+
+}  // namespace lrb::fault

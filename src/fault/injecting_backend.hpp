@@ -1,0 +1,121 @@
+// FaultInjectingBackend: deterministic chaos between the collectives and any
+// real backend.
+//
+// Wraps a CommBackend and applies a FaultSchedule to the stream of collective
+// exchanges flowing through it: a scheduled kill marks the rank dead and
+// fails every exchange with RankFailedError until mark_recovered(); a
+// scheduled drop/delay fails the exchange with CommTimeoutError for the
+// event's `times` attempts (optionally charging partial wasted rounds first),
+// then lets it through.  Faults fire BEFORE any inner dataflow executes, so
+// under a real multi-process backend every process throws symmetrically at
+// the same exchange — no stray messages, no deadlock.
+//
+// Determinism: events are positioned on the count of COMPLETED exchanges,
+// which advances identically on every run of the same workload, so the same
+// schedule (same --fault-seed / --fault-spec) always produces the same
+// failures, the same recovery path, and the same lrb_fault_* counter values —
+// the repeat-run equality the fault tests pin.
+//
+// This is the one deliberately stateful backend (exchange counter, pending
+// event bookkeeping, dead rank) — the state is mutable behind the const
+// interface and mutex-guarded, mirroring how a real NIC's fault state is
+// invisible to the code issuing sends.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "dist/backend.hpp"
+#include "fault/schedule.hpp"
+
+namespace lrb::fault {
+
+class FaultInjectingBackend final : public dist::CommBackend {
+ public:
+  /// Wraps `inner` (null = a fresh simulated backend) under `schedule`.
+  /// `policy` is what the collective retry loop will consult — the default
+  /// keeps retries enabled with zero backoff sleep so tests replay fast and
+  /// identically.
+  explicit FaultInjectingBackend(
+      std::shared_ptr<const dist::CommBackend> inner,
+      FaultSchedule schedule, dist::RetryPolicy policy = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] bool owns_rank(std::size_t rank) const noexcept override;
+  [[nodiscard]] dist::RetryPolicy retry_policy() const noexcept override;
+
+  [[nodiscard]] std::vector<double> allreduce_max(
+      const dist::Topology& topo, std::span<const double> local,
+      dist::CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<dist::ArgMax> allreduce_argmax(
+      const dist::Topology& topo, std::span<const dist::ArgMax> local,
+      dist::CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<std::vector<dist::ArgMax>> allreduce_argmax_batch(
+      const dist::Topology& topo,
+      std::span<const std::vector<dist::ArgMax>> local,
+      dist::CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<double> allreduce_sum(
+      const dist::Topology& topo, std::span<const double> local,
+      dist::CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<double> exclusive_scan_sum(
+      const dist::Topology& topo, std::span<const double> local,
+      dist::CommLedger& ledger) const override;
+  [[nodiscard]] double reduce_sum(const dist::Topology& topo,
+                                  std::span<const double> local,
+                                  std::size_t root,
+                                  dist::CommLedger& ledger) const override;
+  [[nodiscard]] std::vector<double> broadcast(
+      const dist::Topology& topo, double value, std::size_t root,
+      dist::CommLedger& ledger) const override;
+
+  /// The schedule this injector replays.
+  [[nodiscard]] const FaultSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+
+  /// Completed (successful) exchanges so far — the clock fault events are
+  /// positioned on.
+  [[nodiscard]] std::uint64_t exchanges_completed() const;
+
+  /// The currently-dead rank, if a kill has fired and recovery has not yet
+  /// acknowledged it.  While set, every exchange throws RankFailedError.
+  [[nodiscard]] std::optional<std::size_t> dead_rank() const;
+
+  /// Recovery acknowledgement: the survivors have formed a new world (the
+  /// ShardedFitness was resharded without the dead rank), so exchanges flow
+  /// again.  Called by fault/recovery.hpp's driver; const because recovery
+  /// only ever sees the backend through the Topology's const handle.
+  void mark_recovered() const;
+
+ private:
+  /// Fires any due fault for the exchange about to run (throws), or returns
+  /// to let the inner collective execute.  `words_per_message` sizes the
+  /// wasted partial rounds a doomed attempt charges before failing.
+  void before_exchange(const dist::Topology& topo, dist::CommLedger& ledger,
+                       std::uint64_t words_per_message) const;
+
+  /// Advances the completed-exchange clock after a successful inner call.
+  void note_completed() const;
+
+  std::shared_ptr<const dist::CommBackend> inner_;
+  FaultSchedule schedule_;
+  dist::RetryPolicy policy_;
+  std::string name_;
+
+  mutable std::mutex mutex_;
+  mutable std::uint64_t completed_ = 0;
+  mutable std::optional<std::size_t> dead_rank_;
+  /// events()[i] still fails `remaining_[i]` more attempts (kills: 1 until
+  /// fired, then 0 forever — a dead rank stays dead after recovery).
+  mutable std::vector<std::uint32_t> remaining_;
+};
+
+/// Convenience: wrap the process-wide simulated machine under `schedule`.
+[[nodiscard]] std::shared_ptr<const FaultInjectingBackend>
+make_fault_injecting_backend(FaultSchedule schedule,
+                             dist::RetryPolicy policy = {});
+
+}  // namespace lrb::fault

@@ -1,0 +1,68 @@
+#include "fault/recovery.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/error.hpp"
+#include "fault/injecting_backend.hpp"
+#include "obs/obs.hpp"
+
+namespace lrb::fault {
+
+RecoveryRun select_with_recovery(dist::ShardedFitness& shards,
+                                 dist::DeterministicDistributedBidder& cursor,
+                                 std::size_t draws, std::size_t batch) {
+  LRB_REQUIRE(batch >= 1, InvalidArgumentError,
+              "select_with_recovery: batch must be at least 1");
+  RecoveryRun run;
+  run.indices.reserve(draws);
+  const std::uint64_t end = cursor.next_draw_id() + draws;
+  // Index (not pointer — recoveries may reallocate) of the event still
+  // waiting for its first post-recovery draw to stamp the latency.
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::size_t pending = kNone;
+  std::chrono::steady_clock::time_point caught_at{};
+
+  while (cursor.next_draw_id() < end) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batch, end - cursor.next_draw_id()));
+    try {
+      dist::BatchDrawResult result = cursor.select_batch(shards, want);
+      run.comm += result.comm;
+      run.indices.insert(run.indices.end(), result.indices.begin(),
+                         result.indices.end());
+      if (pending != kNone) {
+        const auto elapsed = std::chrono::steady_clock::now() - caught_at;
+        const auto ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count());
+        run.recoveries[pending].recovery_to_first_draw_ns = ns;
+        LRB_OBS_HISTOGRAM_RECORD("lrb_fault_recovery_ns", ns);
+        pending = kNone;
+      }
+    } catch (const RankFailedError& failure) {
+      // Unsurvivable: a 1-rank world has no one to reshard onto.
+      if (shards.ranks() <= 1) throw;
+      caught_at = std::chrono::steady_clock::now();
+      LRB_TRACE_SPAN("fault_recovery");
+      RecoveryEvent event;
+      event.draw_id = cursor.next_draw_id();  // unchanged: the batch failed
+      event.failed_rank = failure.rank();     // before any winner published
+      event.ranks_before = shards.ranks();
+      event.ranks_after = shards.ranks() - 1;
+      event.reshard_comm = shards.reshard(event.ranks_after);
+      run.comm += event.reshard_comm;
+      if (const auto* injector = dynamic_cast<const FaultInjectingBackend*>(
+              &shards.topology().backend())) {
+        injector->mark_recovered();
+      }
+      LRB_OBS_COUNTER_ADD("lrb_fault_recoveries_total", 1);
+      run.recoveries.push_back(event);
+      pending = run.recoveries.size() - 1;
+    }
+  }
+  return run;
+}
+
+}  // namespace lrb::fault

@@ -1,0 +1,181 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/error.hpp"
+#include "dist/backend.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace lrb::fault {
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kKillRank: return "kill";
+    case FaultKind::kDropMessage: return "drop";
+    case FaultKind::kDelayExchange: return "delay";
+  }
+  return "?";
+}
+
+FaultSchedule::FaultSchedule(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+  throw InvalidArgumentError("fault spec \"" + std::string(spec) +
+                             "\": " + why);
+}
+
+std::uint64_t parse_u64(std::string_view spec, std::string_view text,
+                        std::string_view what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    bad_spec(spec, "expected a number for " + std::string(what) + ", got \"" +
+                       std::string(text) + "\"");
+  }
+  return value;
+}
+
+FaultEvent parse_event(std::string_view spec, std::string_view text) {
+  const std::size_t amp = text.find('@');
+  if (amp == std::string_view::npos) {
+    bad_spec(spec, "event \"" + std::string(text) + "\" is missing '@'");
+  }
+  const std::string_view kind_text = text.substr(0, amp);
+  FaultEvent event;
+  if (kind_text == "kill") {
+    event.kind = FaultKind::kKillRank;
+  } else if (kind_text == "drop") {
+    event.kind = FaultKind::kDropMessage;
+  } else if (kind_text == "delay") {
+    event.kind = FaultKind::kDelayExchange;
+  } else {
+    bad_spec(spec, "unknown fault kind \"" + std::string(kind_text) +
+                       "\" (want kill|drop|delay)");
+  }
+
+  std::string_view rest = text.substr(amp + 1);
+  const std::size_t colon = rest.find(':');
+  event.at = parse_u64(spec, rest.substr(0, colon), "@position");
+
+  bool have_rank = false;
+  if (colon != std::string_view::npos) {
+    std::string_view args = rest.substr(colon + 1);
+    while (!args.empty()) {
+      const std::size_t comma = args.find(',');
+      const std::string_view kv = args.substr(0, comma);
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string_view::npos) {
+        bad_spec(spec, "argument \"" + std::string(kv) + "\" is missing '='");
+      }
+      const std::string_view key = kv.substr(0, eq);
+      const std::string_view value = kv.substr(eq + 1);
+      if (key == "rank") {
+        event.rank = static_cast<std::size_t>(parse_u64(spec, value, "rank"));
+        have_rank = true;
+      } else if (key == "times") {
+        event.times = static_cast<std::uint32_t>(
+            parse_u64(spec, value, "times"));
+      } else if (key == "rounds") {
+        event.rounds_wasted = static_cast<std::uint32_t>(
+            parse_u64(spec, value, "rounds"));
+      } else {
+        bad_spec(spec, "unknown argument \"" + std::string(key) +
+                           "\" (want rank|times|rounds)");
+      }
+      args = comma == std::string_view::npos ? std::string_view{}
+                                             : args.substr(comma + 1);
+    }
+  }
+  if (event.kind == FaultKind::kKillRank && !have_rank) {
+    bad_spec(spec, "kill events require rank=");
+  }
+  if (event.kind != FaultKind::kKillRank && event.times == 0) {
+    bad_spec(spec, "times= must be at least 1");
+  }
+  return event;
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::parse(std::string_view spec) {
+  std::vector<FaultEvent> events;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view event_text = rest.substr(0, semi);
+    if (!event_text.empty()) events.push_back(parse_event(spec, event_text));
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+  }
+  return FaultSchedule(std::move(events));
+}
+
+FaultSchedule FaultSchedule::random(std::uint64_t seed, std::size_t ranks,
+                                    std::uint64_t horizon) {
+  if (horizon == 0) horizon = 1;
+  rng::SplitMix64 gen(seed);
+  std::vector<FaultEvent> events;
+  // Transients sharing an exchange position stack their failed attempts, so
+  // cap the cumulative times per position below the default retry budget
+  // (max_attempts - 1 absorbable failures) — a random schedule must always
+  // be survivable (the header's exit-0 contract for chaos sweeps).
+  const std::uint32_t budget = dist::RetryPolicy{}.max_attempts - 1;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> attempts_at;
+  const std::size_t transients = 1 + gen() % 3;  // 1..3
+  for (std::size_t i = 0; i < transients; ++i) {
+    FaultEvent event;
+    event.kind = gen() % 2 == 0 ? FaultKind::kDropMessage
+                                : FaultKind::kDelayExchange;
+    event.at = gen() % horizon;
+    event.times = 1 + static_cast<std::uint32_t>(gen() % 2);  // 1..2
+    event.rounds_wasted = static_cast<std::uint32_t>(gen() % 2);  // 0..1
+    auto slot = std::find_if(attempts_at.begin(), attempts_at.end(),
+                             [&](const auto& e) { return e.first == event.at; });
+    if (slot == attempts_at.end()) {
+      slot = attempts_at.insert(attempts_at.end(), {event.at, 0u});
+    }
+    if (slot->second >= budget) continue;  // position saturated: drop event
+    event.times = std::min(event.times, budget - slot->second);
+    slot->second += event.times;
+    events.push_back(event);
+  }
+  if (ranks > 1 && gen() % 2 == 0) {
+    FaultEvent kill;
+    kill.kind = FaultKind::kKillRank;
+    kill.at = gen() % horizon;
+    kill.rank = gen() % ranks;
+    events.push_back(kill);
+  }
+  return FaultSchedule(std::move(events));
+}
+
+std::string FaultSchedule::str() const {
+  std::string out;
+  for (const FaultEvent& event : events_) {
+    if (!out.empty()) out += ';';
+    out += to_string(event.kind);
+    out += '@';
+    out += std::to_string(event.at);
+    if (event.kind == FaultKind::kKillRank) {
+      out += ":rank=" + std::to_string(event.rank);
+    } else {
+      out += ":times=" + std::to_string(event.times);
+      if (event.rounds_wasted > 0) {
+        out += ",rounds=" + std::to_string(event.rounds_wasted);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lrb::fault

@@ -1,0 +1,107 @@
+// Deterministic fault schedules: WHAT goes wrong, WHEN, reproducibly.
+//
+// A FaultSchedule is a list of fault events positioned on the stream of
+// *completed* collective exchanges a backend executes — "kill rank 2 once 7
+// exchanges have completed", "time out the exchange after #3, twice".  It is
+// plain data: the FaultInjectingBackend (fault/injecting_backend.hpp) fires
+// the events; this header only describes and (de)serializes them.
+//
+// Two constructors, both replayable:
+//   * parse("kill@7:rank=2;drop@3:times=2") — the explicit spec grammar,
+//     round-tripped by str(), surfaced on the CLI as --fault-spec;
+//   * random(seed, ranks, horizon) — a seeded chaos generator (SplitMix64,
+//     no global RNG state), surfaced as --fault-seed.  The same seed always
+//     yields the same schedule, so every chaos run — and every recovery path
+//     and lrb_fault_* counter value downstream of it — is reproducible from
+//     a single integer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lrb::fault {
+
+/// What kind of fault an event injects.
+enum class FaultKind : std::uint8_t {
+  kKillRank,  ///< fail-stop: the rank dies, every exchange fails until recovery
+  kDropMessage,  ///< a message is lost; the exchange times out, retry succeeds
+  kDelayExchange,  ///< the exchange exceeds its deadline; retry succeeds
+};
+
+/// The spec keyword of a kind ("kill", "drop", "delay").
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// One scheduled fault.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDropMessage;
+  /// Fires on the first exchange attempted after `at` collective exchanges
+  /// have COMPLETED on the injecting backend.  Counting completions (not
+  /// attempts) keeps positions stable under retries: "at=3" means the same
+  /// exchange whether or not an earlier event forced re-attempts.
+  std::uint64_t at = 0;
+  /// kKillRank: the rank that dies.  Interpreted modulo the topology's rank
+  /// count at fire time, so one spec is valid at every P a sweep tests.
+  std::size_t rank = 0;
+  /// kDrop/kDelay: consecutive attempts that fail before one succeeds.
+  std::uint32_t times = 1;
+  /// kDrop/kDelay: communication rounds the doomed attempt completes (and
+  /// charges) before failing — wasted partial traffic the ledger's retried
+  /// axes and the lrb_fault_retried_* counters must account for.
+  std::uint32_t rounds_wasted = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// An immutable, ordered list of fault events.
+class FaultSchedule {
+ public:
+  /// The empty schedule: a FaultInjectingBackend carrying it is transparent.
+  FaultSchedule() = default;
+
+  explicit FaultSchedule(std::vector<FaultEvent> events);
+
+  /// Parses the spec grammar:
+  ///
+  ///   spec   := event (';' event)*          (empty spec = empty schedule)
+  ///   event  := kind '@' at (':' kv (',' kv)*)?
+  ///   kind   := 'kill' | 'drop' | 'delay'
+  ///   kv     := 'rank=' N | 'times=' N | 'rounds=' N
+  ///
+  /// e.g. "kill@7:rank=2", "drop@3:times=2,rounds=1;delay@9".  `kill`
+  /// requires rank=; drop/delay default to times=1, rounds=0.  Throws
+  /// InvalidArgumentError on malformed input.
+  [[nodiscard]] static FaultSchedule parse(std::string_view spec);
+
+  /// A seeded chaos schedule for a run of about `horizon` exchanges on
+  /// `ranks` ranks: 1–3 transient faults (drop/delay, 1–2 failed attempts
+  /// each) and — when ranks > 1 — possibly one rank kill, all at positions
+  /// in [0, horizon).  Pure function of its arguments via SplitMix64.
+  ///
+  /// Survivable by construction under the default RetryPolicy: the
+  /// cumulative failed attempts of transients sharing one exchange position
+  /// are capped at max_attempts - 1, so retries always absorb them (kills
+  /// are recoverable via resharding, not retry).  Chaos sweeps may therefore
+  /// demand exit 0 from every seed.
+  [[nodiscard]] static FaultSchedule random(std::uint64_t seed,
+                                            std::size_t ranks,
+                                            std::uint64_t horizon);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Canonical spec string; parse(str()) reproduces the schedule exactly.
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by `at`, stable on ties
+};
+
+}  // namespace lrb::fault

@@ -43,6 +43,9 @@
 #include "dist/selection.hpp"
 #include "dist/sharding.hpp"
 #include "dist/topology.hpp"
+#include "fault/injecting_backend.hpp"
+#include "fault/recovery.hpp"
+#include "fault/schedule.hpp"
 // obs/obs.hpp is always safe (macros compile to nothing under LRB_OBS=OFF);
 // the concrete obs API only exists when the flight recorder is compiled in.
 #include "obs/obs.hpp"

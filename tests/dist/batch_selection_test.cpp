@@ -134,6 +134,10 @@ TEST(DistributedBiddingBatch, LedgerAmortizesRoundsAcrossTheBatch) {
       EXPECT_EQ(batch.comm.messages, lg * p);
       EXPECT_EQ(batch.comm.words, 2 * b * lg * p);
       EXPECT_EQ(batch.comm.critical_path_words, 2 * b * lg);
+      // Zero-fault pin: a clean machine never touches the retry axes.
+      EXPECT_EQ(batch.comm.retries, 0u);
+      EXPECT_EQ(batch.comm.retried_rounds, 0u);
+      EXPECT_EQ(batch.comm.retried_words, 0u);
     }
   }
 }

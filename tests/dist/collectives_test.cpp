@@ -56,6 +56,32 @@ TEST(CommLedger, ChargeAndMerge) {
   EXPECT_EQ(a.messages, 8u);
 }
 
+// The fault-accounting axes: demote_to_retried rolls a failed attempt's
+// traffic back to a checkpoint and rebooks it as retried, so the useful
+// axes stay bit-identical to a run that never failed.
+TEST(CommLedger, DemoteToRetriedRebooksTheFailedAttempt) {
+  CommLedger ledger;
+  ledger.charge_round(4, 3);  // useful work before the attempt
+  const CommLedger checkpoint = ledger;
+  ledger.charge_round(4, 3);  // the attempt that will fail
+  ledger.charge_round(4, 3);
+  ledger.demote_to_retried(checkpoint);
+  EXPECT_EQ(ledger.rounds, checkpoint.rounds);
+  EXPECT_EQ(ledger.messages, checkpoint.messages);
+  EXPECT_EQ(ledger.words, checkpoint.words);
+  EXPECT_EQ(ledger.critical_path_words, checkpoint.critical_path_words);
+  EXPECT_EQ(ledger.retries, 1u);
+  EXPECT_EQ(ledger.retried_rounds, 2u);
+  EXPECT_EQ(ledger.retried_messages, 8u);
+  EXPECT_EQ(ledger.retried_words, 24u);
+  // operator+= carries the retry axes too.
+  CommLedger merged;
+  merged += ledger;
+  merged += ledger;
+  EXPECT_EQ(merged.retries, 2u);
+  EXPECT_EQ(merged.retried_words, 48u);
+}
+
 TEST(AllreduceMax, MatchesSerialReferenceOnAllRanks) {
   for (std::size_t p : kRankCounts) {
     const Topology topo(p);

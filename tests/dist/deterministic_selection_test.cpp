@@ -210,6 +210,9 @@ TEST(DeterministicDistributed, LedgerParityWithStreamBatchAtEveryPB) {
       EXPECT_EQ(det.comm.messages, lrb::ceil_log2(p) * p);
       EXPECT_EQ(det.comm.words, 2 * b * lrb::ceil_log2(p) * p);
       EXPECT_EQ(det.comm.critical_path_words, 2 * b * lrb::ceil_log2(p));
+      // Zero-fault pin: clean draws never charge the retry axes.
+      EXPECT_EQ(det.comm.retries, 0u);
+      EXPECT_EQ(det.comm.retried_words, 0u);
     }
   }
 }

@@ -1,0 +1,226 @@
+// FaultInjectingBackend + the collective retry loop: injected transients are
+// retried into invisibility (same winners, same useful bill, retried axes
+// charged), kills surface as RankFailedError, escalation is bounded by the
+// RetryPolicy, and the whole machinery is deterministic in the schedule.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dist/backend.hpp"
+#include "dist/selection.hpp"
+#include "dist/sharding.hpp"
+#include "fault/injecting_backend.hpp"
+#include "fault/schedule.hpp"
+
+namespace {
+
+using lrb::CommTimeoutError;
+using lrb::RankFailedError;
+using lrb::dist::BatchDrawResult;
+using lrb::dist::CommLedger;
+using lrb::dist::DeterministicDistributedBidder;
+using lrb::dist::DrawResult;
+using lrb::dist::RetryPolicy;
+using lrb::dist::ShardedFitness;
+using lrb::fault::FaultInjectingBackend;
+using lrb::fault::FaultSchedule;
+
+std::vector<double> test_fitness(std::size_t n = 61) {
+  std::vector<double> fitness(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 5 == 2) continue;
+    fitness[i] = 1.0 + static_cast<double>((i * 13) % 17);
+  }
+  return fitness;
+}
+
+constexpr std::uint64_t kSeed = 0x5eed5eed5eed5eedULL;
+constexpr std::size_t kRanks = 6;
+constexpr std::size_t kDraws = 12;
+
+/// The unfaulted reference: winners and per-draw ledgers on the plain
+/// simulated machine.
+std::vector<DrawResult> clean_draws(const std::vector<double>& fitness) {
+  ShardedFitness shards(fitness, kRanks);
+  DeterministicDistributedBidder cursor(kSeed);
+  std::vector<DrawResult> draws;
+  for (std::size_t t = 0; t < kDraws; ++t) draws.push_back(cursor.select(shards));
+  return draws;
+}
+
+TEST(FaultInjection, EmptyScheduleIsTransparent) {
+  const std::vector<double> fitness = test_fitness();
+  const std::vector<DrawResult> clean = clean_draws(fitness);
+
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule());
+  ShardedFitness shards(fitness, kRanks, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  for (std::size_t t = 0; t < kDraws; ++t) {
+    const DrawResult draw = cursor.select(shards);
+    EXPECT_EQ(draw.index, clean[t].index) << "draw " << t;
+    EXPECT_EQ(draw.comm, clean[t].comm) << "draw " << t;  // retried axes == 0 too
+  }
+  EXPECT_EQ(injector->exchanges_completed(), kDraws);
+  EXPECT_FALSE(injector->dead_rank().has_value());
+}
+
+TEST(FaultInjection, NameTagsTheInnerBackend) {
+  const FaultInjectingBackend injector(nullptr, FaultSchedule());
+  EXPECT_EQ(injector.name(), "fault+simulated");
+}
+
+// The heart of satellite (a): a dropped message is retried; the winner and
+// the USEFUL bill are bit-identical to the unfaulted draw, and the wasted
+// attempts land on the retried axes instead.
+TEST(FaultInjection, DropIsRetriedIntoTransparency) {
+  const std::vector<double> fitness = test_fitness();
+  const std::vector<DrawResult> clean = clean_draws(fitness);
+
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule::parse("drop@3:times=2,rounds=1"));
+  ShardedFitness shards(fitness, kRanks, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  for (std::size_t t = 0; t < kDraws; ++t) {
+    const DrawResult draw = cursor.select(shards);
+    EXPECT_EQ(draw.index, clean[t].index) << "draw " << t;
+    EXPECT_EQ(draw.comm.rounds, clean[t].comm.rounds) << "draw " << t;
+    EXPECT_EQ(draw.comm.messages, clean[t].comm.messages) << "draw " << t;
+    EXPECT_EQ(draw.comm.words, clean[t].comm.words) << "draw " << t;
+    EXPECT_EQ(draw.comm.critical_path_words, clean[t].comm.critical_path_words)
+        << "draw " << t;
+    if (t == 3) {
+      // Two failed attempts, each wasting one partial round of P messages
+      // (2 words each: one (bid, index) pair per message at batch 1).
+      EXPECT_EQ(draw.comm.retries, 2u);
+      EXPECT_EQ(draw.comm.retried_rounds, 2u);
+      EXPECT_EQ(draw.comm.retried_messages, 2u * kRanks);
+      EXPECT_EQ(draw.comm.retried_words, 2u * kRanks * 2u);
+    } else {
+      EXPECT_EQ(draw.comm.retries, 0u) << "draw " << t;
+      EXPECT_EQ(draw.comm.retried_words, 0u) << "draw " << t;
+    }
+  }
+}
+
+// A zero-rounds drop (the message vanished before anything flew) still
+// counts a retry but charges no retried traffic.
+TEST(FaultInjection, ZeroRoundDropChargesRetryOnly) {
+  const std::vector<double> fitness = test_fitness();
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule::parse("drop@0"));
+  ShardedFitness shards(fitness, kRanks, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  const DrawResult draw = cursor.select(shards);
+  EXPECT_EQ(draw.comm.retries, 1u);
+  EXPECT_EQ(draw.comm.retried_rounds, 0u);
+  EXPECT_EQ(draw.comm.retried_words, 0u);
+  EXPECT_EQ(draw.index, clean_draws(fitness)[0].index);
+}
+
+TEST(FaultInjection, DelayBeyondRetryBudgetEscalates) {
+  const std::vector<double> fitness = test_fitness();
+  // Default policy allows 4 attempts; 10 consecutive failures exhaust it.
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule::parse("delay@2:times=10"));
+  ShardedFitness shards(fitness, kRanks, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  EXPECT_EQ(cursor.select(shards).index, clean_draws(fitness)[0].index);
+  (void)cursor.select(shards);
+  EXPECT_THROW((void)cursor.select(shards), CommTimeoutError);
+  // The failed draw never advanced the cursor: recovery can re-draw it.
+  EXPECT_EQ(cursor.next_draw_id(), 2u);
+}
+
+TEST(FaultInjection, WiderRetryPolicyAbsorbsTheSameBurst) {
+  const std::vector<double> fitness = test_fitness();
+  RetryPolicy patient;
+  patient.max_attempts = 16;
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule::parse("delay@2:times=10"), patient);
+  EXPECT_EQ(injector->retry_policy().max_attempts, 16u);
+  ShardedFitness shards(fitness, kRanks, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  std::vector<DrawResult> clean = clean_draws(fitness);
+  for (std::size_t t = 0; t < kDraws; ++t) {
+    const DrawResult draw = cursor.select(shards);
+    EXPECT_EQ(draw.index, clean[t].index) << "draw " << t;
+    EXPECT_EQ(draw.comm.retries, t == 2 ? 10u : 0u) << "draw " << t;
+  }
+}
+
+TEST(FaultInjection, KillSurfacesRankFailedAndStaysDead) {
+  const std::vector<double> fitness = test_fitness();
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule::parse("kill@2:rank=4"));
+  ShardedFitness shards(fitness, kRanks, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  (void)cursor.select(shards);
+  (void)cursor.select(shards);
+  try {
+    (void)cursor.select(shards);
+    FAIL() << "expected RankFailedError";
+  } catch (const RankFailedError& failure) {
+    EXPECT_EQ(failure.rank(), 4u);
+  }
+  ASSERT_TRUE(injector->dead_rank().has_value());
+  EXPECT_EQ(*injector->dead_rank(), 4u);
+  // Still dead: every further exchange fails until recovery acknowledges.
+  EXPECT_THROW((void)cursor.select(shards), RankFailedError);
+  EXPECT_EQ(cursor.next_draw_id(), 2u);
+
+  // Acknowledged recovery reopens the machine (the recovery driver reshards
+  // first; here the topology is unchanged, which is legal in simulation).
+  injector->mark_recovered();
+  EXPECT_FALSE(injector->dead_rank().has_value());
+  EXPECT_EQ(cursor.select(shards).index, clean_draws(fitness)[2].index);
+}
+
+TEST(FaultInjection, KillRankIsTakenModuloTopologySize) {
+  const std::vector<double> fitness = test_fitness();
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule::parse("kill@0:rank=13"));  // 13 % 6 == 1
+  ShardedFitness shards(fitness, kRanks, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  try {
+    (void)cursor.select(shards);
+    FAIL() << "expected RankFailedError";
+  } catch (const RankFailedError& failure) {
+    EXPECT_EQ(failure.rank(), 13u % kRanks);
+  }
+}
+
+// Positions are anchored on COMPLETED exchanges, so an event's position is
+// unaffected by retries forced by an earlier event.
+TEST(FaultInjection, PositionsCountCompletedExchangesNotAttempts) {
+  const std::vector<double> fitness = test_fitness();
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule::parse("drop@1:times=3;kill@4:rank=0"));
+  ShardedFitness shards(fitness, kRanks, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  const std::vector<DrawResult> clean = clean_draws(fitness);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(cursor.select(shards).index, clean[t].index) << "draw " << t;
+  }
+  // Draw 4 is the 5th exchange: the kill fires exactly there, not shifted
+  // by the three extra attempts draw 1 needed.
+  EXPECT_THROW((void)cursor.select(shards), RankFailedError);
+}
+
+TEST(FaultInjection, DefaultRetryPolicyIsFourAttemptsNoSleep) {
+  const RetryPolicy policy;
+  EXPECT_EQ(policy.max_attempts, 4u);
+  EXPECT_EQ(policy.base_delay_ns, 0u);
+  EXPECT_EQ(policy.delay_ns(5), 0u);
+  RetryPolicy backoff;
+  backoff.base_delay_ns = 100;
+  backoff.multiplier = 2;
+  EXPECT_EQ(backoff.delay_ns(0), 100u);
+  EXPECT_EQ(backoff.delay_ns(1), 200u);
+  EXPECT_EQ(backoff.delay_ns(3), 800u);
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// select_with_recovery: the end-to-end fault story.  Kill a rank mid-stream,
+// reshard onto the survivors, resume from the two-integer cursor — and the
+// full winner sequence is bit-identical to an unfaulted run (which is itself
+// bit-identical to serial core::DeterministicBidder).  Plus the determinism
+// acceptance criterion: the same fault seed produces the same recovery path
+// and the same lrb_fault_* counter values, twice.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/deterministic.hpp"
+#include "dist/selection.hpp"
+#include "dist/sharding.hpp"
+#include "fault/injecting_backend.hpp"
+#include "fault/recovery.hpp"
+#include "fault/schedule.hpp"
+
+#if defined(LRB_OBS_ENABLED)
+#include "obs/metrics.hpp"
+#endif
+
+namespace {
+
+using lrb::CommTimeoutError;
+using lrb::RankFailedError;
+using lrb::core::DeterministicBidder;
+using lrb::dist::DeterministicDistributedBidder;
+using lrb::dist::ShardedFitness;
+using lrb::fault::FaultInjectingBackend;
+using lrb::fault::FaultSchedule;
+using lrb::fault::RecoveryRun;
+using lrb::fault::select_with_recovery;
+
+std::vector<double> test_fitness(std::size_t n = 97) {
+  std::vector<double> fitness(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 4 == 1) continue;
+    fitness[i] = 0.25 + static_cast<double>((i * 7) % 23);
+  }
+  return fitness;
+}
+
+constexpr std::uint64_t kSeed = 0xabcdef0123456789ULL;
+
+std::vector<std::size_t> serial_winners(const std::vector<double>& fitness,
+                                        std::size_t draws) {
+  DeterministicBidder bidder(kSeed);
+  std::vector<std::size_t> winners;
+  for (std::size_t t = 0; t < draws; ++t) winners.push_back(bidder.select(fitness));
+  return winners;
+}
+
+TEST(Recovery, CleanRunHasNoRecoveriesAndMatchesSerial) {
+  const std::vector<double> fitness = test_fitness();
+  ShardedFitness shards(fitness, 8);
+  DeterministicDistributedBidder cursor(kSeed);
+  const RecoveryRun run = select_with_recovery(shards, cursor, 40, 4);
+  EXPECT_EQ(run.indices, serial_winners(fitness, 40));
+  EXPECT_TRUE(run.recoveries.empty());
+  EXPECT_EQ(run.comm.retries, 0u);
+  EXPECT_EQ(run.comm.retried_words, 0u);
+  EXPECT_EQ(cursor.next_draw_id(), 40u);
+}
+
+// The tentpole acceptance test, simulated flavor: every (failure position,
+// failed rank) over P=8 recovers onto 7 ranks with the remaining draws
+// bit-identical to the unfaulted serial sequence.
+TEST(Recovery, KillMatrixBitExactAcrossFailurePointsAndRanks) {
+  const std::vector<double> fitness = test_fitness();
+  constexpr std::size_t kDraws = 24;
+  const std::vector<std::size_t> expected = serial_winners(fitness, kDraws);
+  for (const std::size_t failure_at : {0u, 3u, 11u}) {
+    for (const std::size_t failed_rank : {0u, 4u, 7u}) {
+      const std::string spec = "kill@" + std::to_string(failure_at) +
+                               ":rank=" + std::to_string(failed_rank);
+      auto injector = std::make_shared<const FaultInjectingBackend>(
+          nullptr, FaultSchedule::parse(spec));
+      ShardedFitness shards(fitness, 8, injector);
+      DeterministicDistributedBidder cursor(kSeed);
+      const RecoveryRun run = select_with_recovery(shards, cursor, kDraws);
+      EXPECT_EQ(run.indices, expected) << spec;
+      ASSERT_EQ(run.recoveries.size(), 1u) << spec;
+      EXPECT_EQ(run.recoveries[0].failed_rank, failed_rank) << spec;
+      EXPECT_EQ(run.recoveries[0].draw_id, failure_at) << spec;
+      EXPECT_EQ(run.recoveries[0].ranks_before, 8u) << spec;
+      EXPECT_EQ(run.recoveries[0].ranks_after, 7u) << spec;
+      EXPECT_EQ(shards.ranks(), 7u) << spec;
+      // O(moved): the P=8 -> P=7 repartition must not touch every cell.
+      EXPECT_GT(run.recoveries[0].reshard_comm.words, 0u) << spec;
+      EXPECT_LT(run.recoveries[0].reshard_comm.words, fitness.size()) << spec;
+    }
+  }
+}
+
+TEST(Recovery, BatchedDrawsRecoverBitExactToo) {
+  const std::vector<double> fitness = test_fitness();
+  constexpr std::size_t kDraws = 30;
+  const std::vector<std::size_t> expected = serial_winners(fitness, kDraws);
+  // With batch=5, exchange 2 carries draws 10..14: the whole batch fails,
+  // recovery reshards, and the SAME batch replays — no draw skipped.
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule::parse("kill@2:rank=3"));
+  ShardedFitness shards(fitness, 8, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  const RecoveryRun run = select_with_recovery(shards, cursor, kDraws, 5);
+  EXPECT_EQ(run.indices, expected);
+  ASSERT_EQ(run.recoveries.size(), 1u);
+  EXPECT_EQ(run.recoveries[0].draw_id, 10u);
+}
+
+TEST(Recovery, SurvivesCascadingKillsDownToOneRank) {
+  const std::vector<double> fitness = test_fitness();
+  constexpr std::size_t kDraws = 20;
+  const std::vector<std::size_t> expected = serial_winners(fitness, kDraws);
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule::parse("kill@3:rank=2;kill@7:rank=1;kill@11:rank=0"));
+  ShardedFitness shards(fitness, 4, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  const RecoveryRun run = select_with_recovery(shards, cursor, kDraws);
+  EXPECT_EQ(run.indices, expected);
+  ASSERT_EQ(run.recoveries.size(), 3u);
+  EXPECT_EQ(run.recoveries[0].ranks_after, 3u);
+  EXPECT_EQ(run.recoveries[1].ranks_after, 2u);
+  EXPECT_EQ(run.recoveries[2].ranks_after, 1u);
+  EXPECT_EQ(shards.ranks(), 1u);
+}
+
+TEST(Recovery, SingleRankFailureIsUnsurvivable) {
+  const std::vector<double> fitness = test_fitness();
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule::parse("kill@2:rank=0"));
+  ShardedFitness shards(fitness, 1, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  EXPECT_THROW((void)select_with_recovery(shards, cursor, 10),
+               RankFailedError);
+}
+
+TEST(Recovery, ExhaustedTimeoutEscalatesOut) {
+  const std::vector<double> fitness = test_fitness();
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule::parse("drop@4:times=50"));
+  ShardedFitness shards(fitness, 8, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  EXPECT_THROW((void)select_with_recovery(shards, cursor, 10),
+               CommTimeoutError);
+}
+
+TEST(Recovery, TransientsAreAbsorbedWithExactUsefulBill) {
+  const std::vector<double> fitness = test_fitness();
+  constexpr std::size_t kDraws = 16;
+
+  ShardedFitness clean_shards(fitness, 8);
+  DeterministicDistributedBidder clean_cursor(kSeed);
+  const RecoveryRun clean =
+      select_with_recovery(clean_shards, clean_cursor, kDraws, 2);
+
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule::parse("drop@1:times=2,rounds=1;delay@5:times=1"));
+  ShardedFitness shards(fitness, 8, injector);
+  DeterministicDistributedBidder cursor(kSeed);
+  const RecoveryRun faulted = select_with_recovery(shards, cursor, kDraws, 2);
+
+  EXPECT_EQ(faulted.indices, clean.indices);
+  EXPECT_TRUE(faulted.recoveries.empty());  // transients never reshard
+  EXPECT_EQ(faulted.comm.rounds, clean.comm.rounds);
+  EXPECT_EQ(faulted.comm.messages, clean.comm.messages);
+  EXPECT_EQ(faulted.comm.words, clean.comm.words);
+  EXPECT_EQ(faulted.comm.critical_path_words, clean.comm.critical_path_words);
+  EXPECT_EQ(faulted.comm.retries, 3u);
+  EXPECT_EQ(clean.comm.retries, 0u);
+}
+
+// A chaos run mixing transients and a kill, driven purely by a seed.
+TEST(Recovery, SeededChaosRemainsBitExact) {
+  const std::vector<double> fitness = test_fitness();
+  constexpr std::size_t kDraws = 64;
+  const std::vector<std::size_t> expected = serial_winners(fitness, kDraws);
+  for (std::uint64_t fault_seed = 1; fault_seed <= 10; ++fault_seed) {
+    auto injector = std::make_shared<const FaultInjectingBackend>(
+        nullptr, FaultSchedule::random(fault_seed, 8, kDraws));
+    ShardedFitness shards(fitness, 8, injector);
+    DeterministicDistributedBidder cursor(kSeed);
+    const RecoveryRun run = select_with_recovery(shards, cursor, kDraws);
+    EXPECT_EQ(run.indices, expected) << "fault seed " << fault_seed;
+  }
+}
+
+#if defined(LRB_OBS_ENABLED)
+// Acceptance criterion: same fault seed => same injected faults, same
+// recovery path, same lrb_fault_* counter values — proven by running the
+// identical chaos scenario twice and diffing the counter deltas.
+TEST(Recovery, RepeatRunsProduceIdenticalFaultCounters) {
+  const std::vector<double> fitness = test_fitness();
+  constexpr std::size_t kDraws = 48;
+  const char* kCounters[] = {
+      "lrb_fault_injected_total",       "lrb_fault_injected_kills_total",
+      "lrb_fault_injected_drops_total", "lrb_fault_injected_delays_total",
+      "lrb_fault_detected_total",       "lrb_fault_timeouts_total",
+      "lrb_fault_rank_failures_total",  "lrb_fault_retries_total",
+      "lrb_fault_retry_exhausted_total", "lrb_fault_recoveries_total",
+      "lrb_fault_reshards_total",       "lrb_fault_moved_words_total",
+      "lrb_fault_retried_rounds_total", "lrb_fault_retried_words_total",
+  };
+  auto run_once = [&](std::uint64_t fault_seed) {
+    std::vector<std::uint64_t> before;
+    for (const char* name : kCounters) {
+      before.push_back(lrb::obs::Registry::global().counter(name).value());
+    }
+    auto injector = std::make_shared<const FaultInjectingBackend>(
+        nullptr, FaultSchedule::random(fault_seed, 8, kDraws));
+    ShardedFitness shards(fitness, 8, injector);
+    DeterministicDistributedBidder cursor(kSeed);
+    const RecoveryRun run = select_with_recovery(shards, cursor, kDraws);
+    std::vector<std::uint64_t> delta;
+    for (std::size_t i = 0; i < std::size(kCounters); ++i) {
+      delta.push_back(lrb::obs::Registry::global().counter(kCounters[i]).value() -
+                      before[i]);
+    }
+    return std::pair(run, delta);
+  };
+  for (std::uint64_t fault_seed = 1; fault_seed <= 4; ++fault_seed) {
+    const auto [run_a, delta_a] = run_once(fault_seed);
+    const auto [run_b, delta_b] = run_once(fault_seed);
+    EXPECT_EQ(run_a.indices, run_b.indices) << "fault seed " << fault_seed;
+    EXPECT_EQ(run_a.comm, run_b.comm) << "fault seed " << fault_seed;
+    EXPECT_EQ(run_a.recoveries.size(), run_b.recoveries.size());
+    EXPECT_EQ(delta_a, delta_b) << "fault seed " << fault_seed;
+  }
+}
+#endif  // LRB_OBS_ENABLED
+
+}  // namespace

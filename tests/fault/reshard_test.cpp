@@ -1,0 +1,280 @@
+// Elastic resharding edge cases (satellite of the fault-tolerance PR): every
+// repartition must be indistinguishable from a freshly constructed
+// ShardedFitness at the new rank count — same boundaries, bit-identical
+// cached shard sums — and the returned ledger must charge exactly the cells
+// that changed owner, nothing more.
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "core/deterministic.hpp"
+#include "dist/selection.hpp"
+#include "dist/sharding.hpp"
+#include "fault/injecting_backend.hpp"
+#include "fault/schedule.hpp"
+
+namespace {
+
+using lrb::InvalidArgumentError;
+using lrb::InvalidFitnessError;
+using lrb::core::DeterministicBidder;
+using lrb::dist::CommLedger;
+using lrb::dist::DeterministicDistributedBidder;
+using lrb::dist::ShardedFitness;
+using lrb::fault::FaultInjectingBackend;
+using lrb::fault::FaultSchedule;
+
+std::vector<double> test_fitness(std::size_t n = 83) {
+  std::vector<double> fitness(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 6 == 4) continue;
+    fitness[i] = 0.5 + static_cast<double>((i * 11) % 19);
+  }
+  return fitness;
+}
+
+/// Bit-level double equality: the reshard contract is "bit-identical to a
+/// fresh construction", stronger than operator== (which conflates +-0.0).
+bool bit_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_same_partition(const ShardedFitness& resharded,
+                           const ShardedFitness& fresh) {
+  ASSERT_EQ(resharded.ranks(), fresh.ranks());
+  ASSERT_EQ(resharded.size(), fresh.size());
+  for (std::size_t r = 0; r < fresh.ranks(); ++r) {
+    EXPECT_EQ(resharded.shard_range(r).begin, fresh.shard_range(r).begin)
+        << "rank " << r;
+    EXPECT_EQ(resharded.shard_range(r).end, fresh.shard_range(r).end)
+        << "rank " << r;
+    EXPECT_TRUE(bit_equal(resharded.shard_sum(r), fresh.shard_sum(r)))
+        << "rank " << r << ": " << resharded.shard_sum(r) << " vs "
+        << fresh.shard_sum(r);
+  }
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(resharded.owner(i), fresh.owner(i)) << "index " << i;
+    EXPECT_TRUE(bit_equal(resharded.value(i), fresh.value(i))) << "index " << i;
+  }
+}
+
+/// Brute-force data-motion reference: count cells whose owner changed and
+/// the per-new-rank inbound volumes.
+struct Motion {
+  std::uint64_t moved = 0;
+  std::uint64_t heaviest_inbound = 0;
+};
+Motion brute_force_motion(const ShardedFitness& before,
+                          const ShardedFitness& after) {
+  Motion m;
+  std::vector<std::uint64_t> inbound(after.ranks(), 0);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before.owner(i) != after.owner(i)) {
+      ++m.moved;
+      ++inbound[after.owner(i)];
+    }
+  }
+  for (std::uint64_t v : inbound) m.heaviest_inbound = std::max(m.heaviest_inbound, v);
+  return m;
+}
+
+TEST(Reshard, UniformReshardMatchesFreshConstruction) {
+  const std::vector<double> fitness = test_fitness();
+  for (const std::size_t from : {1u, 3u, 8u}) {
+    for (const std::size_t to : {1u, 2u, 5u, 7u, 8u, 16u}) {
+      ShardedFitness shards(fitness, from);
+      (void)shards.reshard(to);
+      const ShardedFitness fresh(fitness, to);
+      SCOPED_TRACE(::testing::Message() << "P " << from << " -> " << to);
+      expect_same_partition(shards, fresh);
+    }
+  }
+}
+
+TEST(Reshard, CollapseToOneMovesExactlyTheForeignCells) {
+  const std::vector<double> fitness = test_fitness(20);
+  ShardedFitness shards(fitness, 4);  // shards of 5: [0,5) [5,10) [10,15) [15,20)
+  const CommLedger bill = shards.reshard(1);
+  EXPECT_EQ(shards.ranks(), 1u);
+  // Rank 0's 5 cells stay put; the other 15 move in 3 transfers, all inbound
+  // to the single survivor.
+  EXPECT_EQ(bill.words, 15u);
+  EXPECT_EQ(bill.messages, 3u);
+  EXPECT_EQ(bill.rounds, 1u);
+  EXPECT_EQ(bill.critical_path_words, 15u);
+  EXPECT_EQ(bill.retries, 0u);
+  expect_same_partition(shards, ShardedFitness(fitness, 1));
+}
+
+TEST(Reshard, GrowPastVectorLengthLeavesTrailingEmptyShards) {
+  const std::vector<double> fitness = test_fitness(5);
+  ShardedFitness shards(fitness, 2);
+  (void)shards.reshard(9);
+  EXPECT_EQ(shards.ranks(), 9u);
+  for (std::size_t r = 5; r < 9; ++r) {
+    EXPECT_EQ(shards.shard_range(r).size(), 0u) << "rank " << r;
+    EXPECT_TRUE(bit_equal(shards.shard_sum(r), 0.0)) << "rank " << r;
+  }
+  expect_same_partition(shards, ShardedFitness(fitness, 9));
+  // owner() must still resolve through the empty-shard boundary runs.
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(shards.owner(i), i);
+}
+
+TEST(Reshard, ShrinkByOneIsOMovedNotON) {
+  const std::vector<double> fitness = test_fitness();
+  ShardedFitness before(fitness, 8);
+  ShardedFitness shards(fitness, 8);
+  const CommLedger bill = shards.reshard(7);
+  const Motion expected = brute_force_motion(before, shards);
+  EXPECT_EQ(bill.words, expected.moved);
+  EXPECT_EQ(bill.critical_path_words, expected.heaviest_inbound);
+  EXPECT_GT(bill.words, 0u);
+  EXPECT_LT(bill.words, fitness.size());  // strictly cheaper than reshipping all
+}
+
+TEST(Reshard, SamePartitionChargesNothing) {
+  const std::vector<double> fitness = test_fitness();
+  ShardedFitness shards(fitness, 6);
+  const CommLedger bill = shards.reshard(6);
+  EXPECT_EQ(bill, CommLedger{});
+  expect_same_partition(shards, ShardedFitness(fitness, 6));
+}
+
+// Satellite (c): reshard while a cached shard sum is exactly zero.  update()
+// snaps an emptied shard to 0.0; the repartition must fold those cells back
+// in bit-identically to a fresh construction over the updated values.
+TEST(Reshard, ReshardWhileAShardSumIsExactlyZero) {
+  std::vector<double> fitness = test_fitness(24);
+  ShardedFitness shards(fitness, 4);
+  const auto range = shards.shard_range(2);
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    shards.update(i, 0.0);
+    fitness[i] = 0.0;
+  }
+  ASSERT_TRUE(bit_equal(shards.shard_sum(2), 0.0));
+  (void)shards.reshard(3);
+  expect_same_partition(shards, ShardedFitness(fitness, 3));
+}
+
+// Satellite (c): reshard immediately after InvalidFitnessError.  Selection
+// throws once updates drive the global total to zero; resharding must still
+// be legal (no validation pass) and the machine must resume bit-exactly when
+// fitness returns.
+TEST(Reshard, ReshardAfterInvalidFitnessErrorThenRecover) {
+  std::vector<double> fitness = test_fitness(12);
+  ShardedFitness shards(fitness, 4);
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    shards.update(i, 0.0);
+    fitness[i] = 0.0;
+  }
+  DeterministicDistributedBidder cursor(0x1234u);
+  EXPECT_THROW((void)cursor.select(shards), InvalidFitnessError);
+  EXPECT_EQ(cursor.next_draw_id(), 0u);  // failed draw did not consume RNG
+
+  (void)shards.reshard(2);  // legal mid-outage; fresh construction would throw
+  EXPECT_EQ(shards.ranks(), 2u);
+  EXPECT_TRUE(bit_equal(shards.total(), 0.0));
+
+  shards.update(7, 3.5);
+  fitness[7] = 3.5;
+  DeterministicBidder serial(0x1234u);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(cursor.select(shards).index, serial.select(fitness)) << "draw " << t;
+  }
+}
+
+// The determinism contract across a mid-stream repartition: bids are keyed
+// by global index, so draws before and after a reshard stitch into the one
+// serial sequence.
+TEST(Reshard, MidStreamReshardPreservesTheDrawSequence) {
+  const std::vector<double> fitness = test_fitness();
+  ShardedFitness shards(fitness, 8);
+  DeterministicDistributedBidder cursor(0x9999u);
+  DeterministicBidder serial(0x9999u);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(cursor.select(shards).index, serial.select(fitness));
+  }
+  (void)shards.reshard(3);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(cursor.select(shards).index, serial.select(fitness));
+  }
+  (void)shards.reshard_weighted(std::vector<double>{1.0, 2.0, 4.0, 1.0});
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(cursor.select(shards).index, serial.select(fitness));
+  }
+}
+
+TEST(Reshard, WeightedSplitFollowsCapacities) {
+  const std::vector<double> fitness = test_fitness(8);
+  ShardedFitness shards(fitness, 2);
+  (void)shards.reshard_weighted(std::vector<double>{3.0, 1.0});
+  // floor(8 * 3/4) = 6: rank 0 gets [0,6), rank 1 gets [6,8).
+  EXPECT_EQ(shards.shard_range(0).end, 6u);
+  EXPECT_EQ(shards.shard_range(1).begin, 6u);
+  // A zero-capacity survivor owns an empty shard.
+  (void)shards.reshard_weighted(std::vector<double>{1.0, 0.0, 1.0});
+  EXPECT_EQ(shards.ranks(), 3u);
+  EXPECT_EQ(shards.shard_range(1).size(), 0u);
+  EXPECT_TRUE(bit_equal(shards.shard_sum(1), 0.0));
+  // Cached sums match a manual Kahan pass over each shard.
+  for (std::size_t r = 0; r < shards.ranks(); ++r) {
+    lrb::KahanSum sum;
+    for (double f : shards.shard(r)) sum.add(f);
+    EXPECT_TRUE(bit_equal(shards.shard_sum(r), sum.value())) << "rank " << r;
+  }
+}
+
+TEST(Reshard, WeightedSplitWithEqualCapacitiesIsBalanced) {
+  const std::vector<double> fitness = test_fitness(10);
+  ShardedFitness shards(fitness, 2);
+  (void)shards.reshard_weighted(std::vector<double>{1.0, 1.0, 1.0, 1.0});
+  std::size_t smallest = fitness.size();
+  std::size_t largest = 0;
+  for (std::size_t r = 0; r < 4; ++r) {
+    smallest = std::min(smallest, shards.shard_range(r).size());
+    largest = std::max(largest, shards.shard_range(r).size());
+  }
+  EXPECT_LE(largest - smallest, 1u);
+}
+
+TEST(Reshard, WeightedRejectsBadCapacities) {
+  const std::vector<double> fitness = test_fitness(10);
+  ShardedFitness shards(fitness, 2);
+  EXPECT_THROW((void)shards.reshard_weighted(std::vector<double>{}),
+               InvalidArgumentError);
+  EXPECT_THROW((void)shards.reshard_weighted(std::vector<double>{1.0, -1.0}),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      (void)shards.reshard_weighted(std::vector<double>{
+          1.0, std::numeric_limits<double>::quiet_NaN()}),
+      InvalidArgumentError);
+  EXPECT_THROW((void)shards.reshard_weighted(std::vector<double>{0.0, 0.0}),
+               InvalidArgumentError);
+  EXPECT_THROW((void)shards.reshard(0), InvalidArgumentError);
+  // A rejected reshard leaves the partition untouched.
+  expect_same_partition(shards, ShardedFitness(fitness, 2));
+}
+
+TEST(Reshard, BackendRebindAndRetention) {
+  const std::vector<double> fitness = test_fitness(30);
+  auto injector = std::make_shared<const FaultInjectingBackend>(
+      nullptr, FaultSchedule());
+  ShardedFitness shards(fitness, 4, injector);
+  EXPECT_EQ(shards.topology().backend().name(), "fault+simulated");
+  // One-arg reshard keeps the bound backend (the common elastic path).
+  (void)shards.reshard(3);
+  EXPECT_EQ(shards.topology().backend().name(), "fault+simulated");
+  // Two-arg reshard rebinds — null restores the default simulated machine
+  // (the recovery path hands in the survivors' new communicator here).
+  (void)shards.reshard(2, nullptr);
+  EXPECT_EQ(shards.topology().backend().name(), "simulated");
+}
+
+}  // namespace

@@ -1,7 +1,7 @@
 // bench_json — the repo's perf trajectory, as a machine-readable artifact.
 //
 // Runs the sweeps the batched hot path is accountable for and emits one JSON
-// document (schema "lrb-bench-selection/v5", default BENCH_selection.json)
+// document (schema "lrb-bench-selection/v6", default BENCH_selection.json)
 // that future PRs can regress against:
 //
 //   * serial_draw_many — n in {1e4, 1e6} x {dense, sparse} x m: ns/draw of a
@@ -23,7 +23,13 @@
 //     vs OFF), so a single run only records its side; CI's obs-overhead job
 //     builds both, runs `bench_json --obs-overhead` in each, and diffs with
 //     --compare --sections=obs_overhead --timing=enforce
-//     --max-regression=0.02.
+//     --max-regression=0.02;
+//   * fault_recovery — the price of surviving a rank failure: at each benched
+//     P, a FaultInjectingBackend kills one rank mid-stream, the recovery
+//     driver reshards onto P-1 and resumes, and the row records the reshard
+//     wall time, the recovery-to-first-draw latency, the O(moved) word bill,
+//     and whether the resumed sequence stayed bit-identical to serial (an
+//     invariant, enforced in --quick too).
 //
 // The full run (default) also enforces the acceptance invariants — draw_many
 // >= 2x the serial loop and the SIMD engine >= 1.5x forced-scalar at
@@ -40,14 +46,16 @@
 //              [--timing=enforce|report] [--sections=invariants,serial,...]
 //
 // diffs the invariant blocks (any true -> false is fatal in both modes) and
-// the matching *_ns_per_draw cells of the timing sections, rows keyed by
-// (n, density, m) (ratio > 1 + max-regression is fatal under
-// --timing=enforce; --timing=report prints ratios without failing, for
-// cross-machine diffs like CI-runner vs committed baseline).  By default
-// every known section present in BOTH artifacts is compared — a missing
-// section (e.g. no obs_overhead in a pre-v5 baseline) is skipped with a
+// the matching *_ns_per_draw / *_us cells of the timing sections, rows keyed
+// by (n, density, m) — or (n, density, p) for fault_recovery rows — (ratio
+// > 1 + max-regression is fatal under --timing=enforce; --timing=report
+// prints ratios without failing, for cross-machine diffs like CI-runner vs
+// committed baseline).  By default every known section present in BOTH
+// artifacts is compared — a missing section (e.g. no obs_overhead in a
+// pre-v5 baseline, no fault_recovery in a pre-v6 one) is skipped with a
 // note; --sections=... restricts the diff to exactly the named sections
-// (invariants, serial, obs_overhead) and then a missing one is an error.
+// (invariants, serial, obs_overhead, fault_recovery) and then a missing one
+// is an error.
 //
 // Schema history: v2 added the deterministic columns/parity, v3 the backend
 // stamps; v4 adds the top-level "simd" object (best target, available
@@ -57,7 +65,10 @@
 // array, and the simd_* invariants; v5 adds the top-level "obs" object
 // ({"compiled": bool} — deliberately NOT an invariant, so ON and OFF
 // artifacts stay comparable) and the "obs_overhead" array — purely additive
-// over v4.
+// over v4; v6 adds the "fault_recovery" array (per-P reshard wall time,
+// recovery-to-first-draw latency, moved-words bill, bit-exactness after a
+// mid-stream kill) and the fault_recovery_bit_exact_everywhere invariant —
+// purely additive over v5.
 //
 // Usage: bench_json [--quick] [--reps=3] [--out=BENCH_selection.json]
 //        bench_json --obs-overhead [--reps=9] [--out=BENCH_obs_overhead.json]
@@ -70,6 +81,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -84,6 +96,9 @@
 #include "core/logarithmic_bidding.hpp"
 #include "dist/backend.hpp"
 #include "dist/selection.hpp"
+#include "fault/injecting_backend.hpp"
+#include "fault/recovery.hpp"
+#include "fault/schedule.hpp"
 #include "json_read.hpp"
 #include "rng/xoshiro256.hpp"
 #include "simd/dispatch.hpp"
@@ -285,7 +300,7 @@ void emit_obs_overhead(Json& json, bool quick, int reps) {
 
 /// Dedicated --obs-overhead mode: the overhead sweep alone, at full scale
 /// and higher default reps (the 2% tolerance needs quieter cells than the
-/// headline 10%).  Emits a v5 document with an empty invariants block so
+/// headline 10%).  Emits a v6 document with an empty invariants block so
 /// --compare accepts it; default out path avoids clobbering the committed
 /// full artifact.
 int run_obs_overhead(const lrb::CliArgs& args) {
@@ -294,7 +309,7 @@ int run_obs_overhead(const lrb::CliArgs& args) {
       args.get_string("out", "BENCH_obs_overhead.json", "LRB_BENCH_OUT");
   Json json;
   json.begin_object();
-  json.field("schema", "lrb-bench-selection/v5");
+  json.field("schema", "lrb-bench-selection/v6");
   json.field("generated_by", "tools/bench_json --obs-overhead");
   json.field("backend", std::string(lrb::dist::simulated_backend().name()));
   json.begin_object("simd");
@@ -336,22 +351,42 @@ std::string read_file_or_die(const std::string& path) {
   return buffer.str();
 }
 
-/// Key identifying a serial sweep row across artifacts.
+/// Key identifying a timing row across artifacts: (n, density, m) for the
+/// serial-shaped sections, (n, density, p) for fault_recovery rows (which
+/// are keyed by rank count, not batch size).
 std::string serial_row_key(const lrb::tools::JsonValue& row) {
   char buf[96];
-  std::snprintf(buf, sizeof buf, "n=%.0f density=%s m=%.0f",
-                row.at("n").as_number(-1), row.at("density").as_string().c_str(),
-                row.at("m").as_number(-1));
+  if (row.has("p")) {
+    std::snprintf(buf, sizeof buf, "n=%.0f density=%s p=%.0f",
+                  row.at("n").as_number(-1),
+                  row.at("density").as_string().c_str(),
+                  row.at("p").as_number(-1));
+  } else {
+    std::snprintf(buf, sizeof buf, "n=%.0f density=%s m=%.0f",
+                  row.at("n").as_number(-1),
+                  row.at("density").as_string().c_str(),
+                  row.at("m").as_number(-1));
+  }
   return std::string(buf);
 }
 
 /// The sections --compare knows how to diff.  "invariants" is the boolean
-/// block; the rest are row arrays whose *_ns_per_draw cells are compared by
-/// (n, density, m) key.
+/// block; the rest are row arrays whose *_ns_per_draw / *_us cells are
+/// compared by row key.
 const std::vector<std::pair<std::string, std::string>> kTimingSections = {
     {"serial", "serial_draw_many"},
     {"obs_overhead", "obs_overhead"},
+    {"fault_recovery", "fault_recovery"},
 };
+
+/// Whether a column name is a timing cell --compare diffs: the per-draw
+/// nanosecond columns of the serial-shaped sections, or the absolute
+/// microsecond columns of the fault_recovery section.
+bool is_timing_column(const std::string& column) {
+  if (column.find("_ns_per_draw") != std::string::npos) return true;
+  return column.size() >= 3 &&
+         column.compare(column.size() - 3, 3, "_us") == 0;
+}
 
 bool known_section(const std::string& name) {
   if (name == "invariants") return true;
@@ -383,7 +418,8 @@ int run_compare(const lrb::CliArgs& args) {
     std::fprintf(stderr,
                  "usage: bench_json --compare=old.json new.json "
                  "[--max-regression=0.10] [--timing=enforce|report] "
-                 "[--sections=invariants,serial,obs_overhead]\n");
+                 "[--sections=invariants,serial,obs_overhead,"
+                 "fault_recovery]\n");
     return 2;
   }
   const std::string new_path = args.positionals().front();
@@ -405,7 +441,7 @@ int run_compare(const lrb::CliArgs& args) {
     if (!known_section(name)) {
       std::fprintf(stderr,
                    "bench_json: unknown section %s (invariants, serial, "
-                   "obs_overhead)\n",
+                   "obs_overhead, fault_recovery)\n",
                    name.c_str());
       return 2;
     }
@@ -453,8 +489,8 @@ int run_compare(const lrb::CliArgs& args) {
                 invariant_regressions);
   }
 
-  // --- Timing cells: rows matched by (n, density, m) within each selected
-  // section; every *_ns_per_draw column present in both rows is compared as
+  // --- Timing cells: rows matched by key within each selected section;
+  // every *_ns_per_draw / *_us column present in both rows is compared as
   // new/old.
   int timing_cells = 0;
   int timing_regressions = 0;
@@ -481,14 +517,14 @@ int run_compare(const lrb::CliArgs& args) {
         if (serial_row_key(new_row) != key) continue;
         for (const auto& [column, old_cell] : *old_row.object) {
           if (!old_cell.is_number() || old_cell.number <= 0.0) continue;
-          if (column.find("_ns_per_draw") == std::string::npos) continue;
+          if (!is_timing_column(column)) continue;
           if (!new_row.has(column) || !new_row.at(column).is_number()) continue;
           const double ratio = new_row.at(column).number / old_cell.number;
           ++timing_cells;
           worst_ratio = std::max(worst_ratio, ratio);
           const bool regressed = ratio > 1.0 + tolerance;
           if (regressed || ratio < 1.0 / (1.0 + tolerance)) {
-            std::printf("%s %s %s %s: %.1f -> %.1f ns/draw (ratio %.3f)\n",
+            std::printf("%s %s %s %s: %.1f -> %.1f (ratio %.3f)\n",
                         regressed ? "REGRESSED" : "improved", flag.c_str(),
                         key.c_str(), column.c_str(), old_cell.number,
                         new_row.at(column).number, ratio);
@@ -546,6 +582,7 @@ int main(int argc, char** argv) {
   bool rounds_exact_everywhere = true;
   bool det_ledger_parity_everywhere = true;
   bool det_p_invariant_everywhere = true;
+  bool fault_recovery_bit_exact_everywhere = true;
   double headline_speedup = 0.0;
   double headline_simd_speedup = 0.0;
   double headline_philox_cost = 0.0;
@@ -565,7 +602,7 @@ int main(int argc, char** argv) {
 
   Json json;
   json.begin_object();
-  json.field("schema", "lrb-bench-selection/v5");
+  json.field("schema", "lrb-bench-selection/v6");
   json.field("generated_by", "tools/bench_json");
   json.field("backend", backend);
   json.begin_object("simd");
@@ -848,6 +885,94 @@ int main(int argc, char** argv) {
     json.end_array();
   }
 
+  // ------------------------------------------------------ fault recovery --
+  // The recovery story, timed: at each benched P a FaultInjectingBackend
+  // kills one rank mid-stream, select_with_recovery reshards onto P-1 and
+  // resumes from the two-integer cursor, and the row prices the event —
+  // reshard wall time alone (the pure data-motion half, construction kept
+  // outside the timed region), the driver's own recovery-to-first-draw
+  // stamp, and the O(moved) word bill.  Bit-exactness of the resumed
+  // sequence against the serial DeterministicBidder is an invariant,
+  // enforced in --quick too.
+  {
+    const std::size_t fr_draws = quick ? 16 : 32;
+    const std::size_t fail_draw = fr_draws / 2;
+    constexpr std::uint64_t kFaultBenchSeed = 0xfa177;
+    std::printf("fault recovery sweep (n=%zu, %zu draws, kill@%zu, reps=%d)"
+                "...\n",
+                dist_n, fr_draws, fail_draw, reps);
+
+    lrb::core::DeterministicBidder serial(kFaultBenchSeed);
+    std::vector<std::size_t> expected;
+    for (std::size_t t = 0; t < fr_draws; ++t) {
+      expected.push_back(serial.select(dist_fitness));
+    }
+
+    json.begin_array("fault_recovery");
+    for (const std::size_t p : {std::size_t{2}, std::size_t{4},
+                                std::size_t{8}}) {
+      const std::size_t victim = p / 2;
+      const std::string spec = "kill@" + std::to_string(fail_draw) +
+                               ":rank=" + std::to_string(victim);
+
+      // The recovery latency is the driver's steady-clock stamp on the
+      // RecoveryEvent; best-of-reps over fresh faulted runs quiets the cell.
+      std::uint64_t best_recovery_ns =
+          std::numeric_limits<std::uint64_t>::max();
+      std::uint64_t moved_words = 0;
+      bool bit_exact = true;
+      for (int rep = 0; rep < reps; ++rep) {
+        auto injector =
+            std::make_shared<const lrb::fault::FaultInjectingBackend>(
+                nullptr, lrb::fault::FaultSchedule::parse(spec));
+        lrb::dist::ShardedFitness shards(dist_fitness, p, injector);
+        lrb::dist::DeterministicDistributedBidder cursor(kFaultBenchSeed);
+        const lrb::fault::RecoveryRun run =
+            lrb::fault::select_with_recovery(shards, cursor, fr_draws);
+        bit_exact = bit_exact && run.indices == expected &&
+                    run.recoveries.size() == 1;
+        if (!run.recoveries.empty()) {
+          best_recovery_ns = std::min(
+              best_recovery_ns, run.recoveries[0].recovery_to_first_draw_ns);
+          moved_words = run.recoveries[0].reshard_comm.words;
+        }
+      }
+      fault_recovery_bit_exact_everywhere =
+          fault_recovery_bit_exact_everywhere && bit_exact;
+
+      double best_reshard_s = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < reps; ++rep) {
+        lrb::dist::ShardedFitness shards(dist_fitness, p);
+        best_reshard_s = std::min(
+            best_reshard_s,
+            lrb::time_best_of(1, [&] { (void)shards.reshard(p - 1); }));
+      }
+
+      const double reshard_us = best_reshard_s * 1e6;
+      const double recovery_us =
+          static_cast<double>(best_recovery_ns) / 1e3;
+      json.begin_object();
+      json.field("p", static_cast<std::uint64_t>(p));
+      json.field("n", static_cast<std::uint64_t>(dist_n));
+      json.field("density", "sparse_10pct");
+      json.field("draws", static_cast<std::uint64_t>(fr_draws));
+      json.field("fail_draw", static_cast<std::uint64_t>(fail_draw));
+      json.field("failed_rank", static_cast<std::uint64_t>(victim));
+      json.field("reshard_us", reshard_us);
+      json.field("recovery_to_first_draw_us", recovery_us);
+      json.field("moved_words", moved_words);
+      json.field("bit_exact_after_recovery", bit_exact);
+      json.end_object();
+      std::printf("  p=%-4zu kill rank %-4zu reshard=%9.1f us  "
+                  "recovery_to_first_draw=%9.1f us  moved=%llu words  "
+                  "bit_exact=%s\n",
+                  p, victim, reshard_us, recovery_us,
+                  static_cast<unsigned long long>(moved_words),
+                  bit_exact ? "true" : "false");
+    }
+    json.end_array();
+  }
+
   // ---------------------------------------------------------- invariants --
   json.begin_object("invariants");
   if (!quick) {
@@ -875,6 +1000,8 @@ int main(int argc, char** argv) {
              det_ledger_parity_everywhere);
   json.field("deterministic_p_invariant_everywhere",
              det_p_invariant_everywhere);
+  json.field("fault_recovery_bit_exact_everywhere",
+             fault_recovery_bit_exact_everywhere);
   json.end_object();
   json.end_object();
 
@@ -901,6 +1028,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "bench_json: deterministic P-invariance VIOLATED (same seed "
                  "must crown the serial winners at every rank count)\n");
+    return 1;
+  }
+  if (!fault_recovery_bit_exact_everywhere) {
+    std::fprintf(stderr,
+                 "bench_json: fault recovery bit-exactness VIOLATED (a "
+                 "recovered run must replay the serial winners exactly)\n");
     return 1;
   }
   if (!quick && !speedup_target_met) {

@@ -14,6 +14,15 @@
 //       chi-square the selector's empirical distribution against F_i.
 //   lrb race     [--trials=200] [--seed=...] w0 w1 ...
 //       PRAM race round statistics for these weights (Theorem 1 view).
+//   lrb dist     [--ranks=4] [--draws=10] [--batch=1] [--seed=...] w0 w1 ...
+//       deterministic distributed selection on the simulated machine, with
+//       optional chaos: --fault-spec=<spec> injects an explicit fault
+//       schedule (e.g. "drop@3:times=2;kill@7:rank=1"), --fault-seed=<u64>
+//       generates one deterministically (the canonical spec is echoed to
+//       stderr so the run can be replayed via --fault-spec).  Rank failures
+//       are survived by elastic resharding; winners are bit-identical to a
+//       fault-free run.  The recovery summary prints to stderr; stdout
+//       carries only the drawn indices.
 //   lrb list
 //       available selector algorithms.
 //
@@ -148,10 +157,65 @@ int cmd_race(const lrb::CliArgs& args, const std::vector<double>& weights) {
   return 0;
 }
 
+int cmd_dist(const lrb::CliArgs& args, const std::vector<double>& weights) {
+  const std::size_t ranks = args.get_u64("ranks", 4);
+  const std::uint64_t draws = args.get_u64("draws", 10);
+  std::size_t batch = args.get_u64("batch", 1);
+  if (batch == 0) batch = 1;
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  // Chaos wiring: an explicit --fault-spec wins; --fault-seed generates a
+  // schedule sized to this run's exchange count and echoes its canonical
+  // spec so the exact same chaos can be replayed without the seed.
+  lrb::fault::FaultSchedule schedule;
+  if (args.has("fault-spec")) {
+    schedule = lrb::fault::FaultSchedule::parse(args.get_string("fault-spec", ""));
+  } else if (args.has("fault-seed")) {
+    const std::uint64_t exchanges = (draws + batch - 1) / batch;
+    schedule = lrb::fault::FaultSchedule::random(
+        args.get_u64("fault-seed", 0), ranks, exchanges == 0 ? 1 : exchanges);
+    std::fprintf(stderr, "lrb: fault schedule (replay with --fault-spec): %s\n",
+                 schedule.str().c_str());
+  }
+
+  std::shared_ptr<const lrb::dist::CommBackend> backend;
+  if (!schedule.empty()) {
+    backend = lrb::fault::make_fault_injecting_backend(std::move(schedule));
+  }
+  lrb::dist::ShardedFitness shards(weights, ranks, std::move(backend));
+  lrb::dist::DeterministicDistributedBidder cursor(seed);
+  const lrb::fault::RecoveryRun run =
+      lrb::fault::select_with_recovery(shards, cursor, draws, batch);
+
+  for (std::size_t i : run.indices) std::printf("%zu\n", i);
+  for (const lrb::fault::RecoveryEvent& ev : run.recoveries) {
+    std::fprintf(stderr,
+                 "lrb: recovered from rank %zu failure at draw %llu: "
+                 "resharded %zu -> %zu ranks, moved %llu words, "
+                 "first post-recovery draw after %.1f us\n",
+                 ev.failed_rank, static_cast<unsigned long long>(ev.draw_id),
+                 ev.ranks_before, ev.ranks_after,
+                 static_cast<unsigned long long>(ev.reshard_comm.words),
+                 static_cast<double>(ev.recovery_to_first_draw_ns) / 1000.0);
+  }
+  std::fprintf(stderr,
+               "lrb: dist ranks=%zu->%zu draws=%llu batch=%zu rounds=%llu "
+               "words=%llu retries=%llu retried_words=%llu recoveries=%zu\n",
+               ranks, shards.ranks(), static_cast<unsigned long long>(draws),
+               batch, static_cast<unsigned long long>(run.comm.rounds),
+               static_cast<unsigned long long>(run.comm.words),
+               static_cast<unsigned long long>(run.comm.retries),
+               static_cast<unsigned long long>(run.comm.retried_words),
+               run.recoveries.size());
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: lrb <select|sample|shuffle|validate|race|list> "
+               "usage: lrb <select|sample|shuffle|validate|race|dist|list> "
                "[options] [weights... | -]\n"
+               "dist flags: --ranks --draws --batch --seed --fault-seed=<u64> "
+               "--fault-spec=<spec>\n"
                "global flags: --stats (metrics table after the run), "
                "--trace=<path> (Chrome trace JSON)\n"
                "run `lrb list` to see the selector algorithms.\n");
@@ -242,6 +306,7 @@ int main(int argc, char** argv) {
     else if (cmd == "shuffle") rc = cmd_shuffle(args, weights);
     else if (cmd == "validate") rc = cmd_validate(args, weights);
     else if (cmd == "race") rc = cmd_race(args, weights);
+    else if (cmd == "dist") rc = cmd_dist(args, weights);
     else {
       usage();
       return 2;

@@ -21,20 +21,34 @@
 // Exits nonzero (on every rank) if any check fails; rank 0 prints a one-line
 // JSON summary with "backend": "mpi" so harvested results can never be
 // confused with simulated numbers.
+//
+// Rank-failure drill (world >= 2): for every (victim rank, failure draw) in
+// the drill matrix, every process wraps its MpiBackend in a
+// FaultInjectingBackend with the same `kill@draw:rank=victim` schedule, so
+// all processes throw RankFailedError symmetrically at the same draw —
+// before any MPI dataflow, so no stray messages.  Survivors MPI_Comm_split a
+// smaller world, bind a fresh MpiBackend to it, reshard the fitness onto
+// P-1 ranks, and resume from the two-integer cursor: the full winner
+// sequence (pre-failure prefix + post-recovery tail) must be bit-identical
+// to the unfaulted serial DeterministicBidder stream.
 #include <mpi.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/math.hpp"
 #include "core/deterministic.hpp"
 #include "dist/backend.hpp"
 #include "dist/mpi_backend.hpp"
 #include "dist/selection.hpp"
 #include "dist/sharding.hpp"
+#include "fault/injecting_backend.hpp"
+#include "fault/schedule.hpp"
 
 namespace {
 
@@ -247,6 +261,83 @@ void run_scenario(Harness& h, std::size_t which,
   h.check(pfx_real.comm == pfx_sim.comm,
           tag + "prefix-sum ledger: mpi " + ledger_str(pfx_real.comm) +
               " != simulated " + ledger_str(pfx_sim.comm));
+
+  // Clean-machine pin: none of the above may have touched the retry axes.
+  h.check(det_real.comm.retries == 0 && det_real.comm.retried_words == 0 &&
+              pfx_real.comm.retries == 0,
+          tag + "clean run charged the retry axes");
+}
+
+// ---------------------------------------------------------------------------
+// The rank-failure drill.  One (victim, failure draw) cell: kill the victim
+// mid-stream via an injected fault, recover onto a world-minus-victim
+// communicator, and prove the stitched winner sequence bit-identical to the
+// unfaulted serial reference.
+void run_kill_drill(Harness& h, std::size_t victim, std::uint64_t fail_draw) {
+  const std::string tag = "drill victim=" + std::to_string(victim) +
+                          " fail_draw=" + std::to_string(fail_draw) + ": ";
+  const std::vector<double> fitness = scenario_fitness(0, h.world);
+  const std::uint64_t seed = 0xfa112fa1 + 131 * victim + fail_draw;
+  constexpr std::size_t kDrillDraws = 12;
+
+  lrb::core::DeterministicBidder serial(seed);
+  std::vector<std::size_t> expected;
+  for (std::size_t t = 0; t < kDrillDraws; ++t) {
+    expected.push_back(serial.select(fitness));
+  }
+
+  // Every process runs the same schedule over its own MpiBackend, so the
+  // kill fires on all of them at the same exchange, before any wire traffic.
+  const lrb::fault::FaultSchedule schedule = lrb::fault::FaultSchedule::parse(
+      "kill@" + std::to_string(fail_draw) + ":rank=" + std::to_string(victim));
+  auto injector = std::make_shared<const lrb::fault::FaultInjectingBackend>(
+      std::make_shared<lrb::dist::MpiBackend>(), schedule);
+  ShardedFitness shards(fitness, h.world, injector);
+  lrb::dist::DeterministicDistributedBidder cursor(seed);
+
+  std::vector<std::size_t> got;
+  bool rank_failed = false;
+  std::size_t reported_victim = h.world;
+  while (got.size() < kDrillDraws && !rank_failed) {
+    try {
+      got.push_back(cursor.select(shards).index);
+    } catch (const lrb::RankFailedError& failure) {
+      rank_failed = true;
+      reported_victim = failure.rank();
+    }
+  }
+  h.check(rank_failed, tag + "kill never fired");
+  h.check(reported_victim == victim, tag + "wrong victim reported");
+  h.check(got.size() == fail_draw, tag + "failure interrupted the wrong draw");
+  h.check(cursor.next_draw_id() == fail_draw,
+          tag + "failed draw advanced the cursor");
+  h.check(std::equal(got.begin(), got.end(), expected.begin()),
+          tag + "pre-failure prefix != serial reference");
+
+  // Recovery: survivors split themselves a new world (split keys keep the
+  // survivor order, so old rank r becomes r minus one if r > victim), bind a
+  // fresh backend to it and reshard onto P-1 ranks.  The victim exits the
+  // drill — its prefix was already checked.
+  const bool is_victim = static_cast<std::size_t>(h.rank) == victim;
+  MPI_Comm survivors = MPI_COMM_NULL;
+  MPI_Comm_split(MPI_COMM_WORLD, is_victim ? MPI_UNDEFINED : 0, h.rank,
+                 &survivors);
+  if (!is_victim) {
+    auto remnant = std::make_shared<lrb::dist::MpiBackend>(survivors);
+    h.check(remnant->world_size() == h.world - 1,
+            tag + "survivor communicator has the wrong size");
+    const CommLedger motion = shards.reshard(h.world - 1, remnant);
+    h.check(motion.words < fitness.size(),
+            tag + "reshard moved the whole vector (not O(moved))");
+    while (got.size() < kDrillDraws) {
+      got.push_back(cursor.select(shards).index);
+    }
+    h.check(got == expected,
+            tag + "post-recovery winners != unfaulted serial sequence");
+    MPI_Comm_free(&survivors);
+  }
+  // Everyone (victim included) resynchronizes before the next drill cell.
+  MPI_Barrier(MPI_COMM_WORLD);
 }
 
 }  // namespace
@@ -270,6 +361,21 @@ int main(int argc, char** argv) {
     for (std::size_t s = 0; s < kScenarios; ++s) run_scenario(h, s, mpi);
   }
 
+  // The rank-failure drill matrix: first / last / middle victim (deduped) at
+  // an early and a late failure draw.  Needs at least one survivor.
+  std::size_t drills = 0;
+  if (h.world >= 2) {
+    std::vector<std::size_t> victims = {0, h.world - 1, h.world / 2};
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+    for (const std::size_t victim : victims) {
+      for (const std::uint64_t fail_draw : {3u, 7u}) {
+        run_kill_drill(h, victim, fail_draw);
+        ++drills;
+      }
+    }
+  }
+
   for (const std::string& f : h.failures) {
     std::fprintf(stderr, "[rank %d] FAIL: %s\n", h.rank, f.c_str());
   }
@@ -285,10 +391,11 @@ int main(int argc, char** argv) {
 
   if (h.rank == 0) {
     std::printf(
-        "{\"schema\":\"lrb-mpi-parity/v1\",\"backend\":\"mpi\","
-        "\"world\":%zu,\"scenarios\":%zu,\"checks_per_rank\":%llu,"
+        "{\"schema\":\"lrb-mpi-parity/v2\",\"backend\":\"mpi\","
+        "\"world\":%zu,\"scenarios\":%zu,\"kill_drills\":%zu,"
+        "\"checks_per_rank\":%llu,"
         "\"pmpi_sendrecv_calls_total\":%llu,\"ok\":%s}\n",
-        h.world, kScenarios,
+        h.world, kScenarios, drills,
         static_cast<unsigned long long>(h.checks),
         static_cast<unsigned long long>(total_calls),
         all_ok ? "true" : "false");
