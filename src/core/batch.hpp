@@ -4,8 +4,8 @@
 //   m small : one DrawManyKernel build + m O(k) filtered bidding passes
 //   m large : one alias-table build + m O(1) draws — O(n + m)
 //
-// batch_select() picks the strategy from the measured crossover
-// (bidding while m * k < n / kAliasCrossover); both produce exact roulette
+// batch_select() picks the strategy from the measured crossover (bidding
+// while m * k < n / alias_crossover_for(n)); both produce exact roulette
 // marginals and the choice only affects speed.  A deterministic
 // counter-based variant serves replay workloads.
 #pragma once
@@ -32,32 +32,47 @@ enum class BatchStrategy {
   kAlias,    ///< build alias table once, then m O(1) draws
 };
 
-/// Measured crossover factor: bidding wins while m * k < n / kAliasCrossover.
-/// Re-measured with the SIMD kernels in place (tools/bench_json emits the
-/// fit as BENCH_selection.json's "crossover" array — measured break-even m*
-/// and the implied factor per config, so the calibration lives in the
-/// artifact, not a commit message): the vectorized bound pass cut per-item
-/// bidding cost another ~1.5x while the alias build was untouched, so
-/// bidding stays competitive longer and the implied factor dropped from the
-/// ~0.5 of the scalar kernel to ~0.15-0.8 across the n x density grid
-/// (sparse large-n lowest, small-n sparse highest; dense n=1e6 degenerates
-/// to alias-from-m=1 because the kernel's O(n) build alone exceeds the alias
-/// build there).  0.35 is the geometric middle of that spread; mischoices it
-/// leaves are confined to the near-break-even region where both strategies
-/// cost within a few percent of each other.
-inline constexpr double kAliasCrossover = 0.35;
+/// Measured crossover factors: bidding wins while m * k stays under
+/// n / alias_crossover_for(n).  Two regimes, both calibrated from
+/// BENCH_selection.json's "crossover" array (measured break-even m* and the
+/// implied factor n / (m* k) per config, so the calibration lives in the
+/// artifact, not a commit message):
+///
+///   * small n (<= kSmallWheelCrossoverN): the multi-tenant regime the
+///     WheelSet arena serves.  The v7 small-n rows (n in {256, 1024, 4096}
+///     dense) measure m* ~= 1-2 — implied factors ~0.6-1.2 — because the
+///     alias build is nearly free there while bidding still pays O(k) per
+///     draw; 0.6 hands every batch beyond a single draw per wheel to
+///     alias, where the old flat 0.35 kept bidding one near-break-even
+///     batch size too long.
+///   * large n: the v6-era rows stand — sparse rows imply 0.17-0.41 (the
+///     vectorized bound pass keeps bidding competitive to m* ~= 57 at
+///     n = 1e6 sparse) while dense rows degenerate to alias-from-m=1
+///     (m* < 1, implied factor 1.9-3.6, because the kernel's O(n) build
+///     alone exceeds the alias build).  No single factor satisfies both;
+///     0.35 keeps the sparse side right and confines the dense mischoices
+///     to m <= 2, where the two strategies cost within a few percent.
+inline constexpr double kAliasCrossover = 0.35;        ///< large-n regime
+inline constexpr double kAliasCrossoverSmallN = 0.6;   ///< n <= threshold
+inline constexpr std::size_t kSmallWheelCrossoverN = 4'096;
+
+/// The regime table, total over n: the factor resolve_batch_strategy uses
+/// and tools/bench_json stamps next to every measured crossover row.
+[[nodiscard]] constexpr double alias_crossover_for(std::size_t n) noexcept {
+  return n <= kSmallWheelCrossoverN ? kAliasCrossoverSmallN : kAliasCrossover;
+}
 
 /// The kAuto decision, exposed so tooling (tools/bench_json) reports the
 /// exact strategy batch_select would pick: bidding while the batch's
-/// m * k bidding work stays under n / kAliasCrossover, alias beyond.
+/// m * k bidding work stays under n / alias_crossover_for(n), alias beyond.
 [[nodiscard]] inline BatchStrategy resolve_batch_strategy(
     std::span<const double> fitness, std::size_t m) noexcept {
   const std::size_t k = count_nonzero(fitness);
   const double bidding_work = static_cast<double>(m) * static_cast<double>(k);
-  const double alias_work =
-      static_cast<double>(fitness.size()) / kAliasCrossover;
+  const double alias_work = static_cast<double>(fitness.size()) /
+                            alias_crossover_for(fitness.size());
   // Crossover decision counters: the production record of which side of the
-  // kAliasCrossover calibration real batches actually land on.
+  // alias_crossover_for calibration real batches actually land on.
   if (bidding_work < alias_work) {
     LRB_OBS_COUNTER_ADD("lrb_core_crossover_bidding_total", 1);
     return BatchStrategy::kBidding;

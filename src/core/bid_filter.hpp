@@ -19,10 +19,15 @@
 //     filter exact.
 //
 // Keeping the constant and both guards here means a future retuning cannot
-// silently leave the two kernels with different skip criteria.
+// silently leave the two kernels with different skip criteria.  The carried
+// scan state itself (RecordScan below) lives here for the same reason: the
+// stream kernel, the deterministic kernel, and the WheelSet arena all run
+// the identical filtered argmax, possibly split across several calls when a
+// wheel straddles a tile boundary — one definition, one tie rule.
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <limits>
 
 namespace lrb::core::bid_filter {
@@ -42,5 +47,75 @@ inline constexpr double kGateRelax = 1.0 + 1e-12;
   const double inv = 1.0 / fitness;
   return std::isfinite(inv) ? inv : std::numeric_limits<double>::max();
 }
+
+/// Carried state of one filtered record-breaking argmax — one draw's race.
+///
+/// The scan may be fed in any number of consecutive chunks (a kernel's
+/// fixed-size blocks, or the ragged tile slices of a WheelSet draw that
+/// straddles a tile boundary): because every stage upstream of the scan is
+/// elementwise and the scan itself carries (best, gate, found) across calls,
+/// the chunking is unobservable — the installed records, the final winner,
+/// and the first-maximum-wins tie rule are identical to one contiguous pass.
+///
+/// `best_pos` is the position the caller passed as pos0 + j, i.e. an index
+/// into whatever packed active set the caller scans; `log_evals` counts the
+/// std::log calls actually paid (the filter's complement, for obs rollups).
+struct RecordScan {
+  double best = -std::numeric_limits<double>::infinity();
+  double gate = -std::numeric_limits<double>::infinity();
+  std::size_t best_pos = 0;
+  bool found = false;
+  std::size_t log_evals = 0;
+
+  /// Whole chunk provably loses?  Then its logs can be skipped wholesale.
+  /// (While !found every item must be visited so the first-install rule
+  /// matches the unfiltered scan.)
+  [[nodiscard]] bool skip_chunk(double chunk_max) const noexcept {
+    return found && !(chunk_max > gate);
+  }
+
+  /// Evaluates one chosen item out of scan order — the WheelSet flush seeds
+  /// a fresh race with the strongest-bound element, which is usually the
+  /// winner, so the gate starts tight and most of the chunk's logs are
+  /// skipped.  The install rule is position-aware (see scan), so probing
+  /// cannot change the winner the in-order pass would have produced; the
+  /// caller must still present the probed position to scan() or mask its
+  /// bound, whichever is cheaper.
+  void probe(double u, double f, std::size_t pos) noexcept {
+    const double bid = std::log(u) / f;
+    ++log_evals;
+    install(bid, pos);
+  }
+
+  /// Scans `len` items: uniforms u[j], cached bounds ub[j] (from the SIMD
+  /// bound pass), packed fitness f[j], occupying positions pos0 + j of the
+  /// caller's active set.  Exact bid arithmetic: log(u)/f, identical to
+  /// rng::log_bid / rng::deterministic_bid.
+  ///
+  /// The tie rule is smallest-position-wins, enforced by the explicit
+  /// position compare in install(): for an in-order scan that compare can
+  /// never fire (positions only grow), making this exactly the classic
+  /// first-maximum-wins pass — but it also keeps the winner identical when
+  /// a probe() visited some position early.
+  void scan(const double* u, const double* ub, const double* f,
+            std::size_t pos0, std::size_t len) noexcept {
+    for (std::size_t j = 0; j < len; ++j) {
+      if (found && !(ub[j] > gate)) continue;
+      const double bid = std::log(u[j]) / f[j];
+      ++log_evals;
+      install(bid, pos0 + j);
+    }
+  }
+
+ private:
+  void install(double bid, std::size_t pos) noexcept {
+    if (!found || bid > best || (bid == best && pos < best_pos)) {
+      best = bid;
+      best_pos = pos;
+      found = true;
+      gate = gate_below(best);
+    }
+  }
+};
 
 }  // namespace lrb::core::bid_filter

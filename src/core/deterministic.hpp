@@ -171,11 +171,7 @@ class DeterministicDrawKernel {
     alignas(64) std::uint64_t bits[kBlock];
     alignas(64) double u[kBlock];
     alignas(64) double ub[kBlock];
-    double best = -std::numeric_limits<double>::infinity();
-    double gate = -std::numeric_limits<double>::infinity();
-    std::size_t best_pos = 0;
-    bool found = false;
-    std::size_t log_evals = 0;  // flushed through one macro below, not per item
+    bid_filter::RecordScan race;
     for (std::size_t start = 0; start < k; start += kBlock) {
       const std::size_t len = std::min(kBlock, k - start);
       // The whole bid stream of this block, N lanes at a time: Philox
@@ -188,28 +184,16 @@ class DeterministicDrawKernel {
       // whether the std::log is worth paying.
       const double block_max =
           ops.bound_pass(u, inv_f_.data() + start, ub, len);
-      // Whole block provably loses?  Skip its logs.  (While !found every
-      // item is visited, matching the unfiltered first-install rule.)
-      if (found && !(block_max > gate)) continue;
-      for (std::size_t j = 0; j < len; ++j) {
-        if (found && !(ub[j] > gate)) continue;
-        // Exact bid, identical arithmetic to rng::deterministic_bid:
-        // log(u)/f.
-        const double bid = std::log(u[j]) / f_[start + j];
-        ++log_evals;
-        if (!found || bid > best) {
-          best = bid;
-          best_pos = start + j;
-          found = true;
-          gate = bid_filter::gate_below(best);
-        }
-      }
+      if (race.skip_chunk(block_max)) continue;
+      // The shared filtered argmax (core/bid_filter.hpp): exact log(u)/f
+      // bids for the rare bound survivors, first-maximum-wins tie rule.
+      race.scan(u, ub, f_.data() + start, start, len);
     }
-    LRB_ASSERT(found, "positive total fitness implies at least one bid");
+    LRB_ASSERT(race.found, "positive total fitness implies at least one bid");
     LRB_OBS_COUNTER_ADD("lrb_core_det_draws_total", 1);
-    LRB_OBS_COUNTER_ADD("lrb_core_det_log_evals_total", log_evals);
-    LRB_OBS_COUNTER_ADD("lrb_core_det_filter_skips_total", k - log_evals);
-    return Scored{best, active_[best_pos]};
+    LRB_OBS_COUNTER_ADD("lrb_core_det_log_evals_total", race.log_evals);
+    LRB_OBS_COUNTER_ADD("lrb_core_det_filter_skips_total", k - race.log_evals);
+    return Scored{race.best, active_[race.best_pos]};
   }
 
   /// Winner index only (serial/parallel batch selection).

@@ -99,11 +99,7 @@ class DrawManyKernel {
   [[nodiscard]] Scored draw_scored(G&& gen) {
     const std::size_t k = f_.size();
     const simd::Ops& ops = simd::ops();
-    double best = -std::numeric_limits<double>::infinity();
-    double gate = -std::numeric_limits<double>::infinity();
-    std::size_t best_pos = 0;
-    bool found = false;
-    std::size_t log_evals = 0;  // flushed through one macro below, not per item
+    bid_filter::RecordScan race;
     for (std::size_t start = 0; start < k; start += kBlock) {
       const std::size_t len = std::min(kBlock, k - start);
       // Engine bits in element order (exactly len draws consumed), then the
@@ -116,27 +112,16 @@ class DrawManyKernel {
       // to the scalar loop on every dispatch target (simd/dispatch.hpp).
       const double block_max =
           ops.bound_pass(u_.data(), inv_f_.data() + start, ub_.data(), len);
-      // Whole block provably loses?  Skip its logs.  (While !found we must
-      // visit every item so the first-install rule matches select_bidding.)
-      if (found && !(block_max > gate)) continue;
-      for (std::size_t j = 0; j < len; ++j) {
-        if (found && !(ub_[j] > gate)) continue;
-        // Exact bid, identical arithmetic to rng::log_bid: log(u)/f.
-        const double bid = std::log(u_[j]) / f_[start + j];
-        ++log_evals;
-        if (!found || bid > best) {
-          best = bid;
-          best_pos = start + j;
-          found = true;
-          gate = bid_filter::gate_below(best);
-        }
-      }
+      if (race.skip_chunk(block_max)) continue;
+      // The shared filtered argmax (core/bid_filter.hpp): exact log(u)/f
+      // bids for the rare bound survivors, first-maximum-wins tie rule.
+      race.scan(u_.data(), ub_.data(), f_.data() + start, start, len);
     }
-    LRB_ASSERT(found, "positive total fitness implies at least one bid");
+    LRB_ASSERT(race.found, "positive total fitness implies at least one bid");
     LRB_OBS_COUNTER_ADD("lrb_core_draws_total", 1);
-    LRB_OBS_COUNTER_ADD("lrb_core_log_evals_total", log_evals);
-    LRB_OBS_COUNTER_ADD("lrb_core_filter_skips_total", k - log_evals);
-    return Scored{best, active_[best_pos]};
+    LRB_OBS_COUNTER_ADD("lrb_core_log_evals_total", race.log_evals);
+    LRB_OBS_COUNTER_ADD("lrb_core_filter_skips_total", k - race.log_evals);
+    return Scored{race.best, active_[race.best_pos]};
   }
 
   /// Appends m draws to `out`; consumes exactly m * active_count() engine

@@ -1,0 +1,229 @@
+// WheelSet out-of-line parts: admission, point updates, the deterministic
+// batch entry, and the occupancy gauge bookkeeping (see wheel_set.hpp).
+#include "core/wheel_set.hpp"
+
+#include <string>
+#include <utility>
+
+namespace lrb::core {
+
+namespace {
+// Shared error-surface helper: "wheel 3" in every message, so a service
+// log names the tenant, not just an index.
+std::string wheel_str(std::size_t wheel) {
+  return "wheel " + std::to_string(wheel);
+}
+}  // namespace
+
+WheelSet::WheelSet(WheelSet&& other) noexcept
+    : set_seed_(other.set_seed_),
+      offsets_(std::move(other.offsets_)),
+      values_(std::move(other.values_)),
+      seeds_(std::move(other.seeds_)),
+      cursors_(std::move(other.cursors_)),
+      sums_(std::move(other.sums_)),
+      positive_count_(std::move(other.positive_count_)),
+      dirty_(std::move(other.dirty_)),
+      active_streams_(std::move(other.active_streams_)),
+      active_f_(std::move(other.active_f_)),
+      active_inv_f_(std::move(other.active_inv_f_)),
+      pos_in_active_(std::move(other.pos_in_active_)),
+      total_active_(other.total_active_) {
+  // The moved-from arena must stay a valid (empty) arena whose destructor
+  // releases nothing: the gauges moved with the wheels.
+  other.offsets_.assign(1, 0);
+  other.total_active_ = 0;
+}
+
+WheelSet& WheelSet::operator=(WheelSet&& other) noexcept {
+  if (this != &other) {
+    release_gauges();
+    set_seed_ = other.set_seed_;
+    offsets_ = std::move(other.offsets_);
+    values_ = std::move(other.values_);
+    seeds_ = std::move(other.seeds_);
+    cursors_ = std::move(other.cursors_);
+    sums_ = std::move(other.sums_);
+    positive_count_ = std::move(other.positive_count_);
+    dirty_ = std::move(other.dirty_);
+    active_streams_ = std::move(other.active_streams_);
+    active_f_ = std::move(other.active_f_);
+    active_inv_f_ = std::move(other.active_inv_f_);
+    pos_in_active_ = std::move(other.pos_in_active_);
+    total_active_ = other.total_active_;
+    other.offsets_.assign(1, 0);
+    other.total_active_ = 0;
+  }
+  return *this;
+}
+
+WheelSet::~WheelSet() { release_gauges(); }
+
+void WheelSet::release_gauges() noexcept {
+  LRB_OBS_GAUGE_SUB("lrb_wheelset_wheels", wheels());
+  LRB_OBS_GAUGE_SUB("lrb_wheelset_items", total_items());
+  LRB_OBS_GAUGE_SUB("lrb_wheelset_active_items", total_active_);
+}
+
+void WheelSet::check_wheel(std::size_t wheel, const char* what) const {
+  LRB_REQUIRE(wheel < wheels(), InvalidArgumentError,
+              std::string(what) + ": " + wheel_str(wheel) +
+                  " out of range (wheels: " + std::to_string(wheels()) + ")");
+}
+
+void WheelSet::check_item(std::size_t wheel, std::size_t item,
+                          const char* what) const {
+  check_wheel(wheel, what);
+  LRB_REQUIRE(item < offsets_[wheel + 1] - offsets_[wheel],
+              InvalidArgumentError,
+              std::string(what) + ": index " + std::to_string(item) +
+                  " out of range for " + wheel_str(wheel) +
+                  " (size: " +
+                  std::to_string(offsets_[wheel + 1] - offsets_[wheel]) + ")");
+}
+
+std::size_t WheelSet::add_wheel(std::span<const double> fitness) {
+  return add_wheel(fitness, rng::wheel_seed(set_seed_, wheels()));
+}
+
+std::size_t WheelSet::add_wheel(std::span<const double> fitness,
+                                std::uint64_t wheel_seed) {
+  // The uniform selector error surface (finite, non-negative, index+value
+  // named), but a zero TOTAL is legal at admission: tenants arrive empty
+  // and fill in via update(); prepare_batch rejects drawing from them.
+  (void)checked_fitness_total(fitness, /*require_positive_total=*/false);
+  const std::size_t w = wheels();
+  const std::size_t base = offsets_.back();
+  const std::size_t n = fitness.size();
+  values_.insert(values_.end(), fitness.begin(), fitness.end());
+  offsets_.push_back(base + n);
+  active_streams_.resize(base + n);
+  active_f_.resize(base + n);
+  active_inv_f_.resize(base + n);
+  pos_in_active_.resize(base + n);
+  seeds_.push_back(wheel_seed);
+  cursors_.push_back(0);
+  KahanSum sum;
+  std::size_t positives = 0;
+  for (double f : fitness) {
+    sum.add(f);
+    positives += (f > 0.0);
+  }
+  sums_.push_back(positives == 0 ? KahanSum{} : sum);
+  positive_count_.push_back(positives);
+  dirty_.push_back(1);
+  rebuild_active(w);
+  total_active_ += positives;
+  LRB_OBS_GAUGE_ADD("lrb_wheelset_wheels", 1);
+  LRB_OBS_GAUGE_ADD("lrb_wheelset_items", n);
+  LRB_OBS_GAUGE_ADD("lrb_wheelset_active_items", positives);
+  return w;
+}
+
+void WheelSet::rebuild_active(std::size_t wheel) {
+  const std::size_t base = offsets_[wheel];
+  const std::size_t n = offsets_[wheel + 1] - base;
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = values_[base + i];
+    if (!(f > 0.0)) continue;
+    active_streams_[base + p] = i;  // LOCAL index == per-wheel Philox stream
+    active_f_[base + p] = f;
+    active_inv_f_[base + p] = bid_filter::bound_reciprocal(f);
+    pos_in_active_[base + i] = p;
+    ++p;
+  }
+  LRB_ASSERT(p == positive_count_[wheel],
+             "packed active prefix must match the maintained positive count");
+  dirty_[wheel] = 0;
+}
+
+void WheelSet::update(std::size_t wheel, std::size_t item, double fitness) {
+  check_item(wheel, item, "update");
+  // Same message shape as ShardedFitness::update / checked_fitness_total:
+  // the offending wheel, index, and value.
+  LRB_REQUIRE(std::isfinite(fitness), InvalidFitnessError,
+              "update: fitness must be finite (" + wheel_str(wheel) +
+                  ", index " + std::to_string(item) + ", value " +
+                  detail::fitness_value_str(fitness) + ")");
+  LRB_REQUIRE(fitness >= 0.0, InvalidFitnessError,
+              "update: fitness must be non-negative (" + wheel_str(wheel) +
+                  ", index " + std::to_string(item) + ", value " +
+                  detail::fitness_value_str(fitness) + ")");
+  const std::size_t slot = offsets_[wheel] + item;
+  const double old = values_[slot];
+  const bool was = old > 0.0;
+  const bool now = fitness > 0.0;
+  sums_[wheel].add(-old);
+  sums_[wheel].add(fitness);
+  values_[slot] = fitness;
+  if (was != now) {
+    // Membership flip: defer the O(n_w) repack to this wheel's next draw.
+    positive_count_[wheel] += now ? 1 : std::size_t(-1);
+    total_active_ += now ? 1 : std::size_t(-1);
+    dirty_[wheel] = 1;
+    if (now) {
+      LRB_OBS_GAUGE_ADD("lrb_wheelset_active_items", 1);
+    } else {
+      LRB_OBS_GAUGE_SUB("lrb_wheelset_active_items", 1);
+    }
+  } else if (now && !dirty_[wheel]) {
+    // Same membership: O(1) in-place patch of the packed arrays.
+    const std::size_t p = offsets_[wheel] + pos_in_active_[slot];
+    active_f_[p] = fitness;
+    active_inv_f_[p] = bid_filter::bound_reciprocal(fitness);
+  }
+  // Delta maintenance leaves rounding residue when large and small entries
+  // cancel.  Keep the invariant "wheel_sum > 0 iff a positive entry
+  // exists": an emptied wheel snaps to exactly zero, and a non-empty wheel
+  // whose cached sum degenerated is recomputed — O(n_w), but only on
+  // pathological cancellation (the ShardedFitness idiom).
+  if (positive_count_[wheel] == 0) {
+    sums_[wheel] = KahanSum{};
+  } else if (sums_[wheel].value() <= 0.0) {
+    KahanSum sum;
+    for (double f : wheel_values(wheel)) sum.add(f);
+    sums_[wheel] = sum;
+  }
+  LRB_OBS_COUNTER_ADD("lrb_wheelset_updates_total", 1);
+}
+
+std::size_t WheelSet::prepare_batch(std::span<const DrawRequest> requests) {
+  std::size_t total_draws = 0;
+  for (const DrawRequest& r : requests) {
+    check_wheel(r.wheel, "draw_batch");
+    if (r.draws == 0) continue;
+    if (dirty_[r.wheel]) rebuild_active(r.wheel);
+    LRB_REQUIRE(positive_count_[r.wheel] > 0, InvalidFitnessError,
+                "draw_batch: " + wheel_str(r.wheel) +
+                    " has no positive fitness");
+    total_draws += r.draws;
+  }
+  return total_draws;
+}
+
+void WheelSet::draw_batch_into(std::span<const DrawRequest> requests,
+                               std::vector<std::size_t>& out) {
+  const std::size_t total_draws = prepare_batch(requests);
+  // Keyed mode: chunks enqueue (seed_w, t, local item) key triples and each
+  // tile derives its bits in ONE philox_bits_keyed sweep — identical bits
+  // to a standalone DeterministicDrawKernel over every wheel.
+  run_batch<true>(requests, total_draws, out,
+                  [](std::uint64_t*, std::size_t) {});
+}
+
+std::vector<std::size_t> WheelSet::draw_batch(
+    std::span<const DrawRequest> requests) {
+  std::vector<std::size_t> out;
+  draw_batch_into(requests, out);
+  return out;
+}
+
+std::size_t WheelSet::draw_one(std::size_t wheel) {
+  const DrawRequest r{wheel, 1};
+  scratch_out_.clear();
+  draw_batch_into({&r, 1}, scratch_out_);
+  return scratch_out_.front();
+}
+
+}  // namespace lrb::core

@@ -1,0 +1,373 @@
+// WheelSet: a multi-tenant selection arena — millions of small wheels
+// through one batched pass.
+//
+// Real heavy-traffic selection workloads (ad auctions, per-user
+// recommendation wheels, load balancers) are millions of SMALL fitness
+// vectors, not one n=1e6 wheel.  A loop of batch_select_deterministic()
+// calls over K tenants pays, per tenant, a full validation pass, three
+// vector allocations, kernel setup, and a SIMD ramp that never reaches full
+// lane occupancy when n is 8..64 — per-call overhead dominates the argmax
+// itself.  WheelSet amortizes all of it across tenants:
+//
+//   * structure-of-arrays storage: all K wheels' fitness concatenated into
+//     one arena with per-wheel offsets, plus per-wheel seed / draw-cursor /
+//     compensated-sum state — admission cost is paid once per tenant, not
+//     once per draw;
+//   * packed active sets (positive-fitness item index, fitness, cached 1/f)
+//     maintained per wheel: O(1) point updates patch values in place, and a
+//     membership flip (zero <-> positive) marks only that wheel for an
+//     O(n_w) repack on its next draw;
+//   * one batched draw API: a request vector {(wheel, draws)} routes through
+//     a SINGLE validation sweep and a tiled Philox-fill + segmented
+//     bound-pass (simd/segmented.hpp) that concatenates many wheels' bid
+//     streams into dense tiles — the vector kernels see full blocks even
+//     when every wheel is 8 items wide.
+//
+// Determinism contract: wheel w draws bit-identically to a standalone
+// batch_select_deterministic(wheel_values(w), m, seed(w)) — the per-item
+// Philox streams are keyed (seed_w, t, LOCAL item index), seeds derive from
+// the arena seed via rng::wheel_seed, and every SIMD stage is elementwise,
+// so neither the batching, the tile boundaries, nor neighboring tenants'
+// traffic can change a single winner (tests/core/wheel_set_test.cpp,
+// tests/core/wheel_set_isolation_test.cpp).  The stream-engine variant
+// likewise matches a per-wheel core::draw_many loop sharing the same
+// engine: bits are consumed in request order, exactly k words per draw.
+//
+// Draws advance per-wheel cursors and share tile scratch: external
+// synchronization is required, one arena per service shard.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "core/bid_filter.hpp"
+#include "obs/obs.hpp"
+#include "rng/uniform.hpp"
+#include "rng/wheel_keys.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/segmented.hpp"
+
+namespace lrb::core {
+
+class WheelSet {
+ public:
+  /// One entry of a batched draw request: `draws` consecutive draws from
+  /// `wheel`.  Requests are served in order; repeating a wheel within one
+  /// batch continues its cursor exactly as two back-to-back batches would.
+  struct DrawRequest {
+    std::size_t wheel = 0;
+    std::size_t draws = 0;
+  };
+
+  explicit WheelSet(std::uint64_t set_seed = 0) noexcept : set_seed_(set_seed) {
+    offsets_.push_back(0);
+  }
+
+  // The arena is move-only: wheels are cheap to add, the arena itself is
+  // hundreds of MB at production K, and the occupancy gauges below track
+  // one owner per arena.
+  WheelSet(const WheelSet&) = delete;
+  WheelSet& operator=(const WheelSet&) = delete;
+  WheelSet(WheelSet&& other) noexcept;
+  WheelSet& operator=(WheelSet&& other) noexcept;
+  ~WheelSet();
+
+  /// Admits a wheel with a derived seed (rng::wheel_seed(set_seed, id)).
+  /// Validates like every selector (finite, non-negative, named index+value
+  /// on failure); an all-zero wheel is legal at admission — tenants fill in
+  /// via update() — but drawing from it throws.  Returns the wheel id.
+  std::size_t add_wheel(std::span<const double> fitness);
+  /// Same, with an explicit per-wheel seed (tenant-owned replay streams).
+  std::size_t add_wheel(std::span<const double> fitness, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t wheels() const noexcept {
+    return offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t total_items() const noexcept {
+    return values_.size();
+  }
+  /// Total positive-fitness items across all wheels (the occupancy gauge).
+  [[nodiscard]] std::size_t total_active() const noexcept {
+    return total_active_;
+  }
+  [[nodiscard]] std::size_t size(std::size_t wheel) const {
+    check_wheel(wheel, "size");
+    return offsets_[wheel + 1] - offsets_[wheel];
+  }
+  [[nodiscard]] std::span<const double> wheel_values(std::size_t wheel) const {
+    check_wheel(wheel, "wheel_values");
+    return {values_.data() + offsets_[wheel],
+            offsets_[wheel + 1] - offsets_[wheel]};
+  }
+  [[nodiscard]] double value(std::size_t wheel, std::size_t item) const {
+    check_item(wheel, item, "value");
+    return values_[offsets_[wheel] + item];
+  }
+  /// Cached compensated fitness total of one wheel.  Invariant (maintained
+  /// exactly, as ShardedFitness does): positive iff the wheel holds a
+  /// positive entry, exactly 0.0 when emptied.
+  [[nodiscard]] double wheel_sum(std::size_t wheel) const {
+    check_wheel(wheel, "wheel_sum");
+    return sums_[wheel].value();
+  }
+  /// Number of positive-fitness items ("k" in the paper's Theorem 1).
+  [[nodiscard]] std::size_t active_count(std::size_t wheel) const {
+    check_wheel(wheel, "active_count");
+    return positive_count_[wheel];
+  }
+  [[nodiscard]] std::uint64_t seed(std::size_t wheel) const {
+    check_wheel(wheel, "seed");
+    return seeds_[wheel];
+  }
+  /// Next draw id of the wheel's deterministic stream (replay checkpoint:
+  /// the whole arena resumes from K (seed, cursor) pairs).
+  [[nodiscard]] std::uint64_t cursor(std::size_t wheel) const {
+    check_wheel(wheel, "cursor");
+    return cursors_[wheel];
+  }
+  /// Positions one wheel's deterministic stream at an absolute draw id.
+  void seek(std::size_t wheel, std::uint64_t draw_id) {
+    check_wheel(wheel, "seek");
+    cursors_[wheel] = draw_id;
+  }
+
+  /// O(1) point update.  Same-membership updates patch the packed active
+  /// arrays in place; a zero <-> positive flip defers the O(n_w) repack to
+  /// the wheel's next draw.  The cached sum takes the delta through the
+  /// wheel's carried Kahan state and keeps the sign invariant of
+  /// wheel_sum() (snap to exact 0.0 when emptied; Kahan recompute on
+  /// pathological cancellation — O(n_w), only when the cache degenerates).
+  void update(std::size_t wheel, std::size_t item, double fitness);
+
+  /// Batched deterministic draws: ONE validation sweep over the request
+  /// vector, then one tiled Philox-fill + segmented bound-pass across all
+  /// wheels.  Returns the winners (LOCAL item indices) in request order and
+  /// advances each wheel's cursor by its draw count.  Bit-identical to
+  /// calling batch_select_deterministic(wheel_values(w), draws, seed(w))
+  /// per wheel (with cursors starting at 0) on every dispatch target.
+  [[nodiscard]] std::vector<std::size_t> draw_batch(
+      std::span<const DrawRequest> requests);
+  void draw_batch_into(std::span<const DrawRequest> requests,
+                       std::vector<std::size_t>& out);
+
+  /// One deterministic draw from one wheel (request-queue convenience).
+  [[nodiscard]] std::size_t draw_one(std::size_t wheel);
+
+  /// Batched stream-engine draws: same single-sweep engine, uniforms from
+  /// `gen` in request order (exactly active_count(w) words per draw) — the
+  /// winners and the engine state afterwards match a per-wheel
+  /// core::draw_many loop sharing the same engine.  Does not touch the
+  /// deterministic cursors.
+  template <rng::Engine64 G>
+  void draw_batch_into(std::span<const DrawRequest> requests, G&& gen,
+                       std::vector<std::size_t>& out) {
+    const std::size_t total_draws = prepare_batch(requests);
+    run_batch<false>(requests, total_draws, out,
+                     [&](std::uint64_t* dst, std::size_t len) {
+                       rng::fill_bits(gen, std::span<std::uint64_t>(dst, len));
+                     });
+  }
+  template <rng::Engine64 G>
+  [[nodiscard]] std::vector<std::size_t> draw_batch(
+      std::span<const DrawRequest> requests, G&& gen) {
+    std::vector<std::size_t> out;
+    draw_batch_into(requests, gen, out);
+    return out;
+  }
+
+ private:
+  /// Tile capacity: 4 x 16 KiB scratch, L2-resident; big enough to amortize
+  /// the two dispatched calls per tile across ~256 eight-item wheels.
+  static constexpr std::size_t kTile = 2048;
+
+  /// One ragged slice of a draw inside the tile (parallel to segs_): which
+  /// wheel, where its chunk starts in the active arrays (absolute) and in
+  /// the wheel's active set (relative), and whether it completes its draw.
+  struct Chunk {
+    std::size_t wheel = 0;
+    std::size_t active_abs = 0;
+    std::size_t pos0 = 0;
+    bool closes = false;
+  };
+
+  void check_wheel(std::size_t wheel, const char* what) const;
+  void check_item(std::size_t wheel, std::size_t item, const char* what) const;
+  /// Repacks one wheel's active arrays from values_ (membership changed).
+  void rebuild_active(std::size_t wheel);
+  /// The single per-batch validation sweep: wheel ids in range, dirty
+  /// wheels repacked, every drawn-from wheel has a positive entry.
+  /// Returns the total draw count.
+  std::size_t prepare_batch(std::span<const DrawRequest> requests);
+  void release_gauges() noexcept;
+
+  /// The batched draw engine, shared by the deterministic and stream paths.
+  /// Chunks are packed into dense tiles; each full tile runs ONE
+  /// bits-producing step and ONE segmented bits -> (0,1] + bound sweep
+  /// (simd/segmented.hpp), then the shared filtered argmax
+  /// (bid_filter::RecordScan) resolves each chunk, carrying the race of a
+  /// draw that straddles a tile boundary.
+  ///
+  /// Keyed == true is the deterministic path: chunks enqueue per-element
+  /// Philox keys (seed_w broadcast, the draw's cursor t broadcast, LOCAL
+  /// item streams) and the flush derives the whole tile's bits in ONE
+  /// philox_bits_keyed call — full vector lanes even when every wheel is 8
+  /// items wide — and each draw consumes one cursor tick of its wheel.
+  /// Keyed == false is the stream path: `fill(dst, len)` pulls raw bid bits
+  /// from the caller's engine in request order and cursors stay untouched.
+  template <bool Keyed, class Filler>
+  void run_batch(std::span<const DrawRequest> requests,
+                 std::size_t total_draws, std::vector<std::size_t>& out,
+                 Filler&& fill) {
+    LRB_TRACE_SPAN_ARG("wheelset_draw_batch", total_draws);
+    LRB_OBS_SCOPED_NS("lrb_wheelset_batch_ns");
+    out.reserve(out.size() + total_draws);
+    const simd::Ops& ops = simd::ops();
+    if (bits_.size() != kTile) {
+      bits_.resize(kTile);
+      u_.resize(kTile);
+      ub_.resize(kTile);
+      inv_tile_.resize(kTile);
+    }
+    if constexpr (Keyed) {
+      if (seed_tile_.size() != kTile) {
+        seed_tile_.resize(kTile);
+        ctr_tile_.resize(kTile);
+        stream_tile_.resize(kTile);
+      }
+    }
+    segs_.clear();
+    chunks_.clear();
+    std::size_t pos = 0;          // tile fill level
+    std::size_t work_items = 0;   // sum of k over all draws (obs partition)
+    std::size_t log_evals = 0;
+    bid_filter::RecordScan race;  // carried across tiles for an open draw
+
+    const auto flush = [&]() {
+      if (pos == 0) return;
+      if constexpr (Keyed) {
+        ops.philox_bits_keyed(seed_tile_.data(), ctr_tile_.data(),
+                              stream_tile_.data(), bits_.data(), pos);
+      }
+      // No per-segment maxima: the RecordScan gates every element on its
+      // bound anyway, so chunk-level skips would buy nothing on the fresh
+      // single-chunk races that dominate here (see segmented.hpp).
+      simd::segmented_bound_pass(ops, bits_.data(), inv_tile_.data(),
+                                 u_.data(), ub_.data(), pos, segs_.data(),
+                                 segs_.size(), /*seg_max=*/nullptr);
+      for (std::size_t c = 0; c < chunks_.size(); ++c) {
+        const Chunk& ch = chunks_[c];
+        const simd::Segment sg = segs_[c];
+        if (!race.found) {
+          // Fresh race: probe the strongest-bound element first — it is
+          // usually the winner, so the gate starts tight and the scan skips
+          // almost every other log.  Mask its bound so the scan does not
+          // pay its log twice (it is already installed; the winner cannot
+          // change — see RecordScan::probe).
+          const double* ubs = ub_.data() + sg.begin;
+          std::size_t pm = 0;
+          for (std::size_t j = 1; j < sg.len; ++j) {
+            if (ubs[j] > ubs[pm]) pm = j;
+          }
+          race.probe(u_[sg.begin + pm], active_f_[ch.active_abs + pm],
+                     ch.pos0 + pm);
+          ub_[sg.begin + pm] = -std::numeric_limits<double>::infinity();
+        }
+        race.scan(u_.data() + sg.begin, ub_.data() + sg.begin,
+                  active_f_.data() + ch.active_abs, ch.pos0, sg.len);
+        if (ch.closes) {
+          LRB_ASSERT(race.found,
+                     "positive active count implies at least one bid");
+          out.push_back(static_cast<std::size_t>(
+              active_streams_[offsets_[ch.wheel] + race.best_pos]));
+          log_evals += race.log_evals;
+          race = bid_filter::RecordScan{};
+        }
+      }
+      segs_.clear();
+      chunks_.clear();
+      pos = 0;
+    };
+
+    for (const DrawRequest& r : requests) {
+      if (r.draws == 0) continue;
+      const std::size_t w = r.wheel;
+      const std::size_t abase = offsets_[w];
+      const std::size_t k = positive_count_[w];
+      for (std::size_t d = 0; d < r.draws; ++d) {
+        // Stream-engine draws take their entropy from the engine, not the
+        // counter stream: the deterministic cursors stay untouched.
+        [[maybe_unused]] std::uint64_t t = 0;
+        if constexpr (Keyed) t = cursors_[w]++;
+        std::size_t done = 0;
+        while (done < k) {
+          if (pos == kTile) flush();
+          const std::size_t take = std::min(k - done, kTile - pos);
+          if constexpr (Keyed) {
+            std::fill_n(seed_tile_.data() + pos, take, seeds_[w]);
+            std::fill_n(ctr_tile_.data() + pos, take, t);
+            std::memcpy(stream_tile_.data() + pos,
+                        active_streams_.data() + abase + done,
+                        take * sizeof(std::uint64_t));
+          } else {
+            fill(bits_.data() + pos, take);
+          }
+          std::memcpy(inv_tile_.data() + pos,
+                      active_inv_f_.data() + abase + done,
+                      take * sizeof(double));
+          segs_.push_back({pos, take});
+          chunks_.push_back({w, abase + done, done, done + take == k});
+          pos += take;
+          done += take;
+        }
+        work_items += k;
+      }
+    }
+    flush();
+    LRB_OBS_COUNTER_ADD("lrb_wheelset_batches_total", 1);
+    LRB_OBS_COUNTER_ADD("lrb_wheelset_draws_total", total_draws);
+    LRB_OBS_COUNTER_ADD("lrb_wheelset_log_evals_total", log_evals);
+    LRB_OBS_COUNTER_ADD("lrb_wheelset_filter_skips_total",
+                        work_items - log_evals);
+    LRB_OBS_HISTOGRAM_RECORD("lrb_wheelset_batch_draws", total_draws);
+  }
+
+  std::uint64_t set_seed_ = 0;
+  std::vector<std::size_t> offsets_;  // K+1 item offsets into the arena
+  std::vector<double> values_;        // all wheels' fitness, concatenated
+  std::vector<std::uint64_t> seeds_;  // per-wheel Philox keys
+  std::vector<std::uint64_t> cursors_;        // per-wheel next draw id
+  std::vector<KahanSum> sums_;                // per-wheel cached totals
+  std::vector<std::size_t> positive_count_;   // per-wheel active item count
+  std::vector<std::uint8_t> dirty_;   // packed actives stale for this wheel
+  // Packed active sets: wheel w's positive items occupy the prefix
+  // [offsets_[w], offsets_[w] + positive_count_[w]) of these arrays.  The
+  // stream ids are LOCAL item indices — exactly the (seed_w, t, i) keying a
+  // standalone kernel over wheel_values(w) uses.
+  std::vector<std::uint64_t> active_streams_;
+  std::vector<double> active_f_;
+  std::vector<double> active_inv_f_;
+  std::vector<std::size_t> pos_in_active_;  // slot -> active-prefix position
+  std::size_t total_active_ = 0;
+
+  // Batch scratch (reused across batches; sized on first draw).  The three
+  // key tiles mirror bits_ element for element on the deterministic path:
+  // one philox_bits_keyed call per tile turns them into bid bits.
+  std::vector<std::uint64_t> seed_tile_;
+  std::vector<std::uint64_t> ctr_tile_;
+  std::vector<std::uint64_t> stream_tile_;
+  std::vector<std::uint64_t> bits_;
+  std::vector<double> u_;
+  std::vector<double> ub_;
+  std::vector<double> inv_tile_;
+  std::vector<simd::Segment> segs_;
+  std::vector<Chunk> chunks_;
+  std::vector<std::size_t> scratch_out_;
+};
+
+}  // namespace lrb::core

@@ -38,6 +38,7 @@
 #include "core/openmp.hpp"
 #include "core/selector_registry.hpp"
 #include "core/streaming.hpp"
+#include "core/wheel_set.hpp"
 #include "core/without_replacement.hpp"
 #include "dist/collectives.hpp"
 #include "dist/selection.hpp"

@@ -1,0 +1,33 @@
+// Per-wheel stream keying for multi-tenant selection (core/wheel_set.hpp).
+//
+// A WheelSet holds K independent wheels that must behave exactly as K
+// independently seeded selectors: wheel w's deterministic bid for
+// (draw t, item i) is rng::deterministic_bid(wheel_seed(set_seed, w), t, i, f)
+// — the SAME pure function every single-wheel selector uses, just with a
+// derived seed.  Two properties follow:
+//
+//   * statistical isolation: wheel_seed is the canonical SplitMix64
+//     seed-expansion (the w-th output of a SplitMix64 engine seeded with
+//     set_seed), so distinct wheels get well-separated Philox keys — no
+//     shared counters, no stream overlap by construction;
+//   * traffic isolation: a wheel's draw sequence is a pure function of
+//     (its seed, its cursor), so draws on neighboring wheels — batched
+//     together or not — can never perturb it.  Both are tested in
+//     tests/core/wheel_set_isolation_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/splitmix64.hpp"
+
+namespace lrb::rng {
+
+/// The Philox key of wheel `wheel` inside an arena seeded with `set_seed`:
+/// the wheel-th output of SplitMix64(set_seed) (see SplitMix64::discard —
+/// the engine's state after w steps is set_seed + (w + 1) * gamma).
+[[nodiscard]] constexpr std::uint64_t wheel_seed(std::uint64_t set_seed,
+                                                 std::uint64_t wheel) noexcept {
+  return splitmix64_mix(set_seed + wheel * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace lrb::rng

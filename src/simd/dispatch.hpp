@@ -54,6 +54,17 @@ struct Ops {
                               const std::uint64_t* streams, std::uint64_t* out,
                               std::size_t n);
 
+  /// Philox4x32-10 with per-element keys — the multi-tenant tile fill:
+  /// out[i] = philox_u64_at(seeds[i], counters[i], streams[i]).  Where
+  /// philox_bits_streams broadcasts one (seed, counter) per call, this
+  /// variant carries all three key words per lane, so a WheelSet tile that
+  /// concatenates many small wheels' bid chunks fills in ONE call at full
+  /// lane occupancy instead of one under-filled call per wheel.
+  void (*philox_bits_keyed)(const std::uint64_t* seeds,
+                            const std::uint64_t* counters,
+                            const std::uint64_t* streams, std::uint64_t* out,
+                            std::size_t n);
+
   /// Bulk bits -> (0,1]: out[i] = rng::u01_open_closed_from_bits(bits[i]).
   /// Exact and branch-free on every target: ((bits >> 11) + 1) <= 2^53 is
   /// exactly representable, and the 2^-53 scale is a power of two.

@@ -32,6 +32,10 @@ void philox_words_counter_range_scalar(std::uint64_t seed, std::uint64_t stream,
 void philox_bits_streams_scalar(std::uint64_t seed, std::uint64_t counter,
                                 const std::uint64_t* streams,
                                 std::uint64_t* out, std::size_t n);
+void philox_bits_keyed_scalar(const std::uint64_t* seeds,
+                              const std::uint64_t* counters,
+                              const std::uint64_t* streams, std::uint64_t* out,
+                              std::size_t n);
 void fill_u01_from_bits_scalar(const std::uint64_t* bits, double* out,
                                std::size_t n);
 double bound_pass_scalar(const double* u, const double* inv_f, double* ub,

@@ -40,12 +40,10 @@ inline void mul_hilo_8x32(__m256i a, __m256i m, __m256i& hi, __m256i& lo) {
 // Ten Philox rounds over 8 blocks held as lanes c0..c3 (SoA).  Mirrors
 // rng::detail::philox_round exactly: new block = {p1.hi ^ c1 ^ k0, p1.lo,
 // p0.hi ^ c3 ^ k1, p0.lo} with p0 = mulhilo(M0, c0), p1 = mulhilo(M1, c2).
-inline void philox10_8x(__m256i& c0, __m256i& c1, __m256i& c2, __m256i& c3,
-                        std::uint32_t key0, std::uint32_t key1) {
+inline void philox10_8x_vkey(__m256i& c0, __m256i& c1, __m256i& c2,
+                             __m256i& c3, __m256i k0, __m256i k1) {
   const __m256i m0 = _mm256_set1_epi64x(rng::detail::kPhiloxM0);
   const __m256i m1 = _mm256_set1_epi64x(rng::detail::kPhiloxM1);
-  __m256i k0 = _mm256_set1_epi32(static_cast<int>(key0));
-  __m256i k1 = _mm256_set1_epi32(static_cast<int>(key1));
   const __m256i w0 = _mm256_set1_epi32(static_cast<int>(rng::detail::kPhiloxW0));
   const __m256i w1 = _mm256_set1_epi32(static_cast<int>(rng::detail::kPhiloxW1));
   for (int round = 0; round < 10; ++round) {
@@ -61,6 +59,13 @@ inline void philox10_8x(__m256i& c0, __m256i& c1, __m256i& c2, __m256i& c3,
     k0 = _mm256_add_epi32(k0, w0);
     k1 = _mm256_add_epi32(k1, w1);
   }
+}
+
+// Broadcast-key wrapper — the fixed-seed kernels' original entry point.
+inline void philox10_8x(__m256i& c0, __m256i& c1, __m256i& c2, __m256i& c3,
+                        std::uint32_t key0, std::uint32_t key1) {
+  philox10_8x_vkey(c0, c1, c2, c3, _mm256_set1_epi32(static_cast<int>(key0)),
+                   _mm256_set1_epi32(static_cast<int>(key1)));
 }
 
 // Splits eight consecutive u64s (two 4-wide loads) into SoA low/high dwords.
@@ -162,6 +167,30 @@ void philox_bits_streams_avx2(std::uint64_t seed, std::uint64_t counter,
   }
 }
 
+void philox_bits_keyed_avx2(const std::uint64_t* seeds,
+                            const std::uint64_t* counters,
+                            const std::uint64_t* streams, std::uint64_t* out,
+                            std::size_t n) {
+  const std::size_t main = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < main; i += 8) {
+    // All three 64-bit key words vary per lane: counters feed c0/c1,
+    // streams feed c2/c3, and seeds become per-lane round keys.
+    __m256i c0, c1, c2, c3, k0, k1;
+    split_u64_8(counters + i, c0, c1);
+    split_u64_8(streams + i, c2, c3);
+    split_u64_8(seeds + i, k0, k1);
+    philox10_8x_vkey(c0, c1, c2, c3, k0, k1);
+    __m256i w03, w47;
+    join_u64_8(c0, c1, w03, w47);  // low u64 only: the deterministic bits
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), w03);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4), w47);
+  }
+  if (main < n) {
+    philox_bits_keyed_scalar(seeds + main, counters + main, streams + main,
+                             out + main, n - main);
+  }
+}
+
 void fill_u01_from_bits_avx2(const std::uint64_t* bits, double* out,
                              std::size_t n) {
   const std::size_t main = n & ~std::size_t{3};
@@ -217,6 +246,7 @@ constexpr Ops kAvx2Ops = {
     Target::kAvx2,
     &philox_words_counter_range_avx2,
     &philox_bits_streams_avx2,
+    &philox_bits_keyed_avx2,
     &fill_u01_from_bits_avx2,
     &bound_pass_avx2,
 };

@@ -27,12 +27,10 @@ inline void mul_hilo_16x32(__m512i a, __m512i m, __m512i& hi, __m512i& lo) {
   hi = _mm512_mask_blend_epi32(0xAAAA, _mm512_srli_epi64(even, 32), odd);
 }
 
-inline void philox10_16x(__m512i& c0, __m512i& c1, __m512i& c2, __m512i& c3,
-                         std::uint32_t key0, std::uint32_t key1) {
+inline void philox10_16x_vkey(__m512i& c0, __m512i& c1, __m512i& c2,
+                              __m512i& c3, __m512i k0, __m512i k1) {
   const __m512i m0 = _mm512_set1_epi64(rng::detail::kPhiloxM0);
   const __m512i m1 = _mm512_set1_epi64(rng::detail::kPhiloxM1);
-  __m512i k0 = _mm512_set1_epi32(static_cast<int>(key0));
-  __m512i k1 = _mm512_set1_epi32(static_cast<int>(key1));
   const __m512i w0 = _mm512_set1_epi32(static_cast<int>(rng::detail::kPhiloxW0));
   const __m512i w1 = _mm512_set1_epi32(static_cast<int>(rng::detail::kPhiloxW1));
   for (int round = 0; round < 10; ++round) {
@@ -48,6 +46,13 @@ inline void philox10_16x(__m512i& c0, __m512i& c1, __m512i& c2, __m512i& c3,
     k0 = _mm512_add_epi32(k0, w0);
     k1 = _mm512_add_epi32(k1, w1);
   }
+}
+
+// Broadcast-key wrapper — the fixed-seed kernels' original entry point.
+inline void philox10_16x(__m512i& c0, __m512i& c1, __m512i& c2, __m512i& c3,
+                         std::uint32_t key0, std::uint32_t key1) {
+  philox10_16x_vkey(c0, c1, c2, c3, _mm512_set1_epi32(static_cast<int>(key0)),
+                    _mm512_set1_epi32(static_cast<int>(key1)));
 }
 
 // Dword-lane shuffles for u64 <-> SoA: permutex2var indices picking the
@@ -149,6 +154,30 @@ void philox_bits_streams_avx512(std::uint64_t seed, std::uint64_t counter,
   }
 }
 
+void philox_bits_keyed_avx512(const std::uint64_t* seeds,
+                              const std::uint64_t* counters,
+                              const std::uint64_t* streams, std::uint64_t* out,
+                              std::size_t n) {
+  const std::size_t main = n & ~std::size_t{15};
+  for (std::size_t i = 0; i < main; i += 16) {
+    // All three 64-bit key words vary per lane: counters feed c0/c1,
+    // streams feed c2/c3, and seeds become per-lane round keys.
+    __m512i c0, c1, c2, c3, k0, k1;
+    split_u64_16(counters + i, c0, c1);
+    split_u64_16(streams + i, c2, c3);
+    split_u64_16(seeds + i, k0, k1);
+    philox10_16x_vkey(c0, c1, c2, c3, k0, k1);
+    __m512i w07, w8f;
+    join_u64_16(c0, c1, w07, w8f);  // low u64 only: the deterministic bits
+    _mm512_storeu_si512(out + i, w07);
+    _mm512_storeu_si512(out + i + 8, w8f);
+  }
+  if (main < n) {
+    philox_bits_keyed_scalar(seeds + main, counters + main, streams + main,
+                             out + main, n - main);
+  }
+}
+
 void fill_u01_from_bits_avx512(const std::uint64_t* bits, double* out,
                                std::size_t n) {
   const std::size_t main = n & ~std::size_t{7};
@@ -188,6 +217,7 @@ constexpr Ops kAvx512Ops = {
     Target::kAvx512,
     &philox_words_counter_range_avx512,
     &philox_bits_streams_avx512,
+    &philox_bits_keyed_avx512,
     &fill_u01_from_bits_avx512,
     &bound_pass_avx512,
 };

@@ -32,6 +32,15 @@ void philox_bits_streams_scalar(std::uint64_t seed, std::uint64_t counter,
   }
 }
 
+void philox_bits_keyed_scalar(const std::uint64_t* seeds,
+                              const std::uint64_t* counters,
+                              const std::uint64_t* streams, std::uint64_t* out,
+                              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = rng::philox_u64_at(seeds[i], counters[i], streams[i]);
+  }
+}
+
 void fill_u01_from_bits_scalar(const std::uint64_t* bits, double* out,
                                std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
@@ -59,6 +68,7 @@ constexpr Ops kScalarOps = {
     Target::kScalar,
     &philox_words_counter_range_scalar,
     &philox_bits_streams_scalar,
+    &philox_bits_keyed_scalar,
     &fill_u01_from_bits_scalar,
     &bound_pass_scalar,
 };

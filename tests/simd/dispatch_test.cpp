@@ -29,6 +29,7 @@ TEST(SimdDispatch, PublishedTablesAreComplete) {
     EXPECT_NE(table->name, nullptr);
     EXPECT_NE(table->philox_words_counter_range, nullptr);
     EXPECT_NE(table->philox_bits_streams, nullptr);
+    EXPECT_NE(table->philox_bits_keyed, nullptr);
     EXPECT_NE(table->fill_u01_from_bits, nullptr);
     EXPECT_NE(table->bound_pass, nullptr);
     EXPECT_EQ(table->target, t);

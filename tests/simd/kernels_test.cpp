@@ -101,6 +101,43 @@ TEST(SimdKernels, PhiloxStreamsMatchesDeterministicBits) {
   }
 }
 
+TEST(SimdKernels, PhiloxKeyedMatchesPerElementReference) {
+  // The multi-tenant tile fill: every element carries its own (seed,
+  // counter, stream) triple.  The scalar table must equal philox_u64_at
+  // per element, and every vector target must equal scalar — per-lane round
+  // keys are the only difference from the fixed-seed kernel, so a wrong
+  // key-schedule lane would show up here immediately.
+  rng::SplitMix64 mix(2024);
+  for (std::size_t n : kLengths) {
+    std::vector<std::uint64_t> seeds(n), counters(n), streams(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Cover both dword halves of all three key words: small values,
+      // 2^32 straddlers, and full-width randoms, phase-shifted so no two
+      // arrays correlate.
+      seeds[i] = (i % 3 == 0) ? i : (i % 3 == 1) ? ~std::uint64_t{0} - i
+                                                 : mix();
+      counters[i] = (i % 3 == 1) ? i : (i % 3 == 2)
+                        ? (std::uint64_t{1} << 32) + i
+                        : mix();
+      streams[i] = (i % 3 == 2) ? i : mix();
+    }
+    std::vector<std::uint64_t> reference(n);
+    ops_for(Target::kScalar)
+        ->philox_bits_keyed(seeds.data(), counters.data(), streams.data(),
+                            reference.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(reference[i],
+                rng::philox_u64_at(seeds[i], counters[i], streams[i]));
+    }
+    for (Target t : testing::available_targets()) {
+      std::vector<std::uint64_t> out(n, 0xDDu);
+      ops_for(t)->philox_bits_keyed(seeds.data(), counters.data(),
+                                    streams.data(), out.data(), n);
+      EXPECT_EQ(out, reference) << ops_for(t)->name << " n=" << n;
+    }
+  }
+}
+
 TEST(SimdKernels, FillU01MatchesSharedConversionBitForBit) {
   rng::SplitMix64 mix(7);
   for (std::size_t n : kLengths) {

@@ -1,7 +1,7 @@
 // bench_json — the repo's perf trajectory, as a machine-readable artifact.
 //
 // Runs the sweeps the batched hot path is accountable for and emits one JSON
-// document (schema "lrb-bench-selection/v6", default BENCH_selection.json)
+// document (schema "lrb-bench-selection/v7", default BENCH_selection.json)
 // that future PRs can regress against:
 //
 //   * serial_draw_many — n in {1e4, 1e6} x {dense, sparse} x m: ns/draw of a
@@ -29,13 +29,25 @@
 //     driver reshards onto P-1 and resumes, and the row records the reshard
 //     wall time, the recovery-to-first-draw latency, the O(moved) word bill,
 //     and whether the resumed sequence stayed bit-identical to serial (an
-//     invariant, enforced in --quick too).
+//     invariant, enforced in --quick too);
+//   * wheelset — the multi-tenant regime (core/wheel_set.hpp): K small
+//     wheels, one batched cross-wheel draw pass vs a loop of per-wheel
+//     batch_select_deterministic() calls, over n in [8, 4096] x K in
+//     [1e4, 1e6].  Bit-exactness of the batched pass against the per-wheel
+//     serial reference is an invariant at every shape (enforced in --quick
+//     too); the >= 3x speedup target lives where the arena exists to win —
+//     the small-n rows (n = 8, K >= 1e4, B = 1), where the loop's per-call
+//     overhead dominates — and is enforced there in full mode on vector
+//     dispatch (the same simd_vector_active gate as the simd_* targets:
+//     forced-scalar machines land near 2.3x because the keyed Philox tile
+//     fill has no lanes to fill).
 //
 // The full run (default) also enforces the acceptance invariants — draw_many
 // >= 2x the serial loop and the SIMD engine >= 1.5x forced-scalar at
 // n = 1e6, m = 1024 dense; the deterministic philox_cost reduced >= 25% by
-// the SIMD kernels; the exact ledger/parity facts at every P — and exits
-// non-zero when a regression broke them.  --quick shrinks every dimension to
+// the SIMD kernels; the batched wheelset pass >= 3x the per-wheel loop at
+// n = 8 (vector dispatch) and bit-exact everywhere; the exact ledger/parity
+// facts at every P — and exits non-zero when a regression broke them.  --quick shrinks every dimension to
 // smoke-test scale (seconds; used by CTest and the bench-smoke CI job) and
 // skips only the timing-based assertions.
 //
@@ -52,10 +64,10 @@
 // prints ratios without failing, for cross-machine diffs like CI-runner vs
 // committed baseline).  By default every known section present in BOTH
 // artifacts is compared — a missing section (e.g. no obs_overhead in a
-// pre-v5 baseline, no fault_recovery in a pre-v6 one) is skipped with a
-// note; --sections=... restricts the diff to exactly the named sections
-// (invariants, serial, obs_overhead, fault_recovery) and then a missing one
-// is an error.
+// pre-v5 baseline, no fault_recovery in a pre-v6 one, no wheelset in a
+// pre-v7 one) is skipped with a note; --sections=... restricts the diff to
+// exactly the named sections (invariants, serial, obs_overhead,
+// fault_recovery, wheelset) and then a missing one is an error.
 //
 // Schema history: v2 added the deterministic columns/parity, v3 the backend
 // stamps; v4 adds the top-level "simd" object (best target, available
@@ -68,7 +80,11 @@
 // over v4; v6 adds the "fault_recovery" array (per-P reshard wall time,
 // recovery-to-first-draw latency, moved-words bill, bit-exactness after a
 // mid-stream kill) and the fault_recovery_bit_exact_everywhere invariant —
-// purely additive over v5.
+// purely additive over v5; v7 adds the "wheelset" array (rows keyed by
+// (n, density, wheels, b): loop vs arena ns/draw, speedup, bit-exactness),
+// the wheelset_* invariants, and small-n crossover rows (n in {256, 1024,
+// 4096} dense — the data core/batch.hpp's two-regime alias_crossover_for()
+// is fitted from) — purely additive over v6.
 //
 // Usage: bench_json [--quick] [--reps=3] [--out=BENCH_selection.json]
 //        bench_json --obs-overhead [--reps=9] [--out=BENCH_obs_overhead.json]
@@ -94,6 +110,7 @@
 #include "core/deterministic.hpp"
 #include "core/draw_many.hpp"
 #include "core/logarithmic_bidding.hpp"
+#include "core/wheel_set.hpp"
 #include "dist/backend.hpp"
 #include "dist/selection.hpp"
 #include "fault/injecting_backend.hpp"
@@ -309,7 +326,7 @@ int run_obs_overhead(const lrb::CliArgs& args) {
       args.get_string("out", "BENCH_obs_overhead.json", "LRB_BENCH_OUT");
   Json json;
   json.begin_object();
-  json.field("schema", "lrb-bench-selection/v6");
+  json.field("schema", "lrb-bench-selection/v7");
   json.field("generated_by", "tools/bench_json --obs-overhead");
   json.field("backend", std::string(lrb::dist::simulated_backend().name()));
   json.begin_object("simd");
@@ -353,10 +370,17 @@ std::string read_file_or_die(const std::string& path) {
 
 /// Key identifying a timing row across artifacts: (n, density, m) for the
 /// serial-shaped sections, (n, density, p) for fault_recovery rows (which
-/// are keyed by rank count, not batch size).
+/// are keyed by rank count, not batch size), (n, density, wheels, b) for
+/// wheelset rows (keyed by tenant count and per-wheel draw count).
 std::string serial_row_key(const lrb::tools::JsonValue& row) {
   char buf[96];
-  if (row.has("p")) {
+  if (row.has("wheels")) {
+    std::snprintf(buf, sizeof buf, "n=%.0f density=%s wheels=%.0f b=%.0f",
+                  row.at("n").as_number(-1),
+                  row.at("density").as_string().c_str(),
+                  row.at("wheels").as_number(-1),
+                  row.at("b").as_number(-1));
+  } else if (row.has("p")) {
     std::snprintf(buf, sizeof buf, "n=%.0f density=%s p=%.0f",
                   row.at("n").as_number(-1),
                   row.at("density").as_string().c_str(),
@@ -377,6 +401,7 @@ const std::vector<std::pair<std::string, std::string>> kTimingSections = {
     {"serial", "serial_draw_many"},
     {"obs_overhead", "obs_overhead"},
     {"fault_recovery", "fault_recovery"},
+    {"wheelset", "wheelset"},
 };
 
 /// Whether a column name is a timing cell --compare diffs: the per-draw
@@ -419,7 +444,7 @@ int run_compare(const lrb::CliArgs& args) {
                  "usage: bench_json --compare=old.json new.json "
                  "[--max-regression=0.10] [--timing=enforce|report] "
                  "[--sections=invariants,serial,obs_overhead,"
-                 "fault_recovery]\n");
+                 "fault_recovery,wheelset]\n");
     return 2;
   }
   const std::string new_path = args.positionals().front();
@@ -441,7 +466,7 @@ int run_compare(const lrb::CliArgs& args) {
     if (!known_section(name)) {
       std::fprintf(stderr,
                    "bench_json: unknown section %s (invariants, serial, "
-                   "obs_overhead, fault_recovery)\n",
+                   "obs_overhead, fault_recovery, wheelset)\n",
                    name.c_str());
       return 2;
     }
@@ -583,6 +608,10 @@ int main(int argc, char** argv) {
   bool det_ledger_parity_everywhere = true;
   bool det_p_invariant_everywhere = true;
   bool fault_recovery_bit_exact_everywhere = true;
+  bool wheelset_bit_exact_everywhere = true;
+  bool wheelset_speedup_target_met = true;
+  double wheelset_small_n_speedup =
+      std::numeric_limits<double>::infinity();
   double headline_speedup = 0.0;
   double headline_simd_speedup = 0.0;
   double headline_philox_cost = 0.0;
@@ -602,7 +631,7 @@ int main(int argc, char** argv) {
 
   Json json;
   json.begin_object();
-  json.field("schema", "lrb-bench-selection/v6");
+  json.field("schema", "lrb-bench-selection/v7");
   json.field("generated_by", "tools/bench_json");
   json.field("backend", backend);
   json.begin_object("simd");
@@ -768,9 +797,48 @@ int main(int argc, char** argv) {
   }
   json.end_array();
 
+  // Small-n crossover rows: the regime the WheelSet exists for, and the data
+  // core/batch.hpp's two-regime alias_crossover_for() is fitted from.  Only
+  // the bidding/alias totals are needed for the fit, so these rows skip the
+  // serial/deterministic baselines the big sweep carries.
+  if (!quick) {
+    for (std::size_t n : {std::size_t{256}, std::size_t{1'024},
+                          std::size_t{4'096}}) {
+      const std::vector<double> fitness = make_fitness(n, true);
+      const std::size_t m1 = 16;
+      const std::size_t m2 = 1'024;
+      const double t_bid_1 =
+          time_draw_many(fitness, m1, reps) * static_cast<double>(m1);
+      const double t_bid_2 =
+          time_draw_many(fitness, m2, reps) * static_cast<double>(m2);
+      const double t_alias_1 =
+          time_alias(fitness, m1, reps) * static_cast<double>(m1);
+      const double t_alias_2 =
+          time_alias(fitness, m2, reps) * static_cast<double>(m2);
+      const double dm = static_cast<double>(m2 - m1);
+      const double c_bid = (t_bid_2 - t_bid_1) / dm;
+      const double b_bid = t_bid_1 - static_cast<double>(m1) * c_bid;
+      const double c_alias = (t_alias_2 - t_alias_1) / dm;
+      const double b_alias = t_alias_1 - static_cast<double>(m1) * c_alias;
+      const std::size_t k = lrb::count_nonzero(fitness);
+      CrossoverRow row;
+      row.n = n;
+      row.density = "dense";
+      row.k = k;
+      row.m_star = (c_bid > c_alias)
+                       ? std::max(0.0, (b_alias - b_bid) / (c_bid - c_alias))
+                       : std::numeric_limits<double>::infinity();
+      row.implied_factor =
+          (std::isfinite(row.m_star) && row.m_star > 0.0 && k > 0)
+              ? static_cast<double>(n) / (row.m_star * static_cast<double>(k))
+              : 0.0;
+      crossover_rows.push_back(row);
+    }
+  }
+
   // The measured break-even the kAuto heuristic is calibrated from: bidding
-  // wins while m * k < n / kAliasCrossover, so the implied factor column is
-  // directly comparable to core/batch.hpp's constant.
+  // wins while m * k < n / alias_crossover_for(n), so the implied factor
+  // column is directly comparable to core/batch.hpp's two-regime table.
   json.begin_array("crossover");
   for (const CrossoverRow& row : crossover_rows) {
     json.begin_object();
@@ -779,13 +847,14 @@ int main(int argc, char** argv) {
     json.field("k", row.k);
     json.field("measured_break_even_m", row.m_star);
     json.field("implied_alias_crossover_factor", row.implied_factor);
-    json.field("configured_alias_crossover", lrb::core::kAliasCrossover);
+    json.field("configured_alias_crossover",
+               lrb::core::alias_crossover_for(row.n));
     json.end_object();
     std::printf("  crossover n=%-8llu %-12s k=%-8llu m*=%.0f implied "
                 "factor=%.3f (configured %.2f)\n",
                 static_cast<unsigned long long>(row.n), row.density,
                 static_cast<unsigned long long>(row.k), row.m_star,
-                row.implied_factor, lrb::core::kAliasCrossover);
+                row.implied_factor, lrb::core::alias_crossover_for(row.n));
   }
   json.end_array();
 
@@ -973,6 +1042,110 @@ int main(int argc, char** argv) {
     json.end_array();
   }
 
+  // ------------------------------------------------------------ wheelset --
+  // The multi-tenant arena vs the per-wheel call loop: K small wheels, one
+  // batched cross-wheel pass against a loop of batch_select_deterministic()
+  // calls at the same seeds.  Bit-exactness of the batched pass against the
+  // per-wheel serial reference is checked at every shape and enforced in
+  // --quick too; the >= 3x speedup target is taken as the MINIMUM over the
+  // n=8, B=1 rows (K from 1e4 to 1e6 — the regime the arena exists for) and
+  // enforced in full mode on vector dispatch.
+  {
+    struct WheelShape {
+      std::size_t n;
+      std::size_t wheels;
+      std::size_t b;
+    };
+    const std::vector<WheelShape> wheel_shapes =
+        quick ? std::vector<WheelShape>{{8, 500, 1}, {64, 100, 2}}
+              : std::vector<WheelShape>{{8, 10'000, 1},
+                                        {8, 100'000, 1},
+                                        {8, 1'000'000, 1},
+                                        {8, 10'000, 8},
+                                        {64, 10'000, 1},
+                                        {64, 100'000, 1},
+                                        {512, 10'000, 1},
+                                        {4'096, 10'000, 1}};
+    std::printf("wheelset sweep (reps=%d, simd=%s)...\n", reps,
+                simd_target.c_str());
+    json.begin_array("wheelset");
+    for (const WheelShape& shape : wheel_shapes) {
+      const std::size_t total = shape.wheels * shape.b;
+      // Per-wheel dense fitness, phase-shifted so tenants don't alias.
+      std::vector<std::vector<double>> tenants;
+      tenants.reserve(shape.wheels);
+      for (std::size_t w = 0; w < shape.wheels; ++w) {
+        std::vector<double> f(shape.n);
+        for (std::size_t i = 0; i < shape.n; ++i) {
+          f[i] = 1.0 + static_cast<double>((i * 13 + w * 7) % 100);
+        }
+        tenants.push_back(std::move(f));
+      }
+      lrb::core::WheelSet set(1);
+      std::vector<lrb::core::WheelSet::DrawRequest> requests;
+      requests.reserve(shape.wheels);
+      for (std::size_t w = 0; w < shape.wheels; ++w) {
+        (void)set.add_wheel(tenants[w]);
+        requests.push_back({w, shape.b});
+      }
+
+      // Bit-exactness first, while the cursors are still at zero: the
+      // batched pass must reproduce the per-wheel serial reference winner
+      // for winner.
+      bool exact = true;
+      const auto batched = set.draw_batch(requests);
+      for (std::size_t w = 0; w < shape.wheels && exact; ++w) {
+        const auto reference = lrb::core::batch_select_deterministic(
+            tenants[w], shape.b, set.seed(w));
+        for (std::size_t d = 0; d < shape.b; ++d) {
+          if (batched[w * shape.b + d] != reference[d]) exact = false;
+        }
+      }
+      wheelset_bit_exact_everywhere = wheelset_bit_exact_everywhere && exact;
+
+      std::vector<std::size_t> sink;
+      const double loop_s = lrb::time_best_of(reps, [&] {
+        sink.clear();
+        for (std::size_t w = 0; w < shape.wheels; ++w) {
+          const auto part = lrb::core::batch_select_deterministic(
+              tenants[w], shape.b, set.seed(w));
+          sink.insert(sink.end(), part.begin(), part.end());
+        }
+      });
+      std::vector<std::size_t> arena_out;
+      const double arena_s = lrb::time_best_of(reps, [&] {
+        arena_out.clear();
+        set.draw_batch_into(requests, arena_out);
+      });
+      g_sink = g_sink ^ sink.back() ^ arena_out.back();
+      const double loop_ns = loop_s * 1e9 / static_cast<double>(total);
+      const double arena_ns = arena_s * 1e9 / static_cast<double>(total);
+      const double speedup = loop_ns / arena_ns;
+      if (!quick && shape.n == 8 && shape.b == 1) {
+        wheelset_small_n_speedup =
+            std::min(wheelset_small_n_speedup, speedup);
+        if (speedup < 3.0) wheelset_speedup_target_met = false;
+      }
+
+      json.begin_object();
+      json.field("n", static_cast<std::uint64_t>(shape.n));
+      json.field("density", "dense");
+      json.field("wheels", static_cast<std::uint64_t>(shape.wheels));
+      json.field("b", static_cast<std::uint64_t>(shape.b));
+      json.field("simd_target", simd_target);
+      json.field("loop_ns_per_draw", loop_ns);
+      json.field("arena_ns_per_draw", arena_ns);
+      json.field("wheelset_speedup_vs_loop", speedup);
+      json.field("bit_exact_vs_per_wheel_serial", exact);
+      json.end_object();
+      std::printf("  n=%-5zu wheels=%-8zu b=%-3zu loop=%9.1f ns/draw  "
+                  "arena=%9.1f ns/draw  speedup=%.2fx  bit_exact=%s\n",
+                  shape.n, shape.wheels, shape.b, loop_ns, arena_ns, speedup,
+                  exact ? "true" : "false");
+    }
+    json.end_array();
+  }
+
   // ---------------------------------------------------------- invariants --
   json.begin_object("invariants");
   if (!quick) {
@@ -1002,6 +1175,18 @@ int main(int argc, char** argv) {
              det_p_invariant_everywhere);
   json.field("fault_recovery_bit_exact_everywhere",
              fault_recovery_bit_exact_everywhere);
+  json.field("wheelset_bit_exact_everywhere", wheelset_bit_exact_everywhere);
+  if (!quick) {
+    json.field("wheelset_speedup_small_n_min", wheelset_small_n_speedup);
+    // Same gate as the simd_* targets: on forced-scalar dispatch the keyed
+    // Philox tile fill has no lanes to fill and the arena lands near 2.3x —
+    // the 3x contract is the vector engine's, so the key is absent (not
+    // false) on scalar-only machines and --compare skips it.
+    if (simd_vector_active) {
+      json.field("wheelset_speedup_3x_small_n_met",
+                 wheelset_speedup_target_met);
+    }
+  }
   json.end_object();
   json.end_object();
 
@@ -1036,6 +1221,13 @@ int main(int argc, char** argv) {
                  "recovered run must replay the serial winners exactly)\n");
     return 1;
   }
+  if (!wheelset_bit_exact_everywhere) {
+    std::fprintf(stderr,
+                 "bench_json: wheelset bit-exactness VIOLATED (the batched "
+                 "cross-wheel pass must reproduce the per-wheel serial "
+                 "reference at every shape)\n");
+    return 1;
+  }
   if (!quick && !speedup_target_met) {
     std::fprintf(stderr,
                  "bench_json: draw_many speedup target (>= 2x at n=1e6, "
@@ -1055,6 +1247,14 @@ int main(int argc, char** argv) {
                  "bench_json: deterministic philox_cost reduction target "
                  "(>= 25%% vs forced-scalar) MISSED: %.2fx vs %.2fx\n",
                  headline_philox_cost, headline_philox_cost_scalar);
+    return 1;
+  }
+  if (!quick && simd_vector_active && !wheelset_speedup_target_met) {
+    std::fprintf(stderr,
+                 "bench_json: wheelset speedup target (>= 3x vs the "
+                 "per-wheel call loop at n=8, K>=1e4, B=1) MISSED: min "
+                 "%.2fx\n",
+                 wheelset_small_n_speedup);
     return 1;
   }
   return 0;

@@ -23,6 +23,12 @@
 //       are survived by elastic resharding; winners are bit-identical to a
 //       fault-free run.  The recovery summary prints to stderr; stdout
 //       carries only the drawn indices.
+//   lrb wheelset [--wheels=K] [--draws=1] [--seed=...] w0 w1 ...
+//       multi-tenant arena demo: the weights are split contiguously into K
+//       wheels (near-even partition) and every wheel draws --draws times
+//       through ONE batched cross-wheel pass (core/wheel_set.hpp).  Prints
+//       "wheel winner" pairs; the arena summary goes to stderr.  With
+//       --stats the lrb_wheelset_* metric catalog appears in the table.
 //   lrb list
 //       available selector algorithms.
 //
@@ -210,12 +216,52 @@ int cmd_dist(const lrb::CliArgs& args, const std::vector<double>& weights) {
   return 0;
 }
 
+int cmd_wheelset(const lrb::CliArgs& args, const std::vector<double>& weights) {
+  const std::size_t wheels = args.get_u64("wheels", 4);
+  const std::uint64_t draws = args.get_u64("draws", 1);
+  if (wheels == 0 || wheels > weights.size()) {
+    std::fprintf(stderr,
+                 "lrb: wheelset needs 1 <= --wheels <= #weights "
+                 "(got --wheels=%zu for %zu weights)\n",
+                 wheels, weights.size());
+    return 2;
+  }
+  lrb::core::WheelSet set(args.get_u64("seed", 1));
+  // Contiguous near-even partition: the first (items % wheels) wheels take
+  // one extra item, so tenant w owns a stable slice of the input.
+  const std::size_t base = weights.size() / wheels;
+  const std::size_t extra = weights.size() % wheels;
+  std::span<const double> rest(weights);
+  std::vector<lrb::core::WheelSet::DrawRequest> requests;
+  requests.reserve(wheels);
+  for (std::size_t w = 0; w < wheels; ++w) {
+    const std::size_t n = base + (w < extra ? 1 : 0);
+    (void)set.add_wheel(rest.first(n));
+    rest = rest.subspan(n);
+    requests.push_back({w, draws});
+  }
+  const auto winners = set.draw_batch(requests);
+  std::size_t pos = 0;
+  for (std::size_t w = 0; w < wheels; ++w) {
+    for (std::uint64_t d = 0; d < draws; ++d) {
+      std::printf("%zu %zu\n", w, winners[pos++]);
+    }
+  }
+  std::fprintf(stderr,
+               "lrb: wheelset wheels=%zu items=%zu active=%zu draws=%zu "
+               "(one batched pass)\n",
+               set.wheels(), set.total_items(), set.total_active(),
+               winners.size());
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: lrb <select|sample|shuffle|validate|race|dist|list> "
-               "[options] [weights... | -]\n"
+               "usage: lrb <select|sample|shuffle|validate|race|dist|wheelset|"
+               "list> [options] [weights... | -]\n"
                "dist flags: --ranks --draws --batch --seed --fault-seed=<u64> "
                "--fault-spec=<spec>\n"
+               "wheelset flags: --wheels=<K> --draws=<per wheel> --seed\n"
                "global flags: --stats (metrics table after the run), "
                "--trace=<path> (Chrome trace JSON)\n"
                "run `lrb list` to see the selector algorithms.\n");
@@ -307,6 +353,7 @@ int main(int argc, char** argv) {
     else if (cmd == "validate") rc = cmd_validate(args, weights);
     else if (cmd == "race") rc = cmd_race(args, weights);
     else if (cmd == "dist") rc = cmd_dist(args, weights);
+    else if (cmd == "wheelset") rc = cmd_wheelset(args, weights);
     else {
       usage();
       return 2;
