@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "obs/obs.hpp"
 
@@ -22,6 +23,26 @@ RankFailedError::RankFailedError(std::size_t rank, const std::string& what_arg)
     : CommError(what_arg), rank_(rank) {
   LRB_OBS_COUNTER_ADD("lrb_fault_detected_total", 1);
   LRB_OBS_COUNTER_ADD("lrb_fault_rank_failures_total", 1);
+}
+
+FaultSpecError::FaultSpecError(std::string token, const std::string& what_arg)
+    : InvalidArgumentError(what_arg), token_(std::move(token)) {
+  LRB_OBS_COUNTER_ADD("lrb_fault_spec_errors_total", 1);
+}
+
+PersistIoError::PersistIoError(const std::string& what_arg)
+    : PersistError(what_arg) {
+  LRB_OBS_COUNTER_ADD("lrb_persist_io_errors_total", 1);
+}
+
+CorruptSnapshotError::CorruptSnapshotError(const std::string& what_arg)
+    : PersistError(what_arg) {
+  LRB_OBS_COUNTER_ADD("lrb_persist_corrupt_snapshots_total", 1);
+}
+
+CorruptLogError::CorruptLogError(const std::string& what_arg)
+    : PersistError(what_arg) {
+  LRB_OBS_COUNTER_ADD("lrb_persist_corrupt_logs_total", 1);
 }
 
 }  // namespace lrb

@@ -36,6 +36,62 @@ class InvalidArgumentError : public Error {
   using Error::Error;
 };
 
+/// A fault-schedule spec string (fault/schedule.hpp's mini-grammar) failed
+/// to parse.  Derived from InvalidArgumentError — a malformed spec is still
+/// bad user input — but typed so tooling can catch it specifically, and it
+/// carries the exact offending token so a CLI/CI log names what to fix, not
+/// just that something was wrong.
+///
+/// Out-of-line constructor increments `lrb_fault_spec_errors_total`.
+class FaultSpecError : public InvalidArgumentError {
+ public:
+  FaultSpecError(std::string token, const std::string& what_arg);
+
+  /// The substring of the spec that failed to parse (e.g. the unknown verb,
+  /// the non-numeric field value, or the whole event missing its '@').
+  [[nodiscard]] const std::string& token() const noexcept { return token_; }
+
+ private:
+  std::string token_;
+};
+
+/// Base of the durability-layer exceptions (src/persist): the process-death
+/// counterpart of CommError's machine faults.  Never thrown for bad caller
+/// input — these mean the storage layer misbehaved (I/O failure) or handed
+/// back bytes that fail verification (corruption).
+class PersistError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A filesystem operation (open/read/write/fsync/rename) failed.  Carries
+/// the errno text.  Out-of-line constructor increments
+/// `lrb_persist_io_errors_total`.
+class PersistIoError : public PersistError {
+ public:
+  explicit PersistIoError(const std::string& what_arg);
+};
+
+/// A snapshot file failed verification: bad magic, unsupported version,
+/// CRC mismatch, truncation, or internally inconsistent state (e.g. a
+/// positive count that does not match the values).  Restore never
+/// constructs an object from such bytes.  Out-of-line constructor
+/// increments `lrb_persist_corrupt_snapshots_total`.
+class CorruptSnapshotError : public PersistError {
+ public:
+  explicit CorruptSnapshotError(const std::string& what_arg);
+};
+
+/// A draw-log record that passed CRC framing is semantically malformed
+/// (unknown kind, short payload, trailing bytes).  Distinct from a torn
+/// tail, which the reader handles by truncation, not by throwing (see
+/// persist/draw_log.hpp).  Out-of-line constructor increments
+/// `lrb_persist_corrupt_logs_total`.
+class CorruptLogError : public PersistError {
+ public:
+  explicit CorruptLogError(const std::string& what_arg);
+};
+
 /// Base of the communication-fault exceptions a CommBackend may surface.
 /// Distinct from InvalidArgumentError/InvalidFitnessError: those mean the
 /// caller handed the library bad input, these mean the *machine* misbehaved —

@@ -53,6 +53,10 @@
 #include "simd/dispatch.hpp"
 #include "simd/segmented.hpp"
 
+namespace lrb::persist {
+struct WheelSetAccess;  // snapshot serializer (persist/snapshot.cpp)
+}
+
 namespace lrb::core {
 
 class WheelSet {
@@ -182,6 +186,11 @@ class WheelSet {
   }
 
  private:
+  // The checkpoint layer (persist/snapshot.cpp) reads every field verbatim
+  // and reconstructs arenas field by field — Kahan carries and deferred
+  // dirty flags included, which no public accessor exposes in full.
+  friend struct lrb::persist::WheelSetAccess;
+
   /// Tile capacity: 4 x 16 KiB scratch, L2-resident; big enough to amortize
   /// the two dispatched calls per tile across ~256 eight-item wheels.
   static constexpr std::size_t kTile = 2048;

@@ -32,6 +32,10 @@
 #include "dist/topology.hpp"
 #include "parallel/partition.hpp"
 
+namespace lrb::persist {
+struct ShardedFitnessAccess;  // snapshot serializer (persist/snapshot.cpp)
+}
+
 namespace lrb::dist {
 
 /// A fitness vector block-partitioned over the ranks of a Topology.
@@ -126,6 +130,17 @@ class ShardedFitness {
                               std::shared_ptr<const CommBackend> backend);
 
  private:
+  // The checkpoint layer (persist/snapshot.cpp) must restore the cached
+  // shard sums VERBATIM — they are delta-maintained, so the recomputing
+  // constructor could disagree in the last ulp — which needs field-level
+  // access and the validation-free default constructor below.
+  friend struct lrb::persist::ShardedFitnessAccess;
+
+  /// Restore-only: an empty placeholder the snapshot layer fills field by
+  /// field (after verifying the bytes).  Private so the public API never
+  /// sees a vector that skipped validation.
+  ShardedFitness() : topology_(1) {}
+
   /// Shared tail of construction and resharding: installs `begins` (size
   /// ranks+1) and recomputes every cached shard sum / positive count from
   /// values_ with the construction-time Kahan loop.

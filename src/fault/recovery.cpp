@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <utility>
 
 #include "common/error.hpp"
 #include "fault/injecting_backend.hpp"
 #include "obs/obs.hpp"
+#include "persist/snapshot.hpp"
 
 namespace lrb::fault {
 
@@ -63,6 +65,22 @@ RecoveryRun select_with_recovery(dist::ShardedFitness& shards,
     }
   }
   return run;
+}
+
+void save_selection_checkpoint(
+    const std::string& path, const dist::ShardedFitness& shards,
+    const dist::DeterministicDistributedBidder& cursor) {
+  persist::Snapshot snap;
+  snap.put_sharded_fitness(shards);
+  snap.put_dist_cursor(cursor);
+  snap.write(path);
+}
+
+RestoredSelection restore_selection_checkpoint(
+    const std::string& path, std::shared_ptr<const dist::CommBackend> backend) {
+  const persist::Snapshot snap = persist::Snapshot::read(path);
+  return RestoredSelection{snap.sharded_fitness(std::move(backend)),
+                           snap.dist_cursor()};
 }
 
 }  // namespace lrb::fault

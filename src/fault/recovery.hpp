@@ -18,10 +18,17 @@
 //     unchanged — by then the fault is indistinguishable from a partition.
 //   * RankFailedError — caught here; reshard to P-1 and resume.  With P=1
 //     there is no survivor to reshard onto, so it propagates.
+//   * PROCESS death (SIGKILL, OOM, power) — survived via lrb::persist: the
+//     checkpoint functions below capture the whole selection state (shards
+//     + two-integer cursor) in one crash-safe lrb-snap/v1 file, and a
+//     restarted process resumes the stream bit-identically — the same
+//     contract, extended past the life of the process.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "dist/selection.hpp"
@@ -66,5 +73,29 @@ struct RecoveryRun {
 [[nodiscard]] RecoveryRun select_with_recovery(
     dist::ShardedFitness& shards, dist::DeterministicDistributedBidder& cursor,
     std::size_t draws, std::size_t batch = 1);
+
+/// Durably checkpoints a distributed selection stream: `shards` (values,
+/// boundaries, cached sums verbatim) and `cursor` (two integers) into one
+/// lrb-snap/v1 file at `path`, committed atomically — a crash mid-write
+/// leaves any previous checkpoint intact (persist/io.hpp).
+void save_selection_checkpoint(const std::string& path,
+                               const dist::ShardedFitness& shards,
+                               const dist::DeterministicDistributedBidder& cursor);
+
+/// A restored selection stream: continuing select()/select_batch() from
+/// here is bit-identical to the stream the checkpoint interrupted, at any
+/// rank count (bids are keyed by GLOBAL index).
+struct RestoredSelection {
+  dist::ShardedFitness shards;
+  dist::DeterministicDistributedBidder cursor;
+};
+
+/// Restores a checkpoint written by save_selection_checkpoint.  `backend`
+/// rebinds the collectives (null = the simulated machine): backends are
+/// process wiring, not state, so the restarted process injects its own.
+/// Throws CorruptSnapshotError if the file fails verification.
+[[nodiscard]] RestoredSelection restore_selection_checkpoint(
+    const std::string& path,
+    std::shared_ptr<const dist::CommBackend> backend = nullptr);
 
 }  // namespace lrb::fault

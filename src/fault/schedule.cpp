@@ -28,9 +28,15 @@ FaultSchedule::FaultSchedule(std::vector<FaultEvent> events)
 
 namespace {
 
-[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
-  throw InvalidArgumentError("fault spec \"" + std::string(spec) +
-                             "\": " + why);
+/// Every parse failure funnels here: a typed FaultSpecError whose what()
+/// quotes the whole spec AND whose token() isolates exactly the substring
+/// that failed — so a chaos-sweep log names the fix, not just the crime.
+[[noreturn]] void bad_spec(std::string_view spec, std::string_view token,
+                           const std::string& why) {
+  throw FaultSpecError(std::string(token),
+                       "fault spec \"" + std::string(spec) + "\": " + why +
+                           " (offending token \"" + std::string(token) +
+                           "\")");
 }
 
 std::uint64_t parse_u64(std::string_view spec, std::string_view text,
@@ -39,8 +45,9 @@ std::uint64_t parse_u64(std::string_view spec, std::string_view text,
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc{} || ptr != text.data() + text.size()) {
-    bad_spec(spec, "expected a number for " + std::string(what) + ", got \"" +
-                       std::string(text) + "\"");
+    bad_spec(spec, text,
+             "expected a number for " + std::string(what) + ", got \"" +
+                 std::string(text) + "\"");
   }
   return value;
 }
@@ -48,7 +55,7 @@ std::uint64_t parse_u64(std::string_view spec, std::string_view text,
 FaultEvent parse_event(std::string_view spec, std::string_view text) {
   const std::size_t amp = text.find('@');
   if (amp == std::string_view::npos) {
-    bad_spec(spec, "event \"" + std::string(text) + "\" is missing '@'");
+    bad_spec(spec, text, "event \"" + std::string(text) + "\" is missing '@'");
   }
   const std::string_view kind_text = text.substr(0, amp);
   FaultEvent event;
@@ -59,13 +66,21 @@ FaultEvent parse_event(std::string_view spec, std::string_view text) {
   } else if (kind_text == "delay") {
     event.kind = FaultKind::kDelayExchange;
   } else {
-    bad_spec(spec, "unknown fault kind \"" + std::string(kind_text) +
-                       "\" (want kill|drop|delay)");
+    bad_spec(spec, kind_text,
+             "unknown fault kind \"" + std::string(kind_text) +
+                 "\" (want kill|drop|delay)");
   }
 
   std::string_view rest = text.substr(amp + 1);
   const std::size_t colon = rest.find(':');
-  event.at = parse_u64(spec, rest.substr(0, colon), "@position");
+  const std::string_view at_text = rest.substr(0, colon);
+  if (at_text.empty()) {
+    // "kill@:rank=1" / "drop@" — without this check the number parser
+    // would report an empty token, which names nothing useful.
+    bad_spec(spec, text,
+             "event \"" + std::string(text) + "\" is missing its @position");
+  }
+  event.at = parse_u64(spec, at_text, "@position");
 
   bool have_rank = false;
   if (colon != std::string_view::npos) {
@@ -75,7 +90,8 @@ FaultEvent parse_event(std::string_view spec, std::string_view text) {
       const std::string_view kv = args.substr(0, comma);
       const std::size_t eq = kv.find('=');
       if (eq == std::string_view::npos) {
-        bad_spec(spec, "argument \"" + std::string(kv) + "\" is missing '='");
+        bad_spec(spec, kv,
+                 "argument \"" + std::string(kv) + "\" is missing '='");
       }
       const std::string_view key = kv.substr(0, eq);
       const std::string_view value = kv.substr(eq + 1);
@@ -89,18 +105,19 @@ FaultEvent parse_event(std::string_view spec, std::string_view text) {
         event.rounds_wasted = static_cast<std::uint32_t>(
             parse_u64(spec, value, "rounds"));
       } else {
-        bad_spec(spec, "unknown argument \"" + std::string(key) +
-                           "\" (want rank|times|rounds)");
+        bad_spec(spec, key,
+                 "unknown argument \"" + std::string(key) +
+                     "\" (want rank|times|rounds)");
       }
       args = comma == std::string_view::npos ? std::string_view{}
                                              : args.substr(comma + 1);
     }
   }
   if (event.kind == FaultKind::kKillRank && !have_rank) {
-    bad_spec(spec, "kill events require rank=");
+    bad_spec(spec, text, "kill events require rank=");
   }
   if (event.kind != FaultKind::kKillRank && event.times == 0) {
-    bad_spec(spec, "times= must be at least 1");
+    bad_spec(spec, text, "times= must be at least 1");
   }
   return event;
 }

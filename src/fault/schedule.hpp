@@ -72,7 +72,9 @@ class FaultSchedule {
   ///
   /// e.g. "kill@7:rank=2", "drop@3:times=2,rounds=1;delay@9".  `kill`
   /// requires rank=; drop/delay default to times=1, rounds=0.  Throws
-  /// InvalidArgumentError on malformed input.
+  /// FaultSpecError (an InvalidArgumentError) on malformed input — unknown
+  /// verb, missing '@'/@position, non-numeric field — naming the offending
+  /// token (FaultSpecError::token()).
   [[nodiscard]] static FaultSchedule parse(std::string_view spec);
 
   /// A seeded chaos schedule for a run of about `horizon` exchanges on

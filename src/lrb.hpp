@@ -58,6 +58,12 @@
 #include "parallel/prefix_sum.hpp"
 #include "parallel/reduce.hpp"
 #include "parallel/thread_pool.hpp"
+#include "persist/crc32c.hpp"
+#include "persist/draw_log.hpp"
+#include "persist/io.hpp"
+#include "persist/journal.hpp"
+#include "persist/replay.hpp"
+#include "persist/snapshot.hpp"
 #include "pram/machine.hpp"
 #include "pram/programs.hpp"
 #include "rng/engines.hpp"

@@ -1,0 +1,76 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum framing every
+// byte lrb::persist puts on disk.
+//
+// Why CRC32C and not a hash: the threat model is torn writes and bitrot,
+// not adversaries.  CRC32C detects all single-bit errors, all burst errors
+// up to 32 bits, and any other corruption with probability 1 - 2^-32 per
+// frame — exactly the guarantee leveldb/rocksdb ship their WALs with — and
+// the slice-by-8 table implementation below needs no hardware support and
+// no dependencies, which this repo cannot add.
+//
+// The tables are built once at namespace-scope initialization (~8 KiB);
+// crc32c() itself is allocation-free and safe to call from any thread.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace lrb::persist {
+
+namespace detail {
+
+inline constexpr std::uint32_t kCrc32cPoly = 0x82F63B78u;  // reflected
+
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  constexpr Crc32cTables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kCrc32cPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    // Slice-by-8 extension tables: t[k][b] continues a CRC whose next k
+    // bytes are zero after byte b — lets the hot loop fold 8 bytes per
+    // iteration with table lookups only.
+    for (std::uint32_t k = 1; k < 8; ++k) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+inline constexpr Crc32cTables kCrc32cTables{};
+
+}  // namespace detail
+
+/// CRC32C of `len` bytes, with the conventional pre/post inversion (the
+/// CRC of the empty string is 0).
+[[nodiscard]] inline std::uint32_t crc32c(const void* data,
+                                          std::size_t len) noexcept {
+  const auto& t = detail::kCrc32cTables.t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~std::uint32_t{0};
+  while (len >= 8) {
+    // Byte-wise loads keep this alignment-agnostic (and UBSan-clean).
+    const std::uint32_t lo = crc ^ (std::uint32_t{p[0]} |
+                                    std::uint32_t{p[1]} << 8 |
+                                    std::uint32_t{p[2]} << 16 |
+                                    std::uint32_t{p[3]} << 24);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^
+          t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace lrb::persist

@@ -1,0 +1,121 @@
+#include "persist/replay.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace lrb::persist {
+
+namespace {
+
+constexpr std::size_t kMaxReportedMismatches = 16;
+
+void diff_winners(ReplayReport& report,
+                  const std::vector<std::uint64_t>& logged,
+                  const std::vector<std::size_t>& replayed) {
+  LRB_ASSERT(logged.size() == replayed.size(),
+             "replay must re-execute exactly the logged draw count");
+  for (std::size_t i = 0; i < logged.size(); ++i) {
+    const auto got = static_cast<std::uint64_t>(replayed[i]);
+    if (logged[i] != got) {
+      if (report.mismatches < kMaxReportedMismatches) {
+        report.first_mismatches.push_back(
+            ReplayMismatch{report.draws + i, logged[i], got});
+      }
+      ++report.mismatches;
+    }
+  }
+  report.draws += logged.size();
+}
+
+[[noreturn]] void wrong_family(const char* have, const char* record) {
+  throw CorruptLogError(std::string("replay: snapshot holds ") + have +
+                        " state but the log contains a " + record +
+                        " record — these files are not a pair");
+}
+
+ReplayReport replay_wheel(const Snapshot& snap, const DrawLogReadResult& log,
+                          std::size_t skip) {
+  ReplayReport report;
+  core::WheelSet ws = snap.wheel_set();
+  for (std::size_t i = skip; i < log.records.size(); ++i) {
+    const Record& record = log.records[i];
+    ++report.records;
+    if (const auto* up = std::get_if<WheelUpdateRecord>(&record)) {
+      ws.update(up->wheel, up->item, up->value);
+      ++report.updates;
+    } else if (const auto* draw = std::get_if<WheelDrawRecord>(&record)) {
+      const core::WheelSet::DrawRequest req{draw->wheel, draw->winners.size()};
+      diff_winners(report, draw->winners, ws.draw_batch({&req, 1}));
+    } else if (std::holds_alternative<CheckpointRecord>(record)) {
+      ++report.checkpoints;
+    } else {
+      wrong_family("WheelSet", "distributed");
+    }
+  }
+  return report;
+}
+
+ReplayReport replay_dist(const Snapshot& snap, const DrawLogReadResult& log,
+                         std::size_t skip) {
+  ReplayReport report;
+  dist::ShardedFitness shards = snap.sharded_fitness();
+  dist::DeterministicDistributedBidder cursor = snap.dist_cursor();
+  for (std::size_t i = skip; i < log.records.size(); ++i) {
+    const Record& record = log.records[i];
+    ++report.records;
+    if (const auto* up = std::get_if<DistUpdateRecord>(&record)) {
+      shards.update(up->index, up->value);
+      ++report.updates;
+    } else if (const auto* draw = std::get_if<DistDrawRecord>(&record)) {
+      cursor.seek(draw->first_draw_id);
+      const dist::BatchDrawResult batch =
+          cursor.select_batch(shards, draw->winners.size());
+      diff_winners(report, draw->winners, batch.indices);
+    } else if (const auto* rs = std::get_if<ReshardRecord>(&record)) {
+      (void)shards.reshard(rs->new_ranks);
+      ++report.reshards;
+    } else if (std::holds_alternative<CheckpointRecord>(record)) {
+      ++report.checkpoints;
+    } else {
+      wrong_family("distributed", "WheelSet");
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+ReplayReport replay(const std::string& snapshot_path,
+                    const std::string& log_path) {
+  LRB_TRACE_SPAN("persist_replay");
+  const Snapshot snap = Snapshot::read(snapshot_path);
+  const DrawLogReadResult log = read_draw_log(log_path);
+  // A journal-managed snapshot already reflects its first `skip` records
+  // (a mid-stream checkpoint); replay resumes after them.
+  std::size_t skip = 0;
+  if (snap.has(SectionId::kJournalHeader)) {
+    skip = std::min<std::size_t>(snap.journal_header(), log.records.size());
+  }
+  ReplayReport report;
+  if (snap.has(SectionId::kWheelSet)) {
+    report = replay_wheel(snap, log, skip);
+  } else if (snap.has(SectionId::kShardedFitness) &&
+             snap.has(SectionId::kDistCursor)) {
+    report = replay_dist(snap, log, skip);
+  } else {
+    throw CorruptSnapshotError(
+        "replay: snapshot holds neither a WheelSet section nor a "
+        "ShardedFitness + cursor pair");
+  }
+  report.torn_tail = log.torn_tail;
+  report.dropped_bytes = log.dropped_bytes();
+  LRB_OBS_COUNTER_ADD("lrb_persist_replays_total", 1);
+  LRB_OBS_COUNTER_ADD("lrb_persist_replay_mismatches_total", report.mismatches);
+  return report;
+}
+
+}  // namespace lrb::persist

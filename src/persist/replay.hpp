@@ -1,0 +1,61 @@
+// The replay engine: re-execute a snapshot + draw log and diff every
+// logged winner against the re-derived one — any production incident
+// becomes an offline bit-exact repro.
+//
+// Because every draw in this library is a pure function of (seed, draw id,
+// fitness) — counter-based Philox bids, no hidden RNG state — replay needs
+// no recorded entropy: restore the snapshot, re-apply each update/reshard,
+// RE-RUN each draw record, and the winners must match the log byte for
+// byte, on any machine, any SIMD dispatch target, and any rank count.  The
+// CI replay-determinism leg runs the same recorded incident under
+// LRB_SIMD=scalar and LRB_SIMD=avx2 and requires both to diff clean.
+//
+// A mismatch therefore isolates real trouble: either the log/snapshot pair
+// was corrupted in a way CRC cannot see (wrong file pairing), or the
+// machine computed something different from the recording machine —
+// exactly the needle an incident audit is looking for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/draw_log.hpp"
+#include "persist/snapshot.hpp"
+
+namespace lrb::persist {
+
+/// One winner disagreement between the log and the re-execution.
+struct ReplayMismatch {
+  std::uint64_t draw_ordinal = 0;  ///< position in the replayed draw stream
+  std::uint64_t logged = 0;
+  std::uint64_t replayed = 0;
+};
+
+struct ReplayReport {
+  std::uint64_t records = 0;
+  std::uint64_t draws = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t reshards = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t mismatches = 0;
+  /// The first disagreements, capped (a systematically wrong stream would
+  /// otherwise balloon the report).
+  std::vector<ReplayMismatch> first_mismatches;
+  bool torn_tail = false;          ///< the log ended in a torn frame
+  std::uint64_t dropped_bytes = 0; ///< bytes past the last valid frame
+
+  [[nodiscard]] bool clean() const noexcept { return mismatches == 0; }
+};
+
+/// Restores `snapshot_path`, re-executes every valid record of `log_path`
+/// against it (tolerating a torn tail, which is reported, not fatal), and
+/// returns the diff.  The snapshot's sections pick the mode: a kWheelSet
+/// section replays WheelSet records, a kShardedFitness + kDistCursor pair
+/// replays distributed records; a log record of the wrong family throws
+/// CorruptLogError (the files are not a pair).
+/// Instrumented: lrb_persist_replays_total, lrb_persist_replay_mismatches_total.
+[[nodiscard]] ReplayReport replay(const std::string& snapshot_path,
+                                  const std::string& log_path);
+
+}  // namespace lrb::persist

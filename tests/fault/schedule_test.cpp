@@ -72,6 +72,54 @@ TEST(FaultSchedule, RejectsMalformedSpecs) {
                InvalidArgumentError);  // missing '='
 }
 
+/// Catches the typed error and returns its isolated token.
+std::string offending_token(const std::string& spec) {
+  try {
+    (void)FaultSchedule::parse(spec);
+  } catch (const lrb::FaultSpecError& e) {
+    return e.token();
+  }
+  ADD_FAILURE() << "spec \"" << spec << "\" did not throw FaultSpecError";
+  return {};
+}
+
+TEST(FaultSchedule, ParseErrorsAreTypedFaultSpecErrors) {
+  // FaultSpecError refines InvalidArgumentError (callers catching the base
+  // keep working) and isolates the offending token for chaos-sweep logs.
+  EXPECT_THROW((void)FaultSchedule::parse("explode@3"),
+               lrb::FaultSpecError);
+  EXPECT_THROW((void)FaultSchedule::parse("explode@3"), InvalidArgumentError);
+}
+
+TEST(FaultSchedule, ParseErrorsNameTheOffendingToken) {
+  EXPECT_EQ(offending_token("explode@3"), "explode");  // unknown verb
+  EXPECT_EQ(offending_token("kill7:rank=1"), "kill7:rank=1");  // missing '@'
+  EXPECT_EQ(offending_token("drop@"), "drop@");        // missing @position
+  EXPECT_EQ(offending_token("kill@:rank=1"), "kill@:rank=1");
+  EXPECT_EQ(offending_token("drop@x"), "x");           // non-numeric position
+  EXPECT_EQ(offending_token("drop@3:times=many"), "many");  // non-numeric kv
+  EXPECT_EQ(offending_token("drop@3:times"), "times"); // missing '='
+  EXPECT_EQ(offending_token("drop@3:bogus=1"), "bogus");  // unknown argument
+  EXPECT_EQ(offending_token("kill@3"), "kill@3");      // kill without rank=
+  EXPECT_EQ(offending_token("drop@3:times=0"), "drop@3:times=0");
+  // Only the bad event of a multi-event spec is named.
+  EXPECT_EQ(offending_token("drop@3;explode@5;delay@9"), "explode");
+}
+
+TEST(FaultSchedule, ParseErrorMessageQuotesSpecAndToken) {
+  try {
+    (void)FaultSchedule::parse("drop@3;explode@5");
+    FAIL() << "expected FaultSpecError";
+  } catch (const lrb::FaultSpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("drop@3;explode@5"), std::string::npos)
+        << "message must quote the whole spec: " << what;
+    EXPECT_NE(what.find("explode"), std::string::npos)
+        << "message must quote the offending token: " << what;
+    EXPECT_EQ(e.token(), "explode");
+  }
+}
+
 TEST(FaultSchedule, CanonicalStringRoundTrips) {
   const char* specs[] = {
       "kill@7:rank=2",

@@ -1,0 +1,176 @@
+// WheelJournal: the snapshot+log pair as one durable session.  Resume after
+// an abrupt stop continues the winner stream byte-identically to a session
+// that never stopped — checkpoints, torn tails, and repeated resumes
+// included.
+#include "persist/journal.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "persist/replay.hpp"
+#include "persist_testing.hpp"
+
+namespace lrb::persist {
+namespace {
+
+using lrb::persist::testing::scratch_dir;
+using lrb::persist::testing::seasoned_wheel_set;
+
+/// One scripted session step sequence, shared by the interrupted and
+/// uninterrupted runs so their streams are comparable step for step.
+std::vector<std::uint64_t> run_session(WheelJournal& j, int steps,
+                                       int checkpoint_every = 0) {
+  std::vector<std::uint64_t> winners;
+  for (int t = 0; t < steps; ++t) {
+    const std::size_t wheel = static_cast<std::size_t>(t) % j.wheels().wheels();
+    const auto got = j.draw(wheel, 2);
+    winners.insert(winners.end(), got.begin(), got.end());
+    if (t % 3 == 1) {
+      j.update(1, static_cast<std::size_t>(t) % 6, 0.25 * (t + 1));
+    }
+    if (checkpoint_every > 0 && (t + 1) % checkpoint_every == 0) {
+      j.checkpoint();
+    }
+  }
+  return winners;
+}
+
+TEST(WheelJournal, ResumeContinuesTheExactStream) {
+  // Reference: one uninterrupted session.
+  const std::string ref_dir = scratch_dir("refdir");
+  WheelJournal ref = WheelJournal::create(ref_dir, seasoned_wheel_set(5));
+  std::vector<std::uint64_t> reference = run_session(ref, 6);
+  const auto reference_tail = run_session(ref, 6);
+  reference.insert(reference.end(), reference_tail.begin(),
+                   reference_tail.end());
+
+  // Interrupted: same script, but the journal object is dropped (records
+  // synced, process "gone") halfway through and resumed from disk.
+  const std::string dir = scratch_dir("resumedir");
+  std::vector<std::uint64_t> interrupted;
+  {
+    WheelJournal j = WheelJournal::create(dir, seasoned_wheel_set(5));
+    interrupted = run_session(j, 6);
+    j.sync();
+  }
+  ResumedWheelJournal resumed = WheelJournal::resume(dir);
+  EXPECT_FALSE(resumed.torn_tail);
+  // resume() hands back the full committed stream so far.
+  EXPECT_EQ(resumed.winners, interrupted);
+  const auto tail = run_session(resumed.journal, 6);
+  interrupted.insert(interrupted.end(), tail.begin(), tail.end());
+
+  EXPECT_EQ(interrupted, reference)
+      << "a resumed session must continue byte-identically";
+}
+
+TEST(WheelJournal, CheckpointBoundsResumeWithoutChangingTheStream) {
+  const std::string ref_dir = scratch_dir("ckref");
+  WheelJournal ref = WheelJournal::create(ref_dir, seasoned_wheel_set(9));
+  const auto reference = run_session(ref, 12, /*checkpoint_every=*/0);
+
+  const std::string dir = scratch_dir("ckdir");
+  {
+    WheelJournal j = WheelJournal::create(dir, seasoned_wheel_set(9));
+    const auto got = run_session(j, 12, /*checkpoint_every=*/4);
+    EXPECT_EQ(got, reference) << "checkpoints must not perturb the stream";
+    j.sync();
+  }
+  ResumedWheelJournal resumed = WheelJournal::resume(dir);
+  EXPECT_EQ(resumed.winners, reference);
+  // The snapshot covers a prefix; the journal still counts every record.
+  EXPECT_GT(resumed.journal.records(), 0u);
+
+  // A post-checkpoint resume draws the same continuation as the reference.
+  EXPECT_EQ(run_session(resumed.journal, 4), run_session(ref, 4));
+}
+
+TEST(WheelJournal, RepeatedResumesAreIdempotent) {
+  const std::string dir = scratch_dir("rere");
+  {
+    WheelJournal j = WheelJournal::create(dir, seasoned_wheel_set(21));
+    (void)run_session(j, 5);
+    j.sync();
+  }
+  ResumedWheelJournal first = WheelJournal::resume(dir);
+  ResumedWheelJournal second = WheelJournal::resume(dir);
+  EXPECT_EQ(first.winners, second.winners);
+  EXPECT_EQ(run_session(first.journal, 3), run_session(second.journal, 3));
+}
+
+TEST(WheelJournal, TornTailIsDroppedOnResume) {
+  const std::string dir = scratch_dir("torn");
+  std::vector<std::uint64_t> committed;
+  {
+    WheelJournal j = WheelJournal::create(dir, seasoned_wheel_set(33));
+    committed = run_session(j, 4);
+    j.sync();
+  }
+  // Simulate a mid-append SIGKILL: garbage after the last durable frame.
+  {
+    File f = File::open_append(WheelJournal::log_path(dir));
+    const std::uint8_t garbage[7] = {9, 9, 9, 9, 9, 9, 9};
+    f.write_all(garbage);
+  }
+  ResumedWheelJournal resumed = WheelJournal::resume(dir);
+  EXPECT_TRUE(resumed.torn_tail);
+  EXPECT_EQ(resumed.dropped_bytes, 7u);
+  EXPECT_EQ(resumed.winners, committed)
+      << "the torn frame was never acknowledged; the committed prefix "
+         "survives untouched";
+}
+
+TEST(WheelJournal, CreateReplacesAPreviousJournal) {
+  const std::string dir = scratch_dir("replace");
+  {
+    WheelJournal j = WheelJournal::create(dir, seasoned_wheel_set(1));
+    (void)run_session(j, 5);
+    j.sync();
+  }
+  {
+    WheelJournal j = WheelJournal::create(dir, seasoned_wheel_set(2));
+    (void)j.draw(0, 1);
+    j.sync();
+  }
+  ResumedWheelJournal resumed = WheelJournal::resume(dir);
+  EXPECT_EQ(resumed.winners.size(), 1u)
+      << "create() must truncate the previous session's log";
+}
+
+TEST(WheelJournal, ResumeRejectsSnapshotClaimingMoreThanTheLog) {
+  const std::string dir = scratch_dir("overclaim");
+  {
+    WheelJournal j = WheelJournal::create(dir, seasoned_wheel_set(3));
+    (void)run_session(j, 3);
+    j.checkpoint();  // snapshot now claims every record
+    j.sync();
+  }
+  // Truncate the whole log away: the snapshot's claim now exceeds it.
+  {
+    File f = File::create_truncate(WheelJournal::log_path(dir));
+    f.sync();
+  }
+  EXPECT_THROW((void)WheelJournal::resume(dir), CorruptSnapshotError);
+}
+
+TEST(WheelJournal, JournalPairReplaysClean) {
+  const std::string dir = scratch_dir("replayable");
+  {
+    WheelJournal j = WheelJournal::create(dir, seasoned_wheel_set(55));
+    (void)run_session(j, 8, /*checkpoint_every=*/3);
+    j.sync();
+  }
+  // The checkpoint updated the snapshot mid-log; replay must skip the
+  // covered prefix and still diff clean.
+  const ReplayReport report = replay(WheelJournal::snapshot_path(dir),
+                                     WheelJournal::log_path(dir));
+  EXPECT_TRUE(report.clean());
+  EXPECT_GT(report.draws, 0u);
+}
+
+}  // namespace
+}  // namespace lrb::persist

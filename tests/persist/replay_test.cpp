@@ -1,0 +1,194 @@
+// The replay engine: a recorded session re-executes clean on any target; a
+// tampered winner is caught; mismatched snapshot/log pairs are typed errors.
+#include "persist/replay.hpp"
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dist/selection.hpp"
+#include "persist_testing.hpp"
+#include "simd/simd_testing.hpp"
+
+namespace lrb::persist {
+namespace {
+
+using lrb::persist::testing::scratch_dir;
+using lrb::persist::testing::seasoned_shards;
+using lrb::persist::testing::seasoned_wheel_set;
+using lrb::simd::testing::available_targets;
+using lrb::simd::testing::ScopedTarget;
+
+/// Records a WheelSet session: snapshot the starting state, then log every
+/// update and draw exactly as a service would.
+struct RecordedWheelSession {
+  std::string snapshot_path;
+  std::string log_path;
+  std::uint64_t draws = 0;
+  std::uint64_t updates = 0;
+};
+
+RecordedWheelSession record_wheel_session(const std::string& tag) {
+  RecordedWheelSession s;
+  const std::string dir = scratch_dir(tag);
+  s.snapshot_path = dir + "/state.snap";
+  s.log_path = dir + "/draws.log";
+
+  core::WheelSet ws = seasoned_wheel_set(13);
+  Snapshot snap;
+  snap.put_wheel_set(ws);
+  snap.write(s.snapshot_path);
+
+  DrawLogWriter log(s.log_path);
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t w = 0; w < ws.wheels(); ++w) {
+      const core::WheelSet::DrawRequest req{w, 3};
+      const auto winners = ws.draw_batch({&req, 1});
+      WheelDrawRecord rec;
+      rec.wheel = w;
+      rec.winners.assign(winners.begin(), winners.end());
+      log.append(rec);
+      s.draws += winners.size();
+    }
+    ws.update(1, round % 6, 0.5 + round);
+    log.append(WheelUpdateRecord{1, static_cast<std::uint64_t>(round % 6),
+                                 0.5 + round});
+    ++s.updates;
+  }
+  return s;
+}
+
+TEST(Replay, CleanWheelSessionDiffsClean) {
+  const RecordedWheelSession s = record_wheel_session("wheelclean");
+  const ReplayReport report = replay(s.snapshot_path, s.log_path);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.mismatches, 0u);
+  EXPECT_EQ(report.draws, s.draws);
+  EXPECT_EQ(report.updates, s.updates);
+  EXPECT_FALSE(report.torn_tail);
+}
+
+TEST(Replay, CleanOnEveryDispatchTarget) {
+  const RecordedWheelSession s = record_wheel_session("wheeltargets");
+  for (const auto target : available_targets()) {
+    ScopedTarget scope(target);
+    ASSERT_TRUE(scope.forced());
+    EXPECT_TRUE(replay(s.snapshot_path, s.log_path).clean())
+        << "target " << static_cast<int>(target);
+  }
+}
+
+TEST(Replay, TamperedWinnerIsReported) {
+  const RecordedWheelSession s = record_wheel_session("wheeltamper");
+  // Rewrite the log with one winner altered (valid framing, wrong value) —
+  // the kind of damage CRC cannot see, which is exactly replay's job.
+  const DrawLogReadResult log = read_draw_log(s.log_path);
+  std::vector<Record> tampered = log.records;
+  std::uint64_t original = 0;
+  bool flipped = false;
+  for (Record& r : tampered) {
+    if (auto* draw = std::get_if<WheelDrawRecord>(&r);
+        draw && !draw->winners.empty() && !flipped) {
+      original = draw->winners[0];
+      draw->winners[0] += 1;
+      flipped = true;
+    }
+  }
+  ASSERT_TRUE(flipped);
+  {
+    File f = File::create_truncate(s.log_path);
+    f.close();
+    DrawLogWriter writer(s.log_path);
+    for (const Record& r : tampered) writer.append(r);
+  }
+  const ReplayReport report = replay(s.snapshot_path, s.log_path);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.mismatches, 1u);
+  ASSERT_EQ(report.first_mismatches.size(), 1u);
+  EXPECT_EQ(report.first_mismatches[0].draw_ordinal, 0u);
+  EXPECT_EQ(report.first_mismatches[0].logged, original + 1);
+  EXPECT_EQ(report.first_mismatches[0].replayed, original);
+}
+
+TEST(Replay, DistributedSessionWithReshardDiffsClean) {
+  const std::string dir = scratch_dir("distclean");
+  const std::string snap_path = dir + "/state.snap";
+  const std::string log_path = dir + "/draws.log";
+
+  dist::ShardedFitness shards = seasoned_shards(4);
+  dist::DeterministicDistributedBidder cursor(23);
+  Snapshot snap;
+  snap.put_sharded_fitness(shards);
+  snap.put_dist_cursor(cursor);
+  snap.write(snap_path);
+
+  DrawLogWriter log(log_path);
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t first = cursor.next_draw_id();
+    const auto batch = cursor.select_batch(shards, 4);
+    DistDrawRecord rec;
+    rec.first_draw_id = first;
+    rec.winners.assign(batch.indices.begin(), batch.indices.end());
+    log.append(rec);
+
+    shards.update(static_cast<std::size_t>(round), 1.0 + round);
+    log.append(
+        DistUpdateRecord{static_cast<std::uint64_t>(round), 1.0 + round});
+    if (round == 1) {
+      (void)shards.reshard(2);
+      log.append(ReshardRecord{2});
+    }
+  }
+  log.sync();
+
+  const ReplayReport report = replay(snap_path, log_path);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.draws, 12u);
+  EXPECT_EQ(report.updates, 3u);
+  EXPECT_EQ(report.reshards, 1u);
+}
+
+TEST(Replay, MismatchedPairIsTypedError) {
+  const std::string dir = scratch_dir("mismatchpair");
+  const std::string snap_path = dir + "/state.snap";
+  const std::string log_path = dir + "/draws.log";
+  Snapshot snap;
+  snap.put_wheel_set(seasoned_wheel_set());
+  snap.write(snap_path);
+  {
+    DrawLogWriter log(log_path);
+    log.append(DistUpdateRecord{0, 1.0});  // distributed record, wheel snap
+  }
+  EXPECT_THROW((void)replay(snap_path, log_path), CorruptLogError);
+}
+
+TEST(Replay, SnapshotWithoutStateIsTypedError) {
+  const std::string dir = scratch_dir("nostate");
+  const std::string snap_path = dir + "/state.snap";
+  Snapshot snap;
+  snap.put_journal_header(0);  // bookkeeping only, no restorable state
+  snap.write(snap_path);
+  EXPECT_THROW((void)replay(snap_path, dir + "/draws.log"),
+               CorruptSnapshotError);
+}
+
+TEST(Replay, TornTailIsReportedNotFatal) {
+  const RecordedWheelSession s = record_wheel_session("wheeltorn");
+  {
+    File f = File::open_append(s.log_path);
+    const std::uint8_t garbage[5] = {1, 2, 3, 4, 5};
+    f.write_all(std::span<const std::uint8_t>(garbage, 5));
+  }
+  const ReplayReport report = replay(s.snapshot_path, s.log_path);
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_EQ(report.dropped_bytes, 5u);
+  EXPECT_EQ(report.draws, s.draws);
+}
+
+}  // namespace
+}  // namespace lrb::persist

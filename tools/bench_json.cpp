@@ -1,7 +1,7 @@
 // bench_json — the repo's perf trajectory, as a machine-readable artifact.
 //
 // Runs the sweeps the batched hot path is accountable for and emits one JSON
-// document (schema "lrb-bench-selection/v7", default BENCH_selection.json)
+// document (schema "lrb-bench-selection/v8", default BENCH_selection.json)
 // that future PRs can regress against:
 //
 //   * serial_draw_many — n in {1e4, 1e6} x {dense, sparse} x m: ns/draw of a
@@ -40,7 +40,15 @@
 //     overhead dominates — and is enforced there in full mode on vector
 //     dispatch (the same simd_vector_active gate as the simd_* targets:
 //     forced-scalar machines land near 2.3x because the keyed Philox tile
-//     fill has no lanes to fill).
+//     fill has no lanes to fill);
+//   * persist — the durability tax (src/persist): snapshot write and
+//     read+reconstruct wall time (us and MB/s) for WheelSet arenas at a few
+//     state sizes, and draw-log append ns/record at each flush policy
+//     (every record, batch=64, off — the fsync-bound / amortized / in-page-
+//     cache price points).  Every snapshot row also restores its bytes on
+//     every available dispatch target and checks the restored arena
+//     continues the live winner stream bit-identically — folded into the
+//     restore_bit_exact_everywhere invariant (enforced in --quick too).
 //
 // The full run (default) also enforces the acceptance invariants — draw_many
 // >= 2x the serial loop and the SIMD engine >= 1.5x forced-scalar at
@@ -65,9 +73,10 @@
 // committed baseline).  By default every known section present in BOTH
 // artifacts is compared — a missing section (e.g. no obs_overhead in a
 // pre-v5 baseline, no fault_recovery in a pre-v6 one, no wheelset in a
-// pre-v7 one) is skipped with a note; --sections=... restricts the diff to
-// exactly the named sections (invariants, serial, obs_overhead,
-// fault_recovery, wheelset) and then a missing one is an error.
+// pre-v7 one, no persist in a pre-v8 one) is skipped with a note;
+// --sections=... restricts the diff to exactly the named sections
+// (invariants, serial, obs_overhead, fault_recovery, wheelset, persist) and
+// then a missing one is an error.
 //
 // Schema history: v2 added the deterministic columns/parity, v3 the backend
 // stamps; v4 adds the top-level "simd" object (best target, available
@@ -84,7 +93,10 @@
 // (n, density, wheels, b): loop vs arena ns/draw, speedup, bit-exactness),
 // the wheelset_* invariants, and small-n crossover rows (n in {256, 1024,
 // 4096} dense — the data core/batch.hpp's two-regime alias_crossover_for()
-// is fitted from) — purely additive over v6.
+// is fitted from) — purely additive over v6; v8 adds the "persist" array
+// (snapshot write/restore us + MB/s rows keyed by op/n, log-append
+// ns/record rows keyed by op/flush/n) and the restore_bit_exact_everywhere
+// invariant — purely additive over v7.
 //
 // Usage: bench_json [--quick] [--reps=3] [--out=BENCH_selection.json]
 //        bench_json --obs-overhead [--reps=9] [--out=BENCH_obs_overhead.json]
@@ -94,6 +106,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -117,6 +130,8 @@
 #include "fault/recovery.hpp"
 #include "fault/schedule.hpp"
 #include "json_read.hpp"
+#include "persist/draw_log.hpp"
+#include "persist/snapshot.hpp"
 #include "rng/xoshiro256.hpp"
 #include "simd/dispatch.hpp"
 
@@ -317,7 +332,7 @@ void emit_obs_overhead(Json& json, bool quick, int reps) {
 
 /// Dedicated --obs-overhead mode: the overhead sweep alone, at full scale
 /// and higher default reps (the 2% tolerance needs quieter cells than the
-/// headline 10%).  Emits a v6 document with an empty invariants block so
+/// headline 10%).  Emits a document with an empty invariants block so
 /// --compare accepts it; default out path avoids clobbering the committed
 /// full artifact.
 int run_obs_overhead(const lrb::CliArgs& args) {
@@ -326,7 +341,7 @@ int run_obs_overhead(const lrb::CliArgs& args) {
       args.get_string("out", "BENCH_obs_overhead.json", "LRB_BENCH_OUT");
   Json json;
   json.begin_object();
-  json.field("schema", "lrb-bench-selection/v7");
+  json.field("schema", "lrb-bench-selection/v8");
   json.field("generated_by", "tools/bench_json --obs-overhead");
   json.field("backend", std::string(lrb::dist::simulated_backend().name()));
   json.begin_object("simd");
@@ -355,6 +370,167 @@ int run_obs_overhead(const lrb::CliArgs& args) {
 }
 
 // ---------------------------------------------------------------------------
+// Persist section: the durability tax (src/persist).
+
+/// Builds a seasoned multi-wheel arena (phase-shifted dense fitness, a few
+/// draws and updates so cursors, Kahan carries, and dirty flags are all
+/// non-trivial) — the state every persist row snapshots.
+lrb::core::WheelSet make_persist_arena(std::size_t wheels, std::size_t n) {
+  lrb::core::WheelSet set(17);
+  std::vector<double> f(n);
+  for (std::size_t w = 0; w < wheels; ++w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      f[i] = 1.0 + static_cast<double>((i * 13 + w * 7) % 100);
+    }
+    (void)set.add_wheel(f);
+  }
+  // Season: advance some cursors and leave a couple of pending repacks.
+  std::vector<lrb::core::WheelSet::DrawRequest> warm;
+  for (std::size_t w = 0; w < wheels; w += 1 + wheels / 16) {
+    warm.push_back({w, 2});
+  }
+  (void)set.draw_batch(warm);
+  set.update(0, 0, 0.0);
+  set.update(wheels / 2, n / 2, 3.5);
+  return set;
+}
+
+/// Snapshot write/restore wall time + MB/s at a few state sizes, draw-log
+/// append ns/record at each flush policy, and the restore-side bit-exactness
+/// check: the restored arena must continue the live winner stream
+/// identically on EVERY available dispatch target (folded into the
+/// restore_bit_exact_everywhere invariant, enforced in --quick too).
+void emit_persist(Json& json, bool quick, int reps,
+                  bool& restore_bit_exact_everywhere) {
+  namespace fs = std::filesystem;
+  namespace persist = lrb::persist;
+
+  const fs::path dir = fs::temp_directory_path() / "lrb_bench_persist";
+  fs::create_directories(dir);
+  const std::string snap_path = (dir / "state.snap").string();
+  const std::string log_path = (dir / "draws.log").string();
+
+  struct ArenaShape {
+    std::size_t wheels;
+    std::size_t n;
+  };
+  const std::vector<ArenaShape> shapes =
+      quick ? std::vector<ArenaShape>{{64, 32}}
+            : std::vector<ArenaShape>{{1'000, 64},
+                                      {10'000, 64},
+                                      {100, 4'096}};
+  std::printf("persist sweep (reps=%d)...\n", reps);
+  json.begin_array("persist");
+
+  for (const ArenaShape& shape : shapes) {
+    lrb::core::WheelSet set = make_persist_arena(shape.wheels, shape.n);
+    persist::Snapshot snap;
+    snap.put_wheel_set(set);
+    const std::size_t snap_bytes = snap.encode().size();
+    const double mb = static_cast<double>(snap_bytes) / 1e6;
+
+    const double write_s =
+        lrb::time_best_of(reps, [&] { snap.write(snap_path); });
+    std::size_t restored_items = 0;
+    const double restore_s = lrb::time_best_of(reps, [&] {
+      const persist::Snapshot loaded = persist::Snapshot::read(snap_path);
+      restored_items = loaded.wheel_set().total_items();
+    });
+    g_sink = g_sink ^ restored_items;
+
+    // Bit-exactness: the live arena continues from the snapshot point; a
+    // restore of the same bytes must produce the identical continuation on
+    // every dispatch target (the snapshot is taken before the live draws, so
+    // both streams start at the same cursors).
+    std::vector<lrb::core::WheelSet::DrawRequest> requests;
+    requests.reserve(shape.wheels);
+    for (std::size_t w = 0; w < shape.wheels; ++w) requests.push_back({w, 2});
+    const auto live = set.draw_batch(requests);
+    bool exact = true;
+    const lrb::simd::Target previous = lrb::simd::active_target();
+    for (lrb::simd::Target t :
+         {lrb::simd::Target::kScalar, lrb::simd::Target::kAvx2,
+          lrb::simd::Target::kAvx512}) {
+      if (!lrb::simd::ops_for(t)) continue;
+      (void)lrb::simd::force_target(t);
+      lrb::core::WheelSet restored =
+          persist::Snapshot::read(snap_path).wheel_set();
+      if (restored.draw_batch(requests) != live) exact = false;
+    }
+    (void)lrb::simd::force_target(previous);
+    restore_bit_exact_everywhere = restore_bit_exact_everywhere && exact;
+
+    const double write_us = write_s * 1e6;
+    const double restore_us = restore_s * 1e6;
+    json.begin_object();
+    json.field("op", "snapshot");
+    json.field("n", static_cast<std::uint64_t>(set.total_items()));
+    json.field("density", "dense");
+    json.field("wheels", static_cast<std::uint64_t>(shape.wheels));
+    json.field("snapshot_bytes", static_cast<std::uint64_t>(snap_bytes));
+    json.field("snapshot_write_us", write_us);
+    json.field("snapshot_restore_us", restore_us);
+    json.field("snapshot_write_mb_per_s", mb / (write_s > 0 ? write_s : 1e-9));
+    json.field("snapshot_restore_mb_per_s",
+               mb / (restore_s > 0 ? restore_s : 1e-9));
+    json.field("restore_bit_exact", exact);
+    json.end_object();
+    std::printf("  snapshot wheels=%-6zu n=%-5zu bytes=%-9zu write=%9.1f us  "
+                "restore=%9.1f us  bit_exact=%s\n",
+                shape.wheels, shape.n, snap_bytes, write_us, restore_us,
+                exact ? "true" : "false");
+  }
+
+  // Log append at each flush policy.  kEveryRecord fsyncs per append — the
+  // durability price point — so its record count is kept small; the batched
+  // and unsynced policies amortize and are timed over many more records.
+  struct LogCase {
+    const char* flush;
+    persist::FlushPolicy policy;
+    std::size_t records;
+  };
+  const std::vector<LogCase> log_cases = {
+      {"every", persist::FlushPolicy::kEveryRecord,
+       quick ? std::size_t{64} : std::size_t{256}},
+      {"batch64", persist::FlushPolicy::kBatch,
+       quick ? std::size_t{512} : std::size_t{8'192}},
+      {"off", persist::FlushPolicy::kNone,
+       quick ? std::size_t{512} : std::size_t{8'192}},
+  };
+  for (const LogCase& c : log_cases) {
+    persist::WheelDrawRecord rec;
+    rec.wheel = 3;
+    rec.winners = {1, 4, 1, 5};
+    persist::DrawLogConfig config;
+    config.policy = c.policy;
+    config.batch_records = 64;
+    const double total_s = lrb::time_best_of(reps, [&] {
+      {
+        persist::File f = persist::File::create_truncate(log_path);
+      }
+      persist::DrawLogWriter writer(log_path, config);
+      for (std::size_t i = 0; i < c.records; ++i) writer.append(rec);
+      writer.sync();  // every policy pays for durability at the end
+    });
+    const double append_ns =
+        total_s * 1e9 / static_cast<double>(c.records);
+    json.begin_object();
+    json.field("op", "log_append");
+    json.field("flush", c.flush);
+    json.field("n", static_cast<std::uint64_t>(c.records));
+    json.field("density", "dense");
+    json.field("append_ns_per_record", append_ns);
+    json.end_object();
+    std::printf("  log_append flush=%-8s records=%-6zu %9.1f ns/record\n",
+                c.flush, c.records, append_ns);
+  }
+  json.end_array();
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // best-effort scratch cleanup
+}
+
+// ---------------------------------------------------------------------------
 // Compare mode.
 
 std::string read_file_or_die(const std::string& path) {
@@ -371,10 +547,16 @@ std::string read_file_or_die(const std::string& path) {
 /// Key identifying a timing row across artifacts: (n, density, m) for the
 /// serial-shaped sections, (n, density, p) for fault_recovery rows (which
 /// are keyed by rank count, not batch size), (n, density, wheels, b) for
-/// wheelset rows (keyed by tenant count and per-wheel draw count).
+/// wheelset rows (keyed by tenant count and per-wheel draw count),
+/// (op, flush, n) for persist rows (keyed by operation and flush policy).
 std::string serial_row_key(const lrb::tools::JsonValue& row) {
   char buf[96];
-  if (row.has("wheels")) {
+  if (row.has("op")) {
+    std::snprintf(buf, sizeof buf, "op=%s flush=%s n=%.0f",
+                  row.at("op").as_string().c_str(),
+                  row.has("flush") ? row.at("flush").as_string().c_str() : "-",
+                  row.at("n").as_number(-1));
+  } else if (row.has("wheels")) {
     std::snprintf(buf, sizeof buf, "n=%.0f density=%s wheels=%.0f b=%.0f",
                   row.at("n").as_number(-1),
                   row.at("density").as_string().c_str(),
@@ -402,13 +584,21 @@ const std::vector<std::pair<std::string, std::string>> kTimingSections = {
     {"obs_overhead", "obs_overhead"},
     {"fault_recovery", "fault_recovery"},
     {"wheelset", "wheelset"},
+    {"persist", "persist"},
 };
 
 /// Whether a column name is a timing cell --compare diffs: the per-draw
-/// nanosecond columns of the serial-shaped sections, or the absolute
-/// microsecond columns of the fault_recovery section.
+/// nanosecond columns of the serial-shaped sections, the absolute
+/// microsecond columns of the fault_recovery / persist sections, or the
+/// per-record append columns of the persist log rows.  (MB/s throughput
+/// columns are deliberately NOT diffed — higher is better there, and the
+/// matching _us cell already carries the regression signal.)
 bool is_timing_column(const std::string& column) {
   if (column.find("_ns_per_draw") != std::string::npos) return true;
+  if (column.size() >= 14 &&
+      column.compare(column.size() - 14, 14, "_ns_per_record") == 0) {
+    return true;
+  }
   return column.size() >= 3 &&
          column.compare(column.size() - 3, 3, "_us") == 0;
 }
@@ -444,7 +634,7 @@ int run_compare(const lrb::CliArgs& args) {
                  "usage: bench_json --compare=old.json new.json "
                  "[--max-regression=0.10] [--timing=enforce|report] "
                  "[--sections=invariants,serial,obs_overhead,"
-                 "fault_recovery,wheelset]\n");
+                 "fault_recovery,wheelset,persist]\n");
     return 2;
   }
   const std::string new_path = args.positionals().front();
@@ -466,7 +656,7 @@ int run_compare(const lrb::CliArgs& args) {
     if (!known_section(name)) {
       std::fprintf(stderr,
                    "bench_json: unknown section %s (invariants, serial, "
-                   "obs_overhead, fault_recovery, wheelset)\n",
+                   "obs_overhead, fault_recovery, wheelset, persist)\n",
                    name.c_str());
       return 2;
     }
@@ -609,6 +799,7 @@ int main(int argc, char** argv) {
   bool det_p_invariant_everywhere = true;
   bool fault_recovery_bit_exact_everywhere = true;
   bool wheelset_bit_exact_everywhere = true;
+  bool restore_bit_exact_everywhere = true;
   bool wheelset_speedup_target_met = true;
   double wheelset_small_n_speedup =
       std::numeric_limits<double>::infinity();
@@ -631,7 +822,7 @@ int main(int argc, char** argv) {
 
   Json json;
   json.begin_object();
-  json.field("schema", "lrb-bench-selection/v7");
+  json.field("schema", "lrb-bench-selection/v8");
   json.field("generated_by", "tools/bench_json");
   json.field("backend", backend);
   json.begin_object("simd");
@@ -1146,6 +1337,9 @@ int main(int argc, char** argv) {
     json.end_array();
   }
 
+  // ------------------------------------------------------------- persist --
+  emit_persist(json, quick, reps, restore_bit_exact_everywhere);
+
   // ---------------------------------------------------------- invariants --
   json.begin_object("invariants");
   if (!quick) {
@@ -1176,6 +1370,7 @@ int main(int argc, char** argv) {
   json.field("fault_recovery_bit_exact_everywhere",
              fault_recovery_bit_exact_everywhere);
   json.field("wheelset_bit_exact_everywhere", wheelset_bit_exact_everywhere);
+  json.field("restore_bit_exact_everywhere", restore_bit_exact_everywhere);
   if (!quick) {
     json.field("wheelset_speedup_small_n_min", wheelset_small_n_speedup);
     // Same gate as the simd_* targets: on forced-scalar dispatch the keyed
@@ -1226,6 +1421,13 @@ int main(int argc, char** argv) {
                  "bench_json: wheelset bit-exactness VIOLATED (the batched "
                  "cross-wheel pass must reproduce the per-wheel serial "
                  "reference at every shape)\n");
+    return 1;
+  }
+  if (!restore_bit_exact_everywhere) {
+    std::fprintf(stderr,
+                 "bench_json: restore bit-exactness VIOLATED (a restored "
+                 "snapshot must continue the live winner stream exactly on "
+                 "every dispatch target)\n");
     return 1;
   }
   if (!quick && !speedup_target_met) {

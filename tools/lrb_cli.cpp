@@ -29,6 +29,26 @@
 //       through ONE batched cross-wheel pass (core/wheel_set.hpp).  Prints
 //       "wheel winner" pairs; the arena summary goes to stderr.  With
 //       --stats the lrb_wheelset_* metric catalog appears in the table.
+//   lrb record   --dir=D [--draws=N] [--wheels=K] [--seed=...] w0 w1 ...
+//       durable wheelset session via lrb::persist: creates a journal
+//       (snapshot + write-ahead draw log) in D, then runs a deterministic
+//       step script — draw one winner per step round-robin across K wheels,
+//       periodic scripted updates — printing "t wheel winner" per step.
+//       --flush=every|batch|off picks the log fsync policy,
+//       --checkpoint-every=C commits a fresh snapshot every C steps,
+//       --throttle-us=U sleeps between steps (widens the crash window the
+//       CI crash job SIGKILLs into).
+//   lrb resume   --dir=D [--draws=N] ...
+//       restores the journal in D (torn log tails are truncated away),
+//       re-prints every committed winner, and continues the SAME script to
+//       N steps — stdout is byte-identical to an uninterrupted `lrb
+//       record`, which the CI crash job enforces by diffing the two after
+//       SIGKILLs at randomized offsets.
+//   lrb replay   --dir=D | --snapshot=S --log=L
+//       re-executes the logged session from the snapshot and diffs every
+//       logged winner against the re-derived one (persist/replay.hpp).
+//       Exit 0 when the streams match, 1 on any mismatch — run it under
+//       different LRB_SIMD targets to prove an incident replays everywhere.
 //   lrb list
 //       available selector algorithms.
 //
@@ -41,9 +61,13 @@
 //
 // Exit status: 0 on success (validate: consistent), 1 on inconsistency,
 // 2 on usage errors.
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <variant>
 #include <vector>
 
 #include "lrb.hpp"
@@ -255,13 +279,215 @@ int cmd_wheelset(const lrb::CliArgs& args, const std::vector<double>& weights) {
   return 0;
 }
 
+// --- the durable session script (record / resume) --------------------------
+// One deterministic step sequence, a pure function of the step index, shared
+// by `record` and `resume`: step t draws one winner from wheel t % K and —
+// every 7th step — rewrites one scripted value.  Because resume can re-derive
+// the whole script, its continuation is byte-identical to a run that was
+// never interrupted, which is exactly what the CI crash job diffs.
+
+bool script_update_due(std::uint64_t t) { return (t + 1) % 7 == 0; }
+
+double script_update_value(std::uint64_t t) {
+  return 0.5 + 0.25 * static_cast<double>(t % 13);
+}
+
+/// Runs script steps [from, to) against the journal, printing one
+/// "t wheel winner" line per step.
+void run_script_steps(lrb::persist::WheelJournal& journal, std::uint64_t from,
+                      std::uint64_t to, std::uint64_t checkpoint_every,
+                      std::uint64_t throttle_us) {
+  const std::size_t wheels = journal.wheels().wheels();
+  for (std::uint64_t t = from; t < to; ++t) {
+    const std::size_t wheel = static_cast<std::size_t>(t % wheels);
+    const auto winners = journal.draw(wheel, 1);
+    std::printf("%llu %zu %llu\n", static_cast<unsigned long long>(t), wheel,
+                static_cast<unsigned long long>(winners[0]));
+    std::fflush(stdout);
+    if (script_update_due(t)) {
+      const std::size_t item =
+          static_cast<std::size_t>(t) % journal.wheels().size(wheel);
+      journal.update(wheel, item, script_update_value(t));
+    }
+    if (checkpoint_every > 0 && (t + 1) % checkpoint_every == 0) {
+      journal.checkpoint();
+    }
+    if (throttle_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(throttle_us));
+    }
+  }
+}
+
+lrb::persist::DrawLogConfig parse_flush(const lrb::CliArgs& args) {
+  lrb::persist::DrawLogConfig config;
+  const std::string policy = args.get_string("flush", "every");
+  if (policy == "every") {
+    config.policy = lrb::persist::FlushPolicy::kEveryRecord;
+  } else if (policy == "batch") {
+    config.policy = lrb::persist::FlushPolicy::kBatch;
+    config.batch_records = args.get_u64("flush-batch", 64);
+  } else if (policy == "off") {
+    config.policy = lrb::persist::FlushPolicy::kNone;
+  } else {
+    throw lrb::InvalidArgumentError(
+        "--flush must be every, batch, or off (got \"" + policy + "\")");
+  }
+  return config;
+}
+
+int cmd_record(const lrb::CliArgs& args, const std::vector<double>& weights) {
+  const std::string dir = args.get_string("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "lrb: record needs --dir=<journal directory>\n");
+    return 2;
+  }
+  const std::uint64_t draws = args.get_u64("draws", 100);
+  const std::size_t wheels = args.get_u64("wheels", 4);
+  if (wheels == 0 || wheels > weights.size()) {
+    std::fprintf(stderr,
+                 "lrb: record needs 1 <= --wheels <= #weights "
+                 "(got --wheels=%zu for %zu weights)\n",
+                 wheels, weights.size());
+    return 2;
+  }
+  lrb::core::WheelSet set(args.get_u64("seed", 1));
+  const std::size_t base = weights.size() / wheels;
+  const std::size_t extra = weights.size() % wheels;
+  std::span<const double> rest(weights);
+  for (std::size_t w = 0; w < wheels; ++w) {
+    const std::size_t n = base + (w < extra ? 1 : 0);
+    (void)set.add_wheel(rest.first(n));
+    rest = rest.subspan(n);
+  }
+  std::filesystem::create_directories(dir);
+  lrb::persist::WheelJournal journal = lrb::persist::WheelJournal::create(
+      dir, std::move(set), parse_flush(args));
+  run_script_steps(journal, 0, draws, args.get_u64("checkpoint-every", 0),
+                   args.get_u64("throttle-us", 0));
+  journal.sync();
+  std::fprintf(stderr, "lrb: record dir=%s steps=%llu records=%llu\n",
+               dir.c_str(), static_cast<unsigned long long>(draws),
+               static_cast<unsigned long long>(journal.records()));
+  return 0;
+}
+
+int cmd_resume(const lrb::CliArgs& args) {
+  const std::string dir = args.get_string("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "lrb: resume needs --dir=<journal directory>\n");
+    return 2;
+  }
+  const std::uint64_t draws = args.get_u64("draws", 100);
+  lrb::persist::ResumedWheelJournal resumed =
+      lrb::persist::WheelJournal::resume(dir, parse_flush(args));
+  lrb::persist::WheelJournal& journal = resumed.journal;
+  const std::size_t wheels = journal.wheels().wheels();
+  if (resumed.torn_tail) {
+    std::fprintf(stderr,
+                 "lrb: resume dropped a torn log tail of %llu bytes "
+                 "(mid-append crash; the frame was never acknowledged)\n",
+                 static_cast<unsigned long long>(resumed.dropped_bytes));
+  }
+
+  // Re-announce the committed stream: winner i belongs to script step i.
+  const std::uint64_t done = resumed.winners.size();
+  for (std::uint64_t t = 0; t < done; ++t) {
+    std::printf("%llu %zu %llu\n", static_cast<unsigned long long>(t),
+                static_cast<std::size_t>(t % wheels),
+                static_cast<unsigned long long>(resumed.winners[t]));
+  }
+  std::fflush(stdout);
+
+  // A crash (or an unsynced-tail loss) between a step's draw record and its
+  // update record leaves the draw committed but the scripted update
+  // missing.  The script is deterministic, so compare the logged update
+  // count against what the script owes for `done` completed steps and
+  // re-apply the one that can be missing (the log is strictly ordered, so
+  // at most the last due step's update was torn off).
+  std::uint64_t logged_updates = 0;
+  for (const lrb::persist::Record& r : lrb::persist::read_draw_log(
+           lrb::persist::WheelJournal::log_path(dir)).records) {
+    logged_updates += std::holds_alternative<lrb::persist::WheelUpdateRecord>(r);
+  }
+  std::uint64_t owed_updates = 0;
+  for (std::uint64_t t = 0; t < done; ++t) {
+    owed_updates += script_update_due(t);
+  }
+  if (logged_updates < owed_updates) {
+    std::uint64_t t = done;  // largest due step < done
+    while (t > 0 && !script_update_due(--t)) {
+    }
+    const std::size_t wheel = static_cast<std::size_t>(t % wheels);
+    const std::size_t item =
+        static_cast<std::size_t>(t) % journal.wheels().size(wheel);
+    journal.update(wheel, item, script_update_value(t));
+    std::fprintf(stderr,
+                 "lrb: resume re-applied the torn-off update of step %llu\n",
+                 static_cast<unsigned long long>(t));
+  }
+
+  run_script_steps(journal, done, draws > done ? draws : done,
+                   args.get_u64("checkpoint-every", 0),
+                   args.get_u64("throttle-us", 0));
+  journal.sync();
+  std::fprintf(stderr, "lrb: resume dir=%s recovered=%llu total=%llu\n",
+               dir.c_str(), static_cast<unsigned long long>(done),
+               static_cast<unsigned long long>(draws > done ? draws : done));
+  return 0;
+}
+
+int cmd_replay(const lrb::CliArgs& args) {
+  std::string snapshot = args.get_string("snapshot", "");
+  std::string log = args.get_string("log", "");
+  const std::string dir = args.get_string("dir", "");
+  if (!dir.empty()) {
+    if (snapshot.empty()) {
+      snapshot = lrb::persist::WheelJournal::snapshot_path(dir);
+    }
+    if (log.empty()) log = lrb::persist::WheelJournal::log_path(dir);
+  }
+  if (snapshot.empty() || log.empty()) {
+    std::fprintf(stderr,
+                 "lrb: replay needs --dir=D or --snapshot=S --log=L\n");
+    return 2;
+  }
+  const lrb::persist::ReplayReport report =
+      lrb::persist::replay(snapshot, log);
+  for (const lrb::persist::ReplayMismatch& m : report.first_mismatches) {
+    std::fprintf(stderr,
+                 "lrb: replay MISMATCH at draw %llu: logged %llu, "
+                 "re-derived %llu\n",
+                 static_cast<unsigned long long>(m.draw_ordinal),
+                 static_cast<unsigned long long>(m.logged),
+                 static_cast<unsigned long long>(m.replayed));
+  }
+  std::fprintf(stderr,
+               "lrb: replay records=%llu draws=%llu updates=%llu "
+               "reshards=%llu checkpoints=%llu mismatches=%llu%s -> %s\n",
+               static_cast<unsigned long long>(report.records),
+               static_cast<unsigned long long>(report.draws),
+               static_cast<unsigned long long>(report.updates),
+               static_cast<unsigned long long>(report.reshards),
+               static_cast<unsigned long long>(report.checkpoints),
+               static_cast<unsigned long long>(report.mismatches),
+               report.torn_tail ? " (torn tail dropped)" : "",
+               report.clean() ? "CLEAN" : "MISMATCH");
+  return report.clean() ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: lrb <select|sample|shuffle|validate|race|dist|wheelset|"
-               "list> [options] [weights... | -]\n"
+               "record|resume|replay|list> [options] [weights... | -]\n"
                "dist flags: --ranks --draws --batch --seed --fault-seed=<u64> "
                "--fault-spec=<spec>\n"
                "wheelset flags: --wheels=<K> --draws=<per wheel> --seed\n"
+               "record flags: --dir=<D> --draws --wheels --seed "
+               "--flush=every|batch|off --checkpoint-every --throttle-us\n"
+               "resume flags: --dir=<D> --draws (continues the record script; "
+               "output is byte-identical to an uninterrupted record)\n"
+               "replay flags: --dir=<D> | --snapshot=<S> --log=<L> "
+               "(exit 0 iff every logged winner re-derives)\n"
                "global flags: --stats (metrics table after the run), "
                "--trace=<path> (Chrome trace JSON)\n"
                "run `lrb list` to see the selector algorithms.\n");
@@ -341,6 +567,12 @@ int main(int argc, char** argv) {
     const std::string& cmd = args.positionals()[0];
     const bool want_stats = handle_obs_flags(args);
     if (cmd == "list") return cmd_list();
+    // resume and replay read their state from disk, not from weights.
+    if (cmd == "resume" || cmd == "replay") {
+      const int rc = cmd == "resume" ? cmd_resume(args) : cmd_replay(args);
+      finish_obs(want_stats);
+      return rc;
+    }
     const auto weights = read_weights(args);
     if (weights.empty()) {
       std::fprintf(stderr, "lrb: no weights given (args or stdin)\n");
@@ -354,6 +586,7 @@ int main(int argc, char** argv) {
     else if (cmd == "race") rc = cmd_race(args, weights);
     else if (cmd == "dist") rc = cmd_dist(args, weights);
     else if (cmd == "wheelset") rc = cmd_wheelset(args, weights);
+    else if (cmd == "record") rc = cmd_record(args, weights);
     else {
       usage();
       return 2;
